@@ -1,0 +1,44 @@
+"""Regenerates E8: ablations — early segregation and ALF packetization."""
+
+from repro.experiments import (
+    format_alf,
+    format_segregation,
+    run_alf_ablation,
+    run_segregation_sweep,
+)
+
+
+def test_early_segregation_ablation(benchmark, record_result):
+    points = benchmark.pedantic(run_segregation_sweep, rounds=1, iterations=1,
+                                kwargs={"rates_pps": [0, 2000, 4000]})
+    record_result("ablation_segregation", format_segregation(points))
+    by_system = {}
+    for p in points:
+        by_system.setdefault(p.system, {})[p.flood_pps] = p
+    scout = by_system["scout"]
+    no_seg = by_system["scout-no-segregation"]
+    linux = by_system["linux"]
+    # Scout-with-segregation barely notices 4k pps.
+    scout_drop = 1 - scout[4000].fps / scout[0].fps
+    assert scout_drop < 0.05, scout_drop
+    # Removing early segregation exposes Scout to interrupt-time echo
+    # service: it degrades several times worse (though still less than
+    # the baseline, whose per-packet kernel costs are higher).
+    no_seg_drop = 1 - no_seg[4000].fps / no_seg[0].fps
+    linux_drop = 1 - linux[4000].fps / linux[0].fps
+    assert no_seg_drop > 3 * max(scout_drop, 0.01), (scout_drop, no_seg_drop)
+    assert linux_drop > no_seg_drop
+    assert scout[4000].fps > no_seg[4000].fps > linux[4000].fps
+
+
+def test_alf_ablation(benchmark, record_result):
+    results = benchmark.pedantic(run_alf_ablation, rounds=1, iterations=1)
+    record_result("ablation_alf", format_alf(results))
+    alf, stream = results
+    assert alf.framing == "ALF"
+    # ALF needs no cross-packet buffering inside the decoder; byte-stream
+    # framing forces nearly a frame's worth.
+    assert alf.peak_decoder_buffer_bytes == 0
+    assert stream.peak_decoder_buffer_bytes > 2000
+    # Both decode the stream correctly.
+    assert alf.frames_decoded == stream.frames_decoded

@@ -1,0 +1,37 @@
+"""Regenerates E6 (Section 4.4): frame-size/CPU correlation + admission."""
+
+from repro.experiments import admission_scenario, fit_model, format_admission
+
+
+def test_admission_model_and_scenario(benchmark, record_result):
+    model, samples = benchmark.pedantic(fit_model, rounds=1, iterations=1)
+    correlation = model.correlation()
+    decisions = admission_scenario(model)
+    record_result("admission",
+                  format_admission(samples, correlation, decisions))
+    # "A good correlation between the average size of a frame (in bits)
+    # and the average amount of CPU time it takes to decode a frame."
+    assert correlation > 0.95
+    # The fitted bits+pixels model tracks the measured cost per clip.
+    from repro.mpeg import clip_by_name
+
+    for sample in samples:
+        pixels = clip_by_name(sample.clip).pixels
+        predicted = model.predict_frame_us(sample.avg_frame_bits, pixels)
+        assert abs(predicted - sample.measured_frame_us) \
+            <= 0.10 * sample.measured_frame_us, sample
+    # Scenario shape: Neptune + 4 Canyons fit; Flower at full rate does
+    # not but a reduced-quality fallback is found and admitted.
+    by_request = {}
+    for d in decisions:
+        by_request.setdefault(d.request, d)  # keep first occurrence
+    assert by_request["Neptune@30fps"].admitted
+    assert all(by_request[f"Canyon@10fps #{i}"].admitted
+               for i in range(1, 5))
+    flower = by_request["Flower@30fps"]
+    assert not flower.admitted
+    assert flower.suggested_skip is not None
+    fallback = by_request[f"Flower@30fps (1/{flower.suggested_skip})"]
+    assert fallback.admitted
+    # The committed utilization never exceeds the headroom.
+    assert all(d.committed_after <= 0.95 + 1e-9 for d in decisions)

@@ -1,0 +1,18 @@
+"""Regenerates E7 (Section 4.4): early discard of skipped frames."""
+
+from repro.experiments import format_early_discard, run_early_discard
+
+
+def test_early_discard_saves_cpu(benchmark, record_result):
+    results = benchmark.pedantic(run_early_discard, rounds=1, iterations=1)
+    record_result("early_discard", format_early_discard(results))
+    full, naive, early = results
+    # Reduced quality shows ~1/3 of the frames.
+    assert early.frames_presented < full.frames_presented
+    # The naive version decodes frames nobody sees; early drop does not.
+    assert naive.decoded_then_skipped > 0
+    assert early.decoded_then_skipped == 0
+    assert early.adapter_drops > 0
+    # "This avoids wasting CPU cycles": early drop burns substantially
+    # less total CPU than decode-then-discard.
+    assert early.total_cpu_s < 0.6 * naive.total_cpu_s, (naive, early)

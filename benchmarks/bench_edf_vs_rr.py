@@ -1,0 +1,23 @@
+"""Regenerates E3 (Section 4.3): EDF vs round-robin missed deadlines for
+8 Canyon movies @10fps + 1 Neptune movie @30fps, across output queue
+sizes (the paper's point: RR fails when the queues are large)."""
+
+from repro.experiments import format_edf_rr, run_queue_sweep
+
+
+def test_edf_vs_rr_missed_deadlines(benchmark, record_result):
+    results = benchmark.pedantic(run_queue_sweep, rounds=1, iterations=1,
+                                 kwargs={"queue_sizes": [16, 128]})
+    record_result("edf_vs_rr", format_edf_rr(results))
+    by_key = {(r.policy, r.outq_frames): r for r in results}
+    # The paper's headline: EDF misses not a single deadline.
+    for (policy, _outq), r in by_key.items():
+        if policy == "edf":
+            assert r.neptune_missed == 0, r
+    # RR with large queues misses a large number of deadlines...
+    rr_large = by_key[("rr", 128)]
+    assert rr_large.neptune_missed > 50, rr_large
+    # ...and the damage grows with queue size (the stated mechanism).
+    rr_small = by_key[("rr", 16)]
+    assert rr_large.neptune_missed > rr_small.neptune_missed, (rr_small,
+                                                               rr_large)

@@ -1,0 +1,112 @@
+"""Regenerates E4 (Section 3.6): path creation cost, path/stage sizes,
+and classification cost — measured on the real implementation.
+
+The wall-clock numbers are Python on modern hardware, so they are not
+comparable to the Alpha's 200us/5us in absolute terms; the structural
+numbers (six stages, ~300-byte path, ~150-byte stages) reproduce the
+paper directly via modeled C footprints.
+"""
+
+from repro.core import Msg, classify, path_delete
+from repro.experiments import Fig7Stack, format_micro, measure_structure
+from repro.experiments.micro import (
+    PAPER_PATH_BYTES,
+    PAPER_STAGE_BYTES,
+    PAPER_UDP_PATH_STAGES,
+)
+
+
+def test_path_create_cost(benchmark, record_result):
+    stack = Fig7Stack()
+
+    def create_and_destroy():
+        path = stack.create_udp_path()
+        path_delete(path)
+
+    benchmark(create_and_destroy)
+    report = measure_structure()
+    create_us = benchmark.stats.stats.mean * 1e6
+    # Time classification inline for the combined report (the dedicated
+    # pytest-benchmark case below gives it full statistical treatment).
+    import time
+
+    path = stack.create_udp_path(local_port=6100)
+    frame = stack.udp_frame(6100)
+    loops = 2000
+    start = time.perf_counter()
+    for _ in range(loops):
+        classify(stack.eth, Msg(frame))
+    classify_us = (time.perf_counter() - start) / loops * 1e6
+    path_delete(path)
+    record_result("micro_path_create",
+                  format_micro(report, create_us=create_us,
+                               classify_us=classify_us))
+    assert report.udp_path_stages == PAPER_UDP_PATH_STAGES
+    assert abs(report.path_modeled_bytes - PAPER_PATH_BYTES) <= 60
+    assert abs(report.per_stage_modeled_bytes - PAPER_STAGE_BYTES) <= 60
+
+
+def test_classify_udp_packet_cost(benchmark):
+    stack = Fig7Stack()
+    path = stack.create_udp_path(local_port=6100)
+    frame = stack.udp_frame(6100)
+
+    def classify_once():
+        msg = Msg(frame)
+        found = classify(stack.eth, msg)
+        assert found is path
+
+    benchmark(classify_once)
+
+
+def test_demux_chain_scales_with_depth(benchmark):
+    """Classification is a handful of dictionary probes; adding the video
+    stack (two more routers) must not blow it up."""
+    stack = Fig7Stack()
+    stack.create_udp_path(local_port=6100)
+    frame = stack.udp_frame(6100, payload=b"y" * 1400)
+
+    def classify_big_packet():
+        classify(stack.eth, Msg(frame))
+
+    benchmark(classify_big_packet)
+
+
+def test_message_header_pushpop_cost(benchmark):
+    """The per-packet hot path: push three headers, pop three headers."""
+    payload = b"z" * 1400
+
+    def roundtrip():
+        msg = Msg(payload)
+        msg.push(b"U" * 8)
+        msg.push(b"I" * 20)
+        msg.push(b"E" * 14)
+        msg.pop(14)
+        msg.pop(20)
+        msg.pop(8)
+
+    benchmark(roundtrip)
+
+
+def test_path_queue_cost(benchmark):
+    from repro.core import PathQueue
+
+    queue = PathQueue(maxlen=64)
+
+    def enqueue_dequeue():
+        queue.try_enqueue("item")
+        queue.dequeue()
+
+    benchmark(enqueue_dequeue)
+
+
+def test_engine_event_dispatch_cost(benchmark):
+    from repro.sim import Engine
+
+    def thousand_events():
+        engine = Engine()
+        for i in range(1000):
+            engine.schedule(i, lambda: None)
+        engine.run()
+
+    benchmark(thousand_events)

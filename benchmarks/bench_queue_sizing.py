@@ -1,0 +1,32 @@
+"""Regenerates E5 (Section 4.2): input queue sizing vs RTT.
+
+The achieved decode rate should saturate once the input queue reaches the
+paper's 2 x RTT x bandwidth rule (computed from the system's *own*
+measurements: MFLOW's RTT estimate and the ETH-stage processing-time
+probe)."""
+
+from repro.experiments import format_queue_sizing, run_queue_sizing
+
+
+def test_input_queue_sizing(benchmark, record_result):
+    points = benchmark.pedantic(
+        run_queue_sizing, rounds=1, iterations=1,
+        kwargs={"latencies_us": [100.0, 10_000.0],
+                "inq_lens": [1, 2, 4, 8, 16, 32]})
+    record_result("queue_sizing", format_queue_sizing(points))
+    by_latency = {}
+    for p in points:
+        by_latency.setdefault(p.latency_us, []).append(p)
+    for latency, series in by_latency.items():
+        series.sort(key=lambda p: p.inq_len)
+        best = max(p.fps for p in series)
+        # Starved at a 1-slot queue on the slow link, saturated at 32.
+        assert series[-1].fps >= 0.95 * best, series
+        if latency >= 10_000.0:
+            assert series[0].fps < 0.8 * best, series
+        # Once the queue reaches the paper's predicted sufficient size,
+        # throughput is within 10% of saturation.
+        for p in series:
+            predicted = p.predicted_sufficient_inq
+            if predicted is not None and p.inq_len >= predicted:
+                assert p.fps >= 0.90 * best, p

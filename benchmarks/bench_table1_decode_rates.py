@@ -1,0 +1,23 @@
+"""Regenerates Table 1: max decode rate, Scout vs Linux, four clips.
+
+Run with ``pytest benchmarks/bench_table1_decode_rates.py --benchmark-only -s``.
+Set ``REPRO_FULL=1`` to stream the full-length clips the paper used.
+"""
+
+from repro.experiments import PAPER_TABLE1, format_table1, run_table1
+
+
+def test_table1_decode_rates(benchmark, record_result):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    record_result("table1", format_table1(rows))
+    # Reproduction checks: Scout beats Linux on every clip, the ordering
+    # across clips matches, and each cell is within 20% of the paper.
+    for row in rows:
+        assert row.scout_fps > row.linux_fps, row
+        assert abs(row.scout_fps - row.paper_scout_fps) \
+            <= 0.20 * row.paper_scout_fps, row
+        assert abs(row.linux_fps - row.paper_linux_fps) \
+            <= 0.20 * row.paper_linux_fps, row
+    ordering = sorted(rows, key=lambda r: r.scout_fps)
+    paper_ordering = sorted(rows, key=lambda r: PAPER_TABLE1[r.clip][0])
+    assert [r.clip for r in ordering] == [r.clip for r in paper_ordering]

@@ -1,0 +1,27 @@
+"""Shared benchmark plumbing.
+
+Every macro benchmark regenerates one of the paper's tables/experiments;
+the rendered table is printed (visible with ``pytest -s``) and also
+written to ``benchmarks/results/<name>.txt`` so results survive output
+capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_result():
+    """Save a rendered experiment table and echo it."""
+
+    def record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return record

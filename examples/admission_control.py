@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Admission control on a live kernel (Section 4.4, end to end).
+
+Phase 1: the system *measures itself* — each clip plays briefly, the
+paths' cycle accounting yields per-frame CPU costs, and the frame-size →
+CPU model is fitted from those measurements ("the path execution timings
+are used to derive the model parameters").
+
+Phase 2: a kernel boots with a memory admission hook, streams are
+admitted against the fitted CPU model, and a stream that does not fit at
+full rate is started at reduced quality with its skipped frames dropped
+at the network adapter.
+
+Run:  python examples/admission_control.py   (takes ~1 min)
+"""
+
+from repro.admission import CpuAdmission, FrameCostModel, MemoryAdmission
+from repro.core import AdmissionError
+from repro.experiments import Testbed
+from repro.mpeg import CANYON, FLOWER, NEPTUNE, PAPER_CLIPS, synthesize_clip
+
+
+def measure_model() -> FrameCostModel:
+    print("phase 1: measuring each clip on the running system")
+    model = FrameCostModel()
+    for profile in PAPER_CLIPS:
+        testbed = Testbed(seed=3)
+        clip = synthesize_clip(profile, seed=3, nframes=60)
+        source = testbed.add_video_source(clip, dst_port=6100)
+        kernel = testbed.build_scout(rate_limited_display=False)
+        session = kernel.start_video(profile, (str(source.ip), 7200),
+                                     local_port=6100)
+        testbed.start_all()
+        testbed.run_until_sources_done()
+        frames = session.path.stage_of("MPEG").decoder.frames_decoded
+        model.sample_from_path(session.path, frames)
+        bits, _px, micros = model._samples[-1]
+        print(f"  {profile.name:<15} {bits:>8.0f} bits/frame -> "
+              f"{micros:>8.1f} us/frame")
+    model.fit()
+    print(f"  correlation(bits, us) = {model.correlation():.3f}\n")
+    return model
+
+
+def run_admitted_system(model: FrameCostModel) -> None:
+    print("phase 2: admitting streams against the fitted model")
+    cpu_control = CpuAdmission(model, headroom=0.95)
+    mem_control = MemoryAdmission(system_budget=2_000_000,
+                                  per_path_grant=400_000)
+    testbed = Testbed(seed=4)
+    kernel = testbed.build_scout(rate_limited_display=True,
+                                 admission=mem_control)
+
+    def admit_and_start(profile, fps, port):
+        try:
+            cpu_control.admit(profile, fps)
+            skip = 1
+        except AdmissionError:
+            skip = cpu_control.suggest_skip(profile, fps)
+            if skip is None:
+                print(f"  {profile.name}@{fps:.0f}fps: REJECTED "
+                      f"(no reduced-quality rate fits)")
+                return None
+            cpu_control.admit(profile, fps, skip=skip)
+            print(f"  {profile.name}@{fps:.0f}fps: full rate denied, "
+                  f"admitted at 1/{skip} quality (early drop armed)")
+        clip = synthesize_clip(profile, seed=4,
+                               nframes=min(profile.nframes, 150))
+        source = testbed.add_video_source(clip, dst_port=port)
+        session = kernel.start_video(profile, (str(source.ip), 7200),
+                                     local_port=port, fps=fps, skip=skip,
+                                     prebuffer=4)
+        session.sink.expected_frames = len(clip.frames) // skip \
+            + (1 if len(clip.frames) % skip else 0)
+        source.start()
+        if skip == 1:
+            print(f"  {profile.name}@{fps:.0f}fps: admitted "
+                  f"({cpu_control.committed_utilization:.0%} CPU committed, "
+                  f"{mem_control.committed} B memory)")
+        return session
+
+    sessions = [s for s in (
+        admit_and_start(NEPTUNE, 30.0, 6100),
+        admit_and_start(CANYON, 10.0, 6200),
+        admit_and_start(CANYON, 10.0, 6201),
+        admit_and_start(FLOWER, 30.0, 6300),
+    ) if s is not None]
+
+    testbed.run_seconds(7.0)
+    print("\nresults after 7 virtual seconds:")
+    for session in sessions:
+        print(f"  {session.profile.name:<15} presented "
+              f"{session.frames_presented:>4}, "
+              f"missed {session.missed_deadlines}")
+    print(f"  adapter-level early drops: {kernel.early_drops}")
+    print(f"  CPU utilization: {testbed.world.cpu.utilization():.0%}")
+
+
+def main() -> None:
+    model = measure_model()
+    run_admitted_system(model)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Early segregation under hostile load (the Table 2 scenario, live).
+
+A video plays while a remote host runs ``ping -f`` at the machine.  On
+Scout, the classifier segregates the flood into the low-priority ICMP
+path at interrupt time, so the flood starves *itself* (ping -f sends on
+replies, and replies only happen when the video is idle).  On the
+Linux-like baseline, echo service happens at interrupt level and eats the
+decoder alive.
+
+Run:  python examples/loaded_system.py
+"""
+
+from repro.experiments import Testbed
+from repro.mpeg import NEPTUNE, synthesize_clip
+from repro.sim.world import POLICY_RR
+
+FRAMES = 200
+
+
+def run(kernel_name: str) -> None:
+    testbed = Testbed(seed=7)
+    clip = synthesize_clip(NEPTUNE, seed=7, nframes=FRAMES)
+    source = testbed.add_video_source(clip, dst_port=6100)
+    flooder = testbed.add_flooder()
+    if kernel_name == "scout":
+        kernel = testbed.build_scout(rate_limited_display=False)
+        session = kernel.start_video(NEPTUNE, (str(source.ip), 7200),
+                                     local_port=6100, policy=POLICY_RR)
+    else:
+        kernel = testbed.build_linux(rate_limited_display=False)
+        session = kernel.start_video(NEPTUNE, (str(source.ip), 7200),
+                                     local_port=6100)
+    testbed.start_all()
+    testbed.run_until_sources_done()
+    elapsed = testbed.world.now / 1e6
+    print(f"{kernel_name:>6}: {session.achieved_fps():5.1f} fps under "
+          f"flood | flood sent {flooder.requests_sent} "
+          f"({flooder.requests_sent / elapsed:.0f}/s), "
+          f"answered {flooder.replies_received} "
+          f"| irq time {testbed.world.cpu.interrupt_us / 1e6:.2f}s")
+
+
+def main() -> None:
+    print(f"Neptune ({FRAMES} frames) at max decode rate, "
+          "with ping -f running:")
+    run("scout")
+    run("linux")
+    print("\nThe asymmetry is emergent: ping -f sends a new request per "
+          "reply.\nScout's ICMP path runs below the video's priority, so "
+          "the flood\nthrottles itself; the baseline answers at interrupt "
+          "level and gets\nflooded at full wire speed, stealing the "
+          "decoder's CPU.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package, so PEP 517 editable installs
+fail with ``invalid command 'bdist_wheel'``.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` work offline.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro: a reproduction of *Making Paths Explicit in the Scout Operating
+System* (Mosberger & Peterson, OSDI 1996).
+
+The library has three layers:
+
+* :mod:`repro.core` — the path architecture itself (routers, services,
+  spec files, paths, stages, transformation rules, classification);
+* :mod:`repro.sim` — the virtual-time substrate (event engine, CPU model,
+  non-preemptive threads, round-robin and EDF schedulers) standing in for
+  the paper's 300 MHz Alpha;
+* application subsystems — :mod:`repro.net` (ETH/ARP/IP/UDP/ICMP/TCP and
+  the paper's MFLOW protocol), :mod:`repro.mpeg`, :mod:`repro.display`,
+  :mod:`repro.shell`, the :mod:`repro.kernel` Scout and Linux-like
+  baseline kernels, :mod:`repro.admission`, and the
+  :mod:`repro.experiments` harness that regenerates the paper's tables.
+
+Quickstart::
+
+    from repro import core
+    # build a router graph, create a path, deliver a message — see
+    # examples/quickstart.py
+
+"""
+
+from . import (
+    admission,
+    core,
+    display,
+    experiments,
+    fs,
+    http,
+    kernel,
+    mpeg,
+    net,
+    params,
+    shell,
+    sim,
+)
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "sim", "net", "mpeg", "display", "shell", "fs", "http",
+           "kernel", "admission", "experiments", "params", "__version__"]

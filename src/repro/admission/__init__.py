@@ -1,0 +1,12 @@
+"""Admission control: per-path memory and CPU accounting (Section 4.4)."""
+
+from .control import (
+    CpuAdmission,
+    FrameCostModel,
+    MemoryAdmission,
+    path_memory_footprint,
+    theoretical_frame_us,
+)
+
+__all__ = ["MemoryAdmission", "CpuAdmission", "FrameCostModel",
+           "path_memory_footprint", "theoretical_frame_us"]

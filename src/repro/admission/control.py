@@ -1,0 +1,222 @@
+"""Admission control (Section 4.4).
+
+Two resources, both accounted per path:
+
+* **Memory** — "as all memory allocation requests are performed on behalf
+  of a given path, it is a simple matter of accounting to decide whether
+  a newly created path is admissible or not.  Before starting path
+  creation, the admission policy decides how much memory can be granted
+  to a new path.  As long as each router in the path lives within that
+  constraint, the path creation process is allowed to continue."
+  :class:`MemoryAdmission` is the creation-time hook implementing exactly
+  that: it is consulted after every stage is appended and aborts creation
+  the moment the path's modeled footprint (object + queue buffers)
+  exceeds the per-path grant or the system budget.
+
+* **CPU** — "there is a good correlation between the average size of a
+  frame (in bits) and the average amount of CPU time it takes to decode a
+  frame ... the path execution timings are used to derive the model
+  parameters, which in turn, are used for admission control."
+  :class:`CpuAdmission` fits that linear model from *measured* per-path
+  execution times (the measurement probe installed by the Section 4.2
+  transformation rule) and admits a new video only when the predicted
+  utilization fits.  When a video does not fit at full rate it proposes
+  reduced-quality playback — "the user may request that only every third
+  image be displayed" — whose skipped frames the kernel drops at the
+  adapter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import params
+from ..core.errors import AdmissionError
+from ..core.path import Path
+from ..mpeg.clips import ClipProfile
+from ..mpeg.cost import decode_cost_us, display_cost_us
+
+
+def path_memory_footprint(path: Path,
+                          bytes_per_queue_slot: int = params.ETH_MTU) -> int:
+    """Modeled bytes a path pins: the path/stage objects plus its queues'
+    worst-case buffer occupancy."""
+    total = path.modeled_size()
+    for queue in path.q:
+        if queue.maxlen:
+            total += queue.maxlen * bytes_per_queue_slot
+    return total
+
+
+class MemoryAdmission:
+    """Creation-time memory admission (the ``admission`` hook of
+    :func:`repro.core.path_create`)."""
+
+    def __init__(self, system_budget: int, per_path_grant: int):
+        if system_budget <= 0 or per_path_grant <= 0:
+            raise ValueError("budgets must be positive")
+        self.system_budget = system_budget
+        self.per_path_grant = per_path_grant
+        self.committed = 0
+        self._granted: Dict[int, int] = {}
+        self.denials = 0
+
+    def __call__(self, path: Path) -> None:
+        """Consulted after every appended stage during creation."""
+        footprint = path_memory_footprint(path)
+        if footprint > self.per_path_grant:
+            self.denials += 1
+            raise AdmissionError(
+                f"path {path.pid} needs {footprint} B, grant is "
+                f"{self.per_path_grant} B")
+        previous = self._granted.get(path.pid, 0)
+        if self.committed - previous + footprint > self.system_budget:
+            self.denials += 1
+            raise AdmissionError(
+                f"system memory budget exhausted "
+                f"({self.committed - previous + footprint} > "
+                f"{self.system_budget} B)")
+        self.committed += footprint - previous
+        self._granted[path.pid] = footprint
+
+    def release(self, path: Path) -> None:
+        """Return a deleted path's grant to the pool."""
+        self.committed -= self._granted.pop(path.pid, 0)
+
+    @property
+    def available(self) -> int:
+        return self.system_budget - self.committed
+
+
+class FrameCostModel:
+    """The frame-size -> CPU-time model, fitted from measurements.
+
+    "Rather than determining these parameters manually, it is much easier
+    to measure path execution time in the running system and use those
+    measurements to derive the required parameters."
+
+    The regressors are the average frame size in bits (the paper's
+    headline correlate) and the stream's pixel count (a creation-time
+    invariant of the video path; decode work per frame scales with both
+    the coded bits and the image geometry, which is what "parameterized by
+    the speed of the CPU, the memory system, and the graphics card" is
+    standing in for).
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[Tuple[float, float, float]] = []  # (bits, px, us)
+        self._coeffs: Optional[np.ndarray] = None
+
+    def add_sample(self, avg_frame_bits: float, pixels: float,
+                   avg_frame_us: float) -> None:
+        self._samples.append((avg_frame_bits, pixels, avg_frame_us))
+        self._coeffs = None
+
+    def sample_from_path(self, path: Path, frames: int,
+                         cpu_mhz: float = params.CPU_MHZ) -> None:
+        """Derive a sample from a live path's own accounting: average
+        frame size from its decoder, average per-frame CPU from the cycles
+        charged to the path."""
+        if frames <= 0:
+            raise ValueError("need at least one decoded frame")
+        decoder = path.stage_of("MPEG").decoder
+        bits = decoder.bits_decoded / max(1, decoder.frames_decoded)
+        micros = path.stats.cycles / cpu_mhz / frames
+        self.add_sample(bits, decoder.profile.pixels, micros)
+
+    @property
+    def n_samples(self) -> int:
+        return len(self._samples)
+
+    def fit(self) -> np.ndarray:
+        """Least-squares fit ``us = a*bits + b*pixels + c``."""
+        if len(self._samples) < 3:
+            raise ValueError("need at least three samples to fit the model")
+        rows = np.array([(bits, px, 1.0) for bits, px, _ in self._samples])
+        micros = np.array([s[2] for s in self._samples])
+        coeffs, _residuals, _rank, _sv = np.linalg.lstsq(rows, micros,
+                                                         rcond=None)
+        self._coeffs = coeffs
+        return coeffs
+
+    def correlation(self) -> float:
+        """Pearson r between frame bits and CPU time (the paper's 'good
+        correlation')."""
+        if len(self._samples) < 2:
+            raise ValueError("need at least two samples")
+        bits = np.array([s[0] for s in self._samples])
+        micros = np.array([s[2] for s in self._samples])
+        return float(np.corrcoef(bits, micros)[0, 1])
+
+    def predict_frame_us(self, avg_frame_bits: float, pixels: float) -> float:
+        if self._coeffs is None:
+            self.fit()
+        a, b, c = self._coeffs
+        return max(0.0, a * avg_frame_bits + b * pixels + c)
+
+
+class CpuAdmission:
+    """CPU admission for video paths, driven by the fitted model."""
+
+    def __init__(self, model: FrameCostModel, headroom: float = 0.95):
+        if not 0 < headroom <= 1:
+            raise ValueError("headroom must be in (0, 1]")
+        self.model = model
+        self.headroom = headroom
+        self._admitted: Dict[int, float] = {}  # key -> utilization
+        self.denials = 0
+        self._next_key = 0
+
+    def predicted_utilization(self, profile: ClipProfile, fps: float,
+                              skip: int = 1) -> float:
+        """Fraction of the CPU a stream needs at the given rate.
+
+        With every-Nth-frame playback plus adapter-level early discard,
+        only 1/N of the frames cost decode+display CPU.
+        """
+        avg_bits = profile.avg_frame_bits + 24 * profile.macroblocks
+        frame_us = self.model.predict_frame_us(avg_bits, profile.pixels)
+        effective_fps = fps / max(1, skip)
+        return (frame_us * effective_fps) / 1_000_000.0
+
+    @property
+    def committed_utilization(self) -> float:
+        return sum(self._admitted.values())
+
+    def admit(self, profile: ClipProfile, fps: float, skip: int = 1) -> int:
+        """Admit a stream or raise :class:`AdmissionError`.
+
+        Returns an admission key used to release the reservation.
+        """
+        needed = self.predicted_utilization(profile, fps, skip)
+        if self.committed_utilization + needed > self.headroom:
+            self.denials += 1
+            raise AdmissionError(
+                f"{profile.name}@{fps:.0f}fps needs {needed:.2f} CPU, "
+                f"only {self.headroom - self.committed_utilization:.2f} left")
+        self._next_key += 1
+        self._admitted[self._next_key] = needed
+        return self._next_key
+
+    def release(self, key: int) -> None:
+        self._admitted.pop(key, None)
+
+    def suggest_skip(self, profile: ClipProfile, fps: float,
+                     max_skip: int = 8) -> Optional[int]:
+        """Smallest every-Nth reduction that fits, or None if even 1/N
+        at ``max_skip`` does not."""
+        for skip in range(1, max_skip + 1):
+            needed = self.predicted_utilization(profile, fps, skip)
+            if self.committed_utilization + needed <= self.headroom:
+                return skip
+        return None
+
+
+def theoretical_frame_us(profile: ClipProfile) -> float:
+    """Ground-truth per-frame cost from the simulator's own cost model —
+    what the fitted model should approximate."""
+    avg_bits = profile.avg_frame_bits + 24 * profile.macroblocks
+    return (decode_cost_us(int(avg_bits), profile.macroblocks)
+            + display_cost_us(profile.pixels))

@@ -1,0 +1,90 @@
+"""Packet classification: mapping data to the path that processes it.
+
+Section 3.5: "each Scout router provides a demux operation that maps the
+data into a path that can be used to process that data ... Any given
+router typically implements only a small portion of the entire
+classification process.  If a router cannot make a unique classification
+decision, it may ask the next router to refine that decision.  This
+continues until either a unique path is found or until it is determined
+that no appropriate path exists.  In the latter case the offending data is
+simply discarded."
+
+The Scout classifier's requirements (both honored here):
+
+* **efficient enough for peak loads** — the chain is a handful of
+  dictionary probes over peeked header bytes, benchmarked in
+  ``benchmarks/bench_path_micro.py`` against the paper's < 5 µs claim;
+* **relaxed (best-effort) accuracy** — a router may return a path that is
+  merely "good enough" (e.g. the short/fat reassembly path for IP
+  fragments); the IP router later *reruns* the classifier on the
+  reassembled datagram to find the next path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .errors import ClassificationError
+from .message import Msg
+from .path import Path
+from .router import DemuxResult, Router, Service
+
+#: Refinement-hop cap: a demux cycle is a router bug, not a data property.
+MAX_REFINEMENTS = 32
+
+
+class ClassifierStats:
+    """Counters for classification outcomes, used by experiments."""
+
+    __slots__ = ("classified", "dropped", "refinements")
+
+    def __init__(self) -> None:
+        self.classified = 0
+        self.dropped = 0
+        self.refinements = 0
+
+
+def classify(router: Router, msg: Msg, service: Optional[Service] = None,
+             stats: Optional[ClassifierStats] = None) -> Optional[Path]:
+    """Run the incremental demux chain starting at *router*.
+
+    Returns the path to use, or ``None`` when no appropriate path exists
+    (the data is to be discarded; the reason is recorded in
+    ``msg.meta["drop_reason"]`` for observability).
+
+    The chain runs at interrupt time in Scout; callers that model CPU cost
+    account for it separately (see :mod:`repro.sim.cpu`).
+    """
+    offset = 0
+    current: Router = router
+    current_service = service
+    for _ in range(MAX_REFINEMENTS):
+        result: DemuxResult = current.demux(msg, current_service, offset)
+        if result.path is not None:
+            if stats is not None:
+                stats.classified += 1
+            msg.meta["path"] = result.path
+            return result.path
+        if result.forward is not None:
+            offset += result.consumed
+            current, current_service = result.forward
+            if stats is not None:
+                stats.refinements += 1
+            continue
+        msg.meta["drop_reason"] = result.reason or f"{current.name}: no path"
+        if stats is not None:
+            stats.dropped += 1
+        return None
+    raise ClassificationError(
+        f"classification did not converge after {MAX_REFINEMENTS} "
+        f"refinements (last router: {current.name})")
+
+
+def classify_or_raise(router: Router, msg: Msg,
+                      service: Optional[Service] = None) -> Path:
+    """Like :func:`classify` but raises on discard, for callers that treat
+    unclassifiable data as an error (tests, mostly)."""
+    path = classify(router, msg, service)
+    if path is None:
+        raise ClassificationError(msg.meta.get("drop_reason", "no path"))
+    return path

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the Scout path architecture.
+
+Every error raised by :mod:`repro.core` derives from :class:`ScoutError` so
+that callers can catch architecture-level failures without also swallowing
+programming errors.  The hierarchy mirrors the phases of the system's
+lifetime described in the paper (Figure 8): configuration (build time), path
+creation, classification, and execution (runtime).
+"""
+
+from __future__ import annotations
+
+
+class ScoutError(Exception):
+    """Base class for all errors raised by the path architecture."""
+
+
+class ConfigurationError(ScoutError):
+    """A router graph or spec file is malformed.
+
+    Raised at "build time": bad spec syntax, incompatible service
+    connections, unknown routers, or connection-count mismatches.
+    """
+
+
+class CyclicDependencyError(ConfigurationError):
+    """Router initialization order contains a cycle.
+
+    The paper permits cyclic *data* dependencies in the router graph but
+    forbids cycles in the initialization partial order defined by the ``<``
+    markers in spec files.  The configuration tool "checks for and rejects
+    any router graph with cyclic dependencies"; this is that rejection.
+    """
+
+    def __init__(self, cycle):
+        self.cycle = list(cycle)
+        names = " -> ".join(self.cycle + self.cycle[:1])
+        super().__init__(f"cyclic router initialization dependency: {names}")
+
+
+class ServiceTypeError(ConfigurationError):
+    """Two services were connected whose interface types are incompatible.
+
+    The rule from Section 3.1: "the interfaces provided must be identical to
+    or more specific than the interfaces required".
+    """
+
+
+class SpecSyntaxError(ConfigurationError):
+    """A spec file could not be parsed."""
+
+    def __init__(self, message, line=None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class PathCreationError(ScoutError):
+    """Path creation failed.
+
+    Raised when a router refuses to create a stage (invariants too weak for
+    any routing decision at the very first router), when a stage's
+    ``establish`` hook fails, or when an admission-control policy denies the
+    path.
+    """
+
+
+class RoutingError(PathCreationError):
+    """A router could not make a unique routing decision.
+
+    This is not always fatal: during incremental creation it terminates the
+    path at its maximum length.  It is an error only when it leaves the
+    path with no stages at all.
+    """
+
+
+class ClassificationError(ScoutError):
+    """Demux failed to find a path for a message.
+
+    Per Section 3.5, the offending data is simply discarded; this exception
+    carries the reason so callers that *want* to observe drops can do so.
+    """
+
+
+class PathStateError(ScoutError):
+    """A path was used in a way inconsistent with its state.
+
+    Examples: delivering a message on a deleted path, or extending a path
+    object after it has been combined and established.
+    """
+
+
+class QueueFullError(ScoutError):
+    """A bounded path queue rejected an enqueue.
+
+    Queues normally signal fullness by returning ``False`` from
+    ``try_enqueue``; this exception is used by the strict ``enqueue``
+    variant for callers that treat overflow as a hard error.
+    """
+
+
+class AdmissionError(ScoutError):
+    """Admission control denied a resource request for a path."""

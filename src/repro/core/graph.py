@@ -1,0 +1,272 @@
+"""The router graph: build-time configuration of a Scout system.
+
+"The Scout development environment includes a configuration tool that
+translates a router graph into C source code that creates and initializes
+the runtime view of a router graph when the system boots.  This
+configuration tool checks for and rejects any router graph with cyclic
+dependencies." (Section 3.1)
+
+:class:`RouterGraph` is that tool's runtime equivalent: it instantiates
+routers (``rCreate``), connects services with type checking, rejects
+cyclic *initialization* dependencies (cyclic data-flow edges remain legal,
+as the paper allows), computes the initialization partial order from the
+``<`` service markers, and runs every router's ``init`` hook in that
+order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple, Type
+
+from .errors import ConfigurationError, CyclicDependencyError
+from .router import Router, RouterLink, Service, connect
+from .spec import SpecFile, parse_spec
+
+
+class RouterGraph:
+    """A set of routers plus the edges connecting their services."""
+
+    def __init__(self) -> None:
+        self.routers: Dict[str, Router] = {}
+        self.links: List[RouterLink] = []
+        self.booted = False
+        self._init_order: Optional[List[Router]] = None
+
+    # -- construction ---------------------------------------------------------
+
+    def add(self, router: Router) -> Router:
+        """Add *router* to the graph (the runtime side of ``rCreate``)."""
+        if self.booted:
+            raise ConfigurationError(
+                "the router graph is configured at build time; "
+                "cannot add routers after boot")
+        if router.name in self.routers:
+            raise ConfigurationError(f"duplicate router name {router.name!r}")
+        self.routers[router.name] = router
+        return router
+
+    def router(self, name: str) -> Router:
+        try:
+            return self.routers[name]
+        except KeyError:
+            known = ", ".join(sorted(self.routers)) or "(none)"
+            raise ConfigurationError(
+                f"no router named {name!r}; routers: {known}") from None
+
+    def connect(self, a: str, b: str) -> RouterLink:
+        """Connect two services named ``"Router.service"``."""
+        if self.booted:
+            raise ConfigurationError("cannot add edges after boot")
+        link = connect(self._resolve(a), self._resolve(b))
+        self.links.append(link)
+        return link
+
+    def _resolve(self, dotted: str) -> Service:
+        router_name, sep, service_name = dotted.partition(".")
+        if not sep:
+            raise ConfigurationError(
+                f"service reference {dotted!r} must look like Router.service")
+        return self.router(router_name).service(service_name)
+
+    # -- validation & boot -------------------------------------------------------
+
+    def init_dependencies(self) -> Dict[str, Set[str]]:
+        """Map each router name to the set of names it must wait for.
+
+        A service marked ``<`` requires every router connected through it
+        to be initialized first.
+        """
+        deps: Dict[str, Set[str]] = {name: set() for name in self.routers}
+        for router in self.routers.values():
+            for service in router.services:
+                if not service.init_before:
+                    continue
+                for peer_router, _peer_service in service.peers():
+                    if peer_router.name != router.name:
+                        deps[router.name].add(peer_router.name)
+        return deps
+
+    def init_order(self) -> List[Router]:
+        """Topological initialization order (deterministic; raises
+        :class:`CyclicDependencyError` on a cycle)."""
+        deps = self.init_dependencies()
+        remaining = {name: set(waits) for name, waits in deps.items()}
+        order: List[Router] = []
+        ready = sorted(name for name, waits in remaining.items() if not waits)
+        while ready:
+            name = ready.pop(0)
+            del remaining[name]
+            order.append(self.routers[name])
+            newly_ready = []
+            for other, waits in remaining.items():
+                waits.discard(name)
+                if not waits and other not in ready:
+                    newly_ready.append(other)
+            ready.extend(newly_ready)
+            ready.sort()
+        if remaining:
+            raise CyclicDependencyError(self._find_cycle(deps, set(remaining)))
+        return order
+
+    @staticmethod
+    def _find_cycle(deps: Dict[str, Set[str]], candidates: Set[str]) -> List[str]:
+        """Find one concrete cycle among *candidates* for the error message."""
+        for start in sorted(candidates):
+            stack: List[str] = []
+            on_stack: Set[str] = set()
+
+            def visit(name: str) -> Optional[List[str]]:
+                if name in on_stack:
+                    return stack[stack.index(name):]
+                if name not in candidates:
+                    return None
+                stack.append(name)
+                on_stack.add(name)
+                for dep in sorted(deps.get(name, ())):
+                    found = visit(dep)
+                    if found is not None:
+                        return found
+                stack.pop()
+                on_stack.discard(name)
+                return None
+
+            cycle = visit(start)
+            if cycle:
+                return cycle
+        return sorted(candidates)  # fallback: report the whole SCC set
+
+    def boot(self) -> List[Router]:
+        """Validate the graph and initialize every router in partial order.
+
+        Returns the initialization order actually used.
+        """
+        order = self.init_order()  # raises on cycles before any init runs
+        for router in order:
+            router.init()
+        self.booted = True
+        self._init_order = order
+        return order
+
+    # -- introspection ---------------------------------------------------------
+
+    def edges(self) -> List[Tuple[str, str, str, str]]:
+        """Edges as ``(router_a, service_a, router_b, service_b)`` tuples."""
+        return [
+            (link.a.router.name, link.a.name, link.b.router.name, link.b.name)
+            for link in self.links
+        ]
+
+    def to_dot(self) -> str:
+        """Render the graph in Graphviz dot format (documentation aid)."""
+        lines = ["digraph router_graph {", "  rankdir=BT;"]
+        for name in sorted(self.routers):
+            lines.append(f'  "{name}" [shape=box];')
+        for a_router, a_service, b_router, b_service in self.edges():
+            lines.append(
+                f'  "{a_router}" -> "{b_router}" '
+                f'[taillabel="{a_service}", headlabel="{b_service}", dir=none];')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        return (f"<RouterGraph routers={len(self.routers)} "
+                f"links={len(self.links)} booted={self.booted}>")
+
+
+class RouterRegistry:
+    """Maps spec-file class names to Python router classes.
+
+    The spec loader looks implementation classes up here; subsystems
+    register their routers at import time via :func:`register_router`.
+    """
+
+    _classes: Dict[str, Type[Router]] = {}
+
+    @classmethod
+    def register(cls, klass: Type[Router],
+                 name: Optional[str] = None) -> Type[Router]:
+        cls._classes[name or klass.__name__] = klass
+        return klass
+
+    @classmethod
+    def lookup(cls, name: str) -> Type[Router]:
+        try:
+            return cls._classes[name]
+        except KeyError:
+            known = ", ".join(sorted(cls._classes)) or "(none)"
+            raise ConfigurationError(
+                f"no registered router class {name!r}; known: {known}"
+            ) from None
+
+    @classmethod
+    def known(cls) -> Dict[str, Type[Router]]:
+        return dict(cls._classes)
+
+
+def register_router(name: Optional[str] = None) -> Callable[[Type[Router]], Type[Router]]:
+    """Class decorator registering a router implementation by name."""
+
+    def decorate(klass: Type[Router]) -> Type[Router]:
+        return RouterRegistry.register(klass, name)
+
+    return decorate
+
+
+def build_graph(spec: Any,
+                overrides: Optional[Dict[str, Dict[str, Any]]] = None,
+                boot: bool = True) -> RouterGraph:
+    """Build a :class:`RouterGraph` from a spec file.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`SpecFile` or spec-language source text.
+    overrides:
+        Optional per-router constructor-parameter overrides, merged on top
+        of each block's ``params`` clause — how a test injects a simulated
+        device where the spec names a real one.
+    boot:
+        When true (default), validate and initialize the graph.
+    """
+    if isinstance(spec, str):
+        spec = parse_spec(spec)
+    if not isinstance(spec, SpecFile):
+        raise TypeError("spec must be SpecFile or spec-language text")
+    graph = RouterGraph()
+    for block in spec.routers:
+        klass = RouterRegistry.lookup(block.class_name)
+        params = dict(block.params)
+        if overrides and block.name in overrides:
+            params.update(overrides[block.name])
+        router = klass(block.name, **params)
+        if block.services:
+            _check_declared_services(router, block.services)
+        graph.add(router)
+    for conn in spec.connections:
+        graph.connect(f"{conn.a_router}.{conn.a_service}",
+                      f"{conn.b_router}.{conn.b_service}")
+    if boot:
+        graph.boot()
+    return graph
+
+
+def _check_declared_services(router: Router, declared: Iterable[str]) -> None:
+    """Verify a spec block's service list matches the implementation class.
+
+    The spec file is documentation as well as configuration; letting it
+    drift from the code would make it lie.
+    """
+    from .router import ServiceDecl
+
+    for decl_text in declared:
+        decl = ServiceDecl.parse(decl_text)
+        try:
+            service = router.service(decl.name)
+        except ConfigurationError:
+            raise ConfigurationError(
+                f"spec declares service {decl.name!r} that router class "
+                f"{type(router).__name__} does not implement") from None
+        if service.stype.name != decl.type_name:
+            raise ConfigurationError(
+                f"spec declares {router.name}.{decl.name}:{decl.type_name} "
+                f"but the implementation has type {service.stype.name}")

@@ -1,0 +1,238 @@
+"""Interfaces and service types.
+
+Section 3.1/3.2 of the paper:
+
+* every router *service* has a type, and a service type "consists of a pair
+  of interface types: the first element in this pair specifies what
+  interface the service provides whereas the second element specifies the
+  interface that the service requires";
+* "Scout supports simple single inheritance for interface types ... the
+  precise rule used to decide whether a pair of services can be connected
+  in a router graph is that the interfaces provided must be identical to or
+  more specific than the interfaces required";
+* the most primitive interface has just ``next``, ``back``, and ``stage``
+  pointers — all real interfaces add members such as ``deliver``.
+
+The Python rendering keeps this structure literally: interface types are
+classes (single inheritance enforced), interfaces are instances chained by
+``next``/``back``, and ``ServiceType`` holds the provides/requires pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Type
+
+from .errors import ServiceTypeError
+
+
+class Iface:
+    """The most primitive interface (paper's ``struct Iface``).
+
+    Attributes
+    ----------
+    next:
+        Next interface when traversing the path in this interface's
+        direction.
+    back:
+        Next interface in the *opposite* direction, used to "turn around"
+        the data flow inside a path (Section 2.4.1).
+    stage:
+        The stage this interface belongs to.
+    """
+
+    __slots__ = ("next", "back", "stage")
+
+    #: Modeled C footprint of the bare interface struct: three pointers on
+    #: a 64-bit Alpha.  Subclasses add their own member sizes; Section 3.6's
+    #: ~150-byte stages include the interfaces, which this accounting
+    #: reproduces.
+    MODELED_BYTES = 3 * 8
+
+    def __init__(self, stage: Optional[Any] = None):
+        self.next: Optional[Iface] = None
+        self.back: Optional[Iface] = None
+        self.stage = stage
+
+    @classmethod
+    def modeled_size(cls) -> int:
+        """Modeled struct size in bytes, summed over the inheritance chain."""
+        total = 0
+        for klass in cls.__mro__:
+            total += getattr(klass, "__dict__", {}).get("MODELED_BYTES", 0)
+        return total
+
+    def __repr__(self) -> str:
+        owner = getattr(self.stage, "router", None)
+        owner_name = getattr(owner, "name", "?")
+        return f"<{type(self).__name__} of {owner_name}>"
+
+
+class NetIface(Iface):
+    """Asynchronous message-exchange interface (filters and protocols).
+
+    ``deliver(iface, msg, direction)`` hands a message to the stage that
+    owns *iface*; the stage processes it and normally forwards to
+    ``iface.next`` (or ``iface.back`` when turning the message around).
+    """
+
+    __slots__ = ("deliver",)
+    MODELED_BYTES = 8  # one function pointer
+
+    def __init__(self, stage: Optional[Any] = None,
+                 deliver: Optional[Callable[..., Any]] = None):
+        super().__init__(stage)
+        self.deliver = deliver
+
+
+class RtNetIface(NetIface):
+    """A realtime-capable network interface.
+
+    Exists to exercise the single-inheritance compatibility rule: a service
+    that *provides* ``RtNetIface`` may be connected where ``NetIface`` is
+    *required*, but not the other way around.  Adds the deadline hint a
+    realtime consumer may attach to deliveries.
+    """
+
+    __slots__ = ("deadline_hint",)
+    MODELED_BYTES = 8
+
+    def __init__(self, stage: Optional[Any] = None,
+                 deliver: Optional[Callable[..., Any]] = None):
+        super().__init__(stage, deliver)
+        self.deadline_hint: Optional[float] = None
+
+
+class NsIface(Iface):
+    """Name-service interface (ARP's resolver in Figure 6).
+
+    ``resolve(iface, name)`` maps a protocol address to a lower-level
+    address (IP address -> Ethernet address).
+    """
+
+    __slots__ = ("resolve",)
+    MODELED_BYTES = 8
+
+    def __init__(self, stage: Optional[Any] = None,
+                 resolve: Optional[Callable[..., Any]] = None):
+        super().__init__(stage)
+        self.resolve = resolve
+
+
+class WinIface(Iface):
+    """Window-manager interface (mentioned in Section 3.2).
+
+    Provides frame presentation; the DISPLAY router implements it.
+    """
+
+    __slots__ = ("present", "query_refresh")
+    MODELED_BYTES = 16
+
+    def __init__(self, stage: Optional[Any] = None,
+                 present: Optional[Callable[..., Any]] = None,
+                 query_refresh: Optional[Callable[..., Any]] = None):
+        super().__init__(stage)
+        self.present = present
+        self.query_refresh = query_refresh
+
+
+class FsIface(Iface):
+    """File-system interface (mentioned in Section 3.2).
+
+    Enough for the Figure 3 web-server graph (HTTP -> VFS -> UFS ->
+    SCSI): ``deliver`` moves request/reply messages along the path (file
+    paths are message-driven like network paths), while ``read``/``write``
+    are the synchronous service-level entry points a non-path caller may
+    use.
+    """
+
+    __slots__ = ("deliver", "read", "write")
+    MODELED_BYTES = 24
+
+    def __init__(self, stage: Optional[Any] = None,
+                 deliver: Optional[Callable[..., Any]] = None,
+                 read: Optional[Callable[..., Any]] = None,
+                 write: Optional[Callable[..., Any]] = None):
+        super().__init__(stage)
+        self.deliver = deliver
+        self.read = read
+        self.write = write
+
+
+def iface_satisfies(provided: Type[Iface], required: Type[Iface]) -> bool:
+    """Return True when *provided* is identical to or more specific than
+    *required* (the paper's connection rule)."""
+    return issubclass(provided, required)
+
+
+class ServiceType:
+    """A named pair ``<provides, requires>`` of interface types.
+
+    The paper's example::
+
+        servicetype net = <NetIface, NetIface>;
+    """
+
+    __slots__ = ("name", "provides", "requires")
+
+    _registry: Dict[str, "ServiceType"] = {}
+
+    def __init__(self, name: str, provides: Type[Iface], requires: Type[Iface],
+                 register: bool = True):
+        if not (isinstance(provides, type) and issubclass(provides, Iface)):
+            raise ServiceTypeError(f"{name}: provides must be an Iface subclass")
+        if not (isinstance(requires, type) and issubclass(requires, Iface)):
+            raise ServiceTypeError(f"{name}: requires must be an Iface subclass")
+        self.name = name
+        self.provides = provides
+        self.requires = requires
+        if register:
+            ServiceType._registry[name] = self
+
+    @classmethod
+    def lookup(cls, name: str) -> "ServiceType":
+        """Return the registered service type called *name*.
+
+        Spec files reference service types by name; this is how the
+        configuration tool resolves them.
+        """
+        try:
+            return cls._registry[name]
+        except KeyError:
+            known = ", ".join(sorted(cls._registry)) or "(none)"
+            raise ServiceTypeError(
+                f"unknown service type {name!r}; known types: {known}"
+            ) from None
+
+    @classmethod
+    def registered(cls) -> Dict[str, "ServiceType"]:
+        """Return a copy of the registry (for introspection and tests)."""
+        return dict(cls._registry)
+
+    def compatible_with(self, other: "ServiceType") -> bool:
+        """Can a service of this type be connected to one of *other*'s type?
+
+        Both directions must satisfy the provided-vs-required rule: what I
+        provide must satisfy what the peer requires, and vice versa.
+        """
+        return (iface_satisfies(self.provides, other.requires)
+                and iface_satisfies(other.provides, self.requires))
+
+    def __repr__(self) -> str:
+        return (f"ServiceType({self.name!r}, provides={self.provides.__name__}, "
+                f"requires={self.requires.__name__})")
+
+
+#: The standard service types used by the demonstration graphs.  ``net`` is
+#: symmetric exactly as in the paper; ``rtnet`` provides the more specific
+#: realtime interface; ``nsProvider``/``nsClient`` model the asymmetric
+#: ARP resolver edge of Figure 6; ``win`` and ``fs`` cover DISPLAY and the
+#: Figure 3 storage stack; ``dev`` is the device-facing edge of drivers.
+NET = ServiceType("net", NetIface, NetIface)
+RTNET = ServiceType("rtnet", RtNetIface, NetIface)
+NS_PROVIDER = ServiceType("nsProvider", NsIface, Iface)
+NS_CLIENT = ServiceType("nsClient", Iface, NsIface)
+WIN = ServiceType("win", WinIface, Iface)
+WIN_CLIENT = ServiceType("winClient", Iface, WinIface)
+FS = ServiceType("fs", FsIface, Iface)
+FS_CLIENT = ServiceType("fsClient", Iface, FsIface)
+DEV = ServiceType("dev", NetIface, NetIface)

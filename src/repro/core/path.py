@@ -1,0 +1,226 @@
+"""The path object (the paper's ``struct Path``).
+
+A path bundles: the stage sequence with chained interfaces, the four
+decoupling queues, the attribute set recording the invariants it was
+created with (plus any state stages share anonymously), the ``wakeup``
+scheduling callback, and — because the whole point of paths is early,
+global knowledge — the per-path resource accounting that admission control
+and the EDF deadline computation consume.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+from .attributes import Attrs
+from .errors import PathStateError
+from .queues import BWD_IN, BWD_OUT, FWD_IN, FWD_OUT, PathQueue, QUEUE_ROLE_NAMES
+from .stage import BWD, FWD, Stage
+
+_pid_counter = itertools.count(1)
+
+#: Path lifecycle states.
+CREATING, ESTABLISHED, DELETED = "creating", "established", "deleted"
+
+
+class PathStats:
+    """Per-path resource accounting.
+
+    "As all memory allocation requests are performed on behalf of a given
+    path, it is a simple matter of accounting to decide whether a newly
+    created path is admissible" (Section 4.4) — and likewise for CPU:
+    "it is easy to compute the execution time spent per path".
+    """
+
+    __slots__ = ("cycles", "messages_fwd", "messages_bwd", "mem_bytes",
+                 "mem_high_watermark", "avg_proc_time_us", "_proc_samples")
+
+    def __init__(self) -> None:
+        self.cycles = 0.0
+        self.messages_fwd = 0
+        self.messages_bwd = 0
+        self.mem_bytes = 0
+        self.mem_high_watermark = 0
+        self.avg_proc_time_us = 0.0
+        self._proc_samples = 0
+
+    def charge_cycles(self, cycles: float) -> None:
+        self.cycles += cycles
+
+    def charge_memory(self, nbytes: int) -> None:
+        self.mem_bytes += nbytes
+        if self.mem_bytes > self.mem_high_watermark:
+            self.mem_high_watermark = self.mem_bytes
+
+    def release_memory(self, nbytes: int) -> None:
+        self.mem_bytes = max(0, self.mem_bytes - nbytes)
+
+    def record_proc_time(self, micros: float) -> None:
+        """Exponentially weighted average packet processing time — what the
+        Section 4.2 measurement transformation maintains."""
+        self._proc_samples += 1
+        if self._proc_samples == 1:
+            self.avg_proc_time_us = micros
+        else:
+            self.avg_proc_time_us += 0.125 * (micros - self.avg_proc_time_us)
+
+
+class Path:
+    """A live path through the router graph."""
+
+    #: Modeled C footprint (Section 3.6: "the path object itself is about
+    #: 300 bytes"): two stage pointers, pid, wakeup pointer, four queue
+    #: headers (~48 B each), and the attribute set header.
+    MODELED_BYTES = 2 * 8 + 8 + 8 + 4 * 48 + 64
+
+    def __init__(self, attrs: Optional[Attrs] = None,
+                 queue_lengths: Optional[Dict[int, Optional[int]]] = None):
+        self.pid = next(_pid_counter)
+        self.attrs = attrs if attrs is not None else Attrs()
+        self.stages: List[Stage] = []
+        self.state = CREATING
+        self.stats = PathStats()
+        #: Scheduling hook: "a path can set the wakeup function pointer to
+        #: request that a specific function gets executed when a thread t
+        #: is awakened to execute in a path p" (Section 3.2).
+        self.wakeup: Optional[Callable[["Path", Any], None]] = None
+        lengths = queue_lengths or {}
+        self.q: List[PathQueue] = [
+            PathQueue(maxlen=lengths.get(role, 32),
+                      name=f"path{self.pid}.{QUEUE_ROLE_NAMES[role]}")
+            for role in (FWD_IN, FWD_OUT, BWD_IN, BWD_OUT)
+        ]
+
+    # -- structural accessors ---------------------------------------------------
+
+    @property
+    def end(self) -> List[Optional[Stage]]:
+        """The paper's ``Stage end[2]``: the two extreme stages."""
+        if not self.stages:
+            return [None, None]
+        return [self.stages[0], self.stages[-1]]
+
+    def __len__(self) -> int:
+        """Path length = number of stages ("length" in Section 2.5)."""
+        return len(self.stages)
+
+    def stage_of(self, router_name: str) -> Stage:
+        """Return the (first) stage contributed by the named router."""
+        for stage in self.stages:
+            if stage.router.name == router_name:
+                return stage
+        raise KeyError(f"path {self.pid} has no stage from router {router_name!r}")
+
+    def routers(self) -> List[str]:
+        """Router names along the path, in creation (FWD) order."""
+        return [stage.router.name for stage in self.stages]
+
+    # -- queues ---------------------------------------------------------------------
+
+    def input_queue(self, direction: int) -> PathQueue:
+        """The queue messages wait on before traversing in *direction*."""
+        return self.q[FWD_IN] if direction == FWD else self.q[BWD_IN]
+
+    def output_queue(self, direction: int) -> PathQueue:
+        """The queue messages land on after traversing in *direction*."""
+        return self.q[FWD_OUT] if direction == FWD else self.q[BWD_OUT]
+
+    # -- construction (used by path_create) ---------------------------------------------
+
+    def _append_stage(self, stage: Stage) -> None:
+        if self.state != CREATING:
+            raise PathStateError(
+                f"cannot extend path {self.pid} in state {self.state}")
+        stage.path = self
+        self.stages.append(stage)
+
+    def _link_interfaces(self) -> None:
+        """Chain every stage's interfaces (phase 2 of path creation).
+
+        Forward chain: stage[k].end[FWD].next -> stage[k+1].end[FWD].
+        Backward chain: stage[k].end[BWD].next -> stage[k-1].end[BWD].
+        Back pointers connect each interface to "the next interface in the
+        opposite direction": turning a FWD-traveling message around at
+        stage k resumes BWD processing at stage k-1.
+        """
+        for index, stage in enumerate(self.stages):
+            fwd_iface, bwd_iface = stage.end[FWD], stage.end[BWD]
+            after = self.stages[index + 1] if index + 1 < len(self.stages) else None
+            before = self.stages[index - 1] if index > 0 else None
+            fwd_iface.next = after.end[FWD] if after else None
+            bwd_iface.next = before.end[BWD] if before else None
+            fwd_iface.back = before.end[BWD] if before else None
+            bwd_iface.back = after.end[FWD] if after else None
+
+    def _establish(self) -> None:
+        """Run every stage's establish hook (phase 3), then go live."""
+        for stage in self.stages:
+            stage.establish(self.attrs)
+        self.state = ESTABLISHED
+
+    # -- execution -----------------------------------------------------------------------
+
+    def entry_iface(self, direction: int):
+        """The first interface a message traverses in *direction*."""
+        if not self.stages:
+            raise PathStateError(f"path {self.pid} has no stages")
+        stage = self.stages[0] if direction == FWD else self.stages[-1]
+        return stage.end[direction]
+
+    def deliver(self, msg: Any, direction: int = FWD, **kwargs: Any) -> Any:
+        """Inject *msg* at the path's entry for *direction* and process it.
+
+        This is the straight-line evaluation of g(m, d): each stage's
+        deliver function processes and explicitly forwards.  Generalized
+        processing (absorb / turn around / spontaneous messages) happens
+        naturally because stages control forwarding themselves.
+        """
+        if self.state == DELETED:
+            raise PathStateError(f"path {self.pid} has been deleted")
+        if direction == FWD:
+            self.stats.messages_fwd += 1
+        else:
+            self.stats.messages_bwd += 1
+        iface = self.entry_iface(direction)
+        return iface.deliver(iface, msg, direction, **kwargs)
+
+    def inject_at(self, stage: Stage, msg: Any, direction: int,
+                  **kwargs: Any) -> Any:
+        """Inject *msg* mid-path at *stage* (Section 2.4.2's loosened rule:
+        "a message may now be injected at any one of these sub-functions").
+
+        A retransmission timer firing inside MFLOW uses this to create a
+        message spontaneously inside the path.
+        """
+        if stage.path is not self:
+            raise PathStateError(f"{stage!r} does not belong to path {self.pid}")
+        iface = stage.end[direction]
+        return iface.deliver(iface, msg, direction, **kwargs)
+
+    # -- lifecycle --------------------------------------------------------------------------
+
+    def delete(self) -> None:
+        """Destroy the path: run stage destroy hooks in reverse order and
+        drop queued work."""
+        if self.state == DELETED:
+            return
+        for stage in reversed(self.stages):
+            stage.destroy()
+        for queue in self.q:
+            queue.clear()
+        self.state = DELETED
+
+    # -- accounting ----------------------------------------------------------------------------
+
+    def modeled_size(self) -> int:
+        """Modeled byte footprint: path object plus all stages+interfaces.
+
+        Reproduces the Section 3.6 claim that a path costs ~300 bytes plus
+        ~150 bytes per stage.
+        """
+        return self.MODELED_BYTES + sum(s.modeled_size() for s in self.stages)
+
+    def __repr__(self) -> str:
+        chain = "->".join(self.routers()) or "(empty)"
+        return f"<Path #{self.pid} {chain} [{self.state}]>"

@@ -1,0 +1,304 @@
+"""Routers, services, and router-graph edges.
+
+Section 3.1 of the paper: "routers are the unit of program development in
+Scout.  A router implements some functionality such as the IP protocol, the
+MPEG decompression algorithm, or a driver for a particular SCSI adapter.  A
+router implements one or more services that can be used by other
+higher-level routers."
+
+At runtime a router is the paper's ``struct Router``: a name, an ``init``
+function, a ``createStage`` function, a ``demux`` function, and per-service
+link lists.  Python routers subclass :class:`Router` and override the three
+behaviour hooks; the service list is declared as class data (mirroring the
+``service = {name:type, ...}`` clause of a spec file) or injected by the
+spec-file loader.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .attributes import Attrs
+from .errors import ConfigurationError, ServiceTypeError
+from .interfaces import ServiceType
+from .message import Msg
+
+
+class ServiceDecl:
+    """A declared service: ``name:type`` plus the optional ``<`` marker.
+
+    The marker means "the routers connected to that service must be
+    initialized before this router can be initialized".
+    """
+
+    __slots__ = ("name", "type_name", "init_before")
+
+    def __init__(self, name: str, type_name: str, init_before: bool = False):
+        self.name = name
+        self.type_name = type_name
+        self.init_before = init_before
+
+    @classmethod
+    def parse(cls, text: str) -> "ServiceDecl":
+        """Parse a ``[<]name:type`` declaration string."""
+        text = text.strip()
+        init_before = text.startswith("<")
+        if init_before:
+            text = text[1:].strip()
+        name, sep, type_name = text.partition(":")
+        if not sep or not name.strip() or not type_name.strip():
+            raise ConfigurationError(f"malformed service declaration {text!r}")
+        return cls(name.strip(), type_name.strip(), init_before)
+
+    def __repr__(self) -> str:
+        marker = "<" if self.init_before else ""
+        return f"ServiceDecl({marker}{self.name}:{self.type_name})"
+
+
+class Service:
+    """A service instance on a live router."""
+
+    __slots__ = ("router", "index", "name", "stype", "init_before", "links")
+
+    def __init__(self, router: "Router", index: int, name: str,
+                 stype: ServiceType, init_before: bool = False):
+        self.router = router
+        self.index = index
+        self.name = name
+        self.stype = stype
+        self.init_before = init_before
+        self.links: List[RouterLink] = []
+
+    @property
+    def connection_count(self) -> int:
+        """How many times this service has been connected (the paper's
+        ``int c[]`` argument to ``rCreate``)."""
+        return len(self.links)
+
+    def sole_link(self) -> "RouterLink":
+        """Return the single link on this service.
+
+        Most protocol services are connected exactly once (IP's ``down``
+        to ETH's ``up``); a router that assumes so uses this accessor,
+        which fails loudly when the assumption is violated.
+        """
+        if len(self.links) != 1:
+            raise ConfigurationError(
+                f"service {self.router.name}.{self.name} has "
+                f"{len(self.links)} links, expected exactly 1"
+            )
+        return self.links[0]
+
+    def peers(self) -> List[Tuple["Router", "Service"]]:
+        """All (router, service) pairs connected to this service."""
+        return [link.peer_of(self) for link in self.links]
+
+    def __repr__(self) -> str:
+        return f"<Service {self.router.name}.{self.name}:{self.stype.name}>"
+
+
+class RouterLink:
+    """An edge in the router graph connecting two services."""
+
+    __slots__ = ("a", "b")
+
+    def __init__(self, a: Service, b: Service):
+        self.a = a
+        self.b = b
+
+    def peer_of(self, side: Union[Service, "Router"]) -> Tuple["Router", Service]:
+        """Return the (router, service) on the other end from *side*."""
+        if isinstance(side, Router):
+            if self.a.router is side:
+                return self.b.router, self.b
+            if self.b.router is side:
+                return self.a.router, self.a
+            raise ValueError(f"{side!r} is not an endpoint of {self!r}")
+        if side is self.a:
+            return self.b.router, self.b
+        if side is self.b:
+            return self.a.router, self.a
+        raise ValueError(f"{side!r} is not an endpoint of {self!r}")
+
+    def __repr__(self) -> str:
+        return (f"<RouterLink {self.a.router.name}.{self.a.name} <-> "
+                f"{self.b.router.name}.{self.b.name}>")
+
+
+class NextHop:
+    """The paper's ``RouterLink* n`` output of createStage.
+
+    A routing decision: path creation continues at ``router`` entering via
+    service ``service``.  ``attrs`` is the (possibly modified) attribute
+    set to pass along — e.g. TCP resets ``PA_PROTID`` before forwarding
+    creation to IP.
+    """
+
+    __slots__ = ("router", "service", "attrs")
+
+    def __init__(self, router: "Router", service: Service,
+                 attrs: Optional[Attrs] = None):
+        self.router = router
+        self.service = service
+        self.attrs = attrs
+
+    def __repr__(self) -> str:
+        return f"<NextHop {self.router.name}.{self.service.name}>"
+
+
+class DemuxResult:
+    """Outcome of one router's classification step (Section 3.5).
+
+    Exactly one of the three fields is meaningful:
+
+    * ``path``   — a unique classification was made;
+    * ``forward``— this router cannot decide; ask ``forward`` (a
+      (router, service) pair) to refine, after this router has optionally
+      consumed bytes it understands via ``consumed``;
+    * neither    — no appropriate path exists; discard the data.
+    """
+
+    __slots__ = ("path", "forward", "reason", "consumed")
+
+    def __init__(self, path: Any = None,
+                 forward: Optional[Tuple["Router", Service]] = None,
+                 reason: str = "", consumed: int = 0):
+        self.path = path
+        self.forward = forward
+        self.reason = reason
+        self.consumed = consumed
+
+    @classmethod
+    def found(cls, path: Any) -> "DemuxResult":
+        return cls(path=path)
+
+    @classmethod
+    def refine(cls, router: "Router", service: Service,
+               consumed: int = 0) -> "DemuxResult":
+        """Ask *router* (entered via *service*) to refine the decision.
+
+        ``consumed`` is how many header bytes this router understood; the
+        next classifier peeks past them.  Classification never *pops*
+        bytes — the message must stay intact for the path that processes
+        it.
+        """
+        return cls(forward=(router, service), consumed=consumed)
+
+    @classmethod
+    def drop(cls, reason: str) -> "DemuxResult":
+        return cls(reason=reason)
+
+
+class Router:
+    """Base class for all Scout routers.
+
+    Subclasses declare their services via the ``SERVICES`` class attribute
+    (a sequence of ``"[<]name:type"`` strings, exactly the spec-file
+    syntax) and override :meth:`init`, :meth:`create_stage`, and
+    :meth:`demux` as needed.
+    """
+
+    #: Spec-style service declarations, overridden by subclasses.
+    SERVICES: Sequence[str] = ()
+
+    #: Modeled C footprint of ``struct Router``: name pointer, three
+    #: function pointers, link-list head (Section 3.1's struct).
+    MODELED_BYTES = 5 * 8
+
+    def __init__(self, name: str):
+        self.name = name
+        self.services: List[Service] = []
+        self.service_by_name: Dict[str, Service] = {}
+        self.initialized = False
+        for index, decl_text in enumerate(self.SERVICES):
+            decl = ServiceDecl.parse(decl_text)
+            self._add_service(index, decl)
+
+    # -- construction -------------------------------------------------------
+
+    def _add_service(self, index: int, decl: ServiceDecl) -> Service:
+        stype = ServiceType.lookup(decl.type_name)
+        if decl.name in self.service_by_name:
+            raise ConfigurationError(
+                f"router {self.name}: duplicate service name {decl.name!r}"
+            )
+        service = Service(self, index, decl.name, stype, decl.init_before)
+        self.services.append(service)
+        self.service_by_name[decl.name] = service
+        return service
+
+    def service(self, name_or_index: Union[str, int]) -> Service:
+        """Look a service up by name or index."""
+        if isinstance(name_or_index, int):
+            try:
+                return self.services[name_or_index]
+            except IndexError:
+                raise ConfigurationError(
+                    f"router {self.name}: no service #{name_or_index}"
+                ) from None
+        try:
+            return self.service_by_name[name_or_index]
+        except KeyError:
+            raise ConfigurationError(
+                f"router {self.name}: no service named {name_or_index!r}"
+            ) from None
+
+    # -- behaviour hooks (the paper's function pointers) ----------------------
+
+    def init(self) -> None:
+        """One-time initialization, called in dependency partial order."""
+        self.initialized = True
+
+    def create_stage(self, enter_service: int, attrs: Attrs
+                     ) -> Tuple[Any, Optional[NextHop]]:
+        """Create a stage for a path entering through service
+        ``enter_service`` (``-1`` when this router starts the path).
+
+        Returns ``(stage, next_hop)``; ``next_hop is None`` terminates the
+        path here (leaf router, or invariants too weak to route further).
+        Subclasses must override; the base class refuses, which makes a
+        router that never carries paths explicit about it.
+        """
+        raise NotImplementedError(
+            f"router {self.name} ({type(self).__name__}) does not support paths"
+        )
+
+    def demux(self, msg: Msg, service: Optional[Service],
+              offset: int = 0) -> DemuxResult:
+        """Classify *msg* arriving at *service* (Section 3.5).
+
+        *offset* is how many header bytes lower routers already consumed;
+        classifiers peek relative to it and must not pop.  The default
+        rejects everything: a router that receives data it never
+        registered a classifier for drops it.
+        """
+        return DemuxResult.drop(f"{self.name} has no classifier")
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def modeled_size(self) -> int:
+        """Modeled byte footprint of the router object itself."""
+        return self.MODELED_BYTES + 16 * len(self.services)
+
+    def __repr__(self) -> str:
+        return f"<Router {self.name} ({type(self).__name__})>"
+
+
+def connect(sa: Service, sb: Service) -> RouterLink:
+    """Connect two services with a graph edge, enforcing the type rule.
+
+    "Two services can be connected by an edge only if they are mutually
+    compatible" — i.e. each side's provided interface must be identical to
+    or more specific than what the other requires.
+    """
+    if not sa.stype.compatible_with(sb.stype):
+        raise ServiceTypeError(
+            f"cannot connect {sa.router.name}.{sa.name}:{sa.stype.name} to "
+            f"{sb.router.name}.{sb.name}:{sb.stype.name}: "
+            f"{sa.stype.provides.__name__} vs required "
+            f"{sb.stype.requires.__name__} (or vice versa) incompatible"
+        )
+    link = RouterLink(sa, sb)
+    sa.links.append(link)
+    sb.links.append(link)
+    return link

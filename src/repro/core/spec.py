@@ -1,0 +1,326 @@
+"""The spec-file configuration language.
+
+Section 3.1 of the paper gives the syntax for describing a router::
+
+    router name {
+        files = {filename, ...};
+        service = {name:type, ...};
+    }
+
+A service name may be preceded by ``<`` to indicate that routers connected
+to that service must be initialized first.  The paper's configuration tool
+"translates a router graph into C source code that creates and initializes
+the runtime view of a router graph when the system boots"; our equivalent
+(:mod:`repro.core.graph`) builds the live Python objects instead.
+
+Because the paper only shows the per-router clause, we add the two minimal
+clauses a whole-graph description needs:
+
+* ``class = PythonClassName;`` inside a router block binds the block to an
+  implementation class registered with the graph builder (defaults to the
+  router's name);
+* ``params = {key: value, ...};`` passes constructor keyword arguments
+  (addresses, queue lengths);
+* a top-level ``connect A.svc B.svc;`` statement declares a graph edge.
+
+The parser is a conventional hand-written tokenizer + recursive-descent
+parser with precise line numbers in every error.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, NamedTuple, Optional
+
+from .errors import SpecSyntaxError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*|//[^\n]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>-?\d+(?:\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_-]*)
+  | (?P<punct>[{}();=:,<.])
+    """,
+    re.VERBOSE,
+)
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+
+
+def _tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SpecSyntaxError(f"unexpected character {text[pos]!r}", line)
+        kind = match.lastgroup
+        body = match.group()
+        if kind not in ("ws", "comment"):
+            tokens.append(Token(kind, body, line))
+        line += body.count("\n")
+        pos = match.end()
+    return tokens
+
+
+class RouterSpec:
+    """One ``router name { ... }`` block."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.class_name: str = name
+        self.files: List[str] = []
+        self.services: List[str] = []   # "[<]name:type" strings
+        self.params: Dict[str, Any] = {}
+
+    def __repr__(self) -> str:
+        return f"RouterSpec({self.name!r}, services={self.services})"
+
+
+class Connection(NamedTuple):
+    """A top-level ``connect A.svc B.svc;`` statement."""
+
+    a_router: str
+    a_service: str
+    b_router: str
+    b_service: str
+
+
+class SpecFile:
+    """A parsed spec file: router blocks plus connection statements."""
+
+    def __init__(self) -> None:
+        self.routers: List[RouterSpec] = []
+        self.connections: List[Connection] = []
+
+    def router(self, name: str) -> RouterSpec:
+        for spec in self.routers:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no router block named {name!r}")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self) -> Optional[Token]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self, expect_kind: Optional[str] = None,
+              expect_text: Optional[str] = None) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SpecSyntaxError("unexpected end of spec file")
+        if expect_kind is not None and token.kind != expect_kind:
+            raise SpecSyntaxError(
+                f"expected {expect_kind}, got {token.text!r}", token.line)
+        if expect_text is not None and token.text != expect_text:
+            raise SpecSyntaxError(
+                f"expected {expect_text!r}, got {token.text!r}", token.line)
+        self._pos += 1
+        return token
+
+    def _accept(self, text: str) -> bool:
+        token = self._peek()
+        if token is not None and token.text == text:
+            self._pos += 1
+            return True
+        return False
+
+    # -- grammar ----------------------------------------------------------------
+
+    def parse(self) -> SpecFile:
+        spec = SpecFile()
+        while self._peek() is not None:
+            token = self._next("ident")
+            if token.text == "router":
+                spec.routers.append(self._router_block())
+            elif token.text == "connect":
+                spec.connections.append(self._connect_stmt())
+            else:
+                raise SpecSyntaxError(
+                    f"expected 'router' or 'connect', got {token.text!r}",
+                    token.line)
+        return spec
+
+    def _router_block(self) -> RouterSpec:
+        name = self._next("ident").text
+        block = RouterSpec(name)
+        self._next(expect_text="{")
+        while not self._accept("}"):
+            clause = self._next("ident")
+            self._next(expect_text="=")
+            if clause.text == "files":
+                block.files = self._string_or_ident_set()
+            elif clause.text == "service":
+                block.services = self._service_set()
+            elif clause.text == "class":
+                block.class_name = self._next("ident").text
+            elif clause.text == "params":
+                block.params = self._param_set()
+            else:
+                raise SpecSyntaxError(
+                    f"unknown clause {clause.text!r} in router {name}",
+                    clause.line)
+            self._next(expect_text=";")
+        return block
+
+    def _string_or_ident_set(self) -> List[str]:
+        self._next(expect_text="{")
+        items: List[str] = []
+        while not self._accept("}"):
+            token = self._peek()
+            if token is None:
+                raise SpecSyntaxError("unterminated set")
+            if token.kind == "string":
+                items.append(self._unquote(self._next("string")))
+            else:
+                # filenames like mpeg.c arrive as ident '.' ident
+                items.append(self._dotted_name())
+            if not self._accept(","):
+                self._next(expect_text="}")
+                break
+        return items
+
+    def _dotted_name(self) -> str:
+        parts = [self._next("ident").text]
+        while self._accept("."):
+            parts.append(self._next("ident").text)
+        return ".".join(parts)
+
+    def _service_set(self) -> List[str]:
+        self._next(expect_text="{")
+        services: List[str] = []
+        while not self._accept("}"):
+            prefix = "<" if self._accept("<") else ""
+            name = self._next("ident").text
+            self._next(expect_text=":")
+            type_name = self._next("ident").text
+            services.append(f"{prefix}{name}:{type_name}")
+            if not self._accept(","):
+                self._next(expect_text="}")
+                break
+        return services
+
+    def _param_set(self) -> Dict[str, Any]:
+        self._next(expect_text="{")
+        params: Dict[str, Any] = {}
+        while not self._accept("}"):
+            key = self._next("ident").text
+            self._next(expect_text=":")
+            params[key] = self._value()
+            if not self._accept(","):
+                self._next(expect_text="}")
+                break
+        return params
+
+    def _value(self) -> Any:
+        token = self._peek()
+        if token is None:
+            raise SpecSyntaxError("unexpected end of spec file in value")
+        if token.kind == "string":
+            return self._unquote(self._next("string"))
+        if token.kind == "number":
+            text = self._next("number").text
+            return float(text) if "." in text else int(text)
+        if token.kind == "ident":
+            word = self._next("ident").text
+            lowered = word.lower()
+            if lowered == "true":
+                return True
+            if lowered == "false":
+                return False
+            return word
+        raise SpecSyntaxError(f"bad value {token.text!r}", token.line)
+
+    def _connect_stmt(self) -> Connection:
+        a_router = self._next("ident").text
+        self._next(expect_text=".")
+        a_service = self._next("ident").text
+        b_router = self._next("ident").text
+        self._next(expect_text=".")
+        b_service = self._next("ident").text
+        self._next(expect_text=";")
+        return Connection(a_router, a_service, b_router, b_service)
+
+    _ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", '"': '"'}
+
+    @classmethod
+    def _unquote(cls, token: Token) -> str:
+        """Resolve backslash escapes without the ``unicode_escape`` trap
+        (which would mojibake any non-ASCII character)."""
+        body = token.text[1:-1]
+        out = []
+        index = 0
+        while index < len(body):
+            char = body[index]
+            if char == "\\" and index + 1 < len(body):
+                out.append(cls._ESCAPES.get(body[index + 1],
+                                            body[index + 1]))
+                index += 2
+            else:
+                out.append(char)
+                index += 1
+        return "".join(out)
+
+
+def parse_spec(text: str) -> SpecFile:
+    """Parse spec-language *text* into a :class:`SpecFile`."""
+    return _Parser(_tokenize(text)).parse()
+
+
+def format_spec(spec: SpecFile) -> str:
+    """Render *spec* back to spec-language text (round-trip support)."""
+    lines: List[str] = []
+    for block in spec.routers:
+        lines.append(f"router {block.name} {{")
+        if block.class_name != block.name:
+            lines.append(f"    class = {block.class_name};")
+        if block.files:
+            rendered_files = ", ".join(_render_filename(f) for f in block.files)
+            lines.append("    files = {" + rendered_files + "};")
+        if block.services:
+            lines.append("    service = {" + ", ".join(block.services) + "};")
+        if block.params:
+            rendered = ", ".join(
+                f"{key}: {_render_value(value)}"
+                for key, value in block.params.items())
+            lines.append("    params = {" + rendered + "};")
+        lines.append("}")
+    for conn in spec.connections:
+        lines.append(
+            f"connect {conn.a_router}.{conn.a_service} "
+            f"{conn.b_router}.{conn.b_service};")
+    return "\n".join(lines) + "\n"
+
+
+_BARE_FILENAME_RE = re.compile(
+    r"^[A-Za-z_][A-Za-z0-9_-]*(\.[A-Za-z_][A-Za-z0-9_-]*)*$")
+
+
+def _render_filename(name: str) -> str:
+    """Emit a filename bare when the tokenizer can re-read it, else quoted."""
+    if _BARE_FILENAME_RE.match(name):
+        return name
+    return _render_value(name)
+
+
+def _render_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return '"' + str(value).replace("\\", "\\\\").replace('"', '\\"') + '"'

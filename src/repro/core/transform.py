@@ -1,0 +1,145 @@
+"""Path transformation rules.
+
+Section 2.2: after router-specific knowledge builds a maximum-length path,
+"this maximum length path is transformed (optimized) using global
+transformation rules, each of which is defined by a <guard,
+transformation> pair.  If the guard evaluates to TRUE, the corresponding
+transformation is applied, resulting in a new path.  This process repeats
+until all guards evaluate to FALSE."
+
+Semantically transformations are no-ops; they improve performance or
+resource behaviour by e.g. overwriting interface deliver pointers with
+fused code (the UDP-checksum-into-MPEG-read example of Section 4.1) or
+installing measurement probes (the packet-processing-time probe of
+Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from .path import Path
+
+Guard = Callable[[Path], bool]
+Transformation = Callable[[Path], None]
+
+
+class TransformRule:
+    """A named ⟨guard, transformation⟩ pair.
+
+    A rule whose transformation does not itself falsify its guard would
+    never quiesce; rules therefore record their application in the path's
+    attribute set under ``applied_key`` and the effective guard includes
+    "not yet applied".  Rules that genuinely re-fire (none in the paper)
+    can pass ``once=False``.
+    """
+
+    def __init__(self, name: str, guard: Guard, transformation: Transformation,
+                 once: bool = True):
+        self.name = name
+        self._guard = guard
+        self._transformation = transformation
+        self.once = once
+        self.applied_key = f"_rule_applied:{name}"
+
+    def guard(self, path: Path) -> bool:
+        if self.once and path.attrs.get(self.applied_key):
+            return False
+        return self._guard(path)
+
+    def apply(self, path: Path) -> None:
+        self._transformation(path)
+        if self.once:
+            path.attrs[self.applied_key] = True
+
+    def __repr__(self) -> str:
+        return f"<TransformRule {self.name}>"
+
+
+class TransformRegistry:
+    """An ordered collection of transformation rules.
+
+    Rule order matters only for determinism; the fixpoint loop applies the
+    first rule whose guard holds and rescans, exactly the paper's "repeat
+    until all guards evaluate to FALSE".
+    """
+
+    #: Hard cap on rule applications per path, so a badly written rule set
+    #: fails loudly instead of hanging path creation.
+    MAX_APPLICATIONS = 1000
+
+    def __init__(self, rules: Optional[Sequence[TransformRule]] = None):
+        self.rules: List[TransformRule] = list(rules or [])
+
+    def add(self, rule: TransformRule) -> TransformRule:
+        self.rules.append(rule)
+        return rule
+
+    def rule(self, name: str,
+             guard: Guard, once: bool = True
+             ) -> Callable[[Transformation], TransformRule]:
+        """Decorator sugar: ``@registry.rule("fuse-udp-mpeg", guard=...)``."""
+
+        def decorate(transformation: Transformation) -> TransformRule:
+            return self.add(TransformRule(name, guard, transformation, once))
+
+        return decorate
+
+    def apply_all(self, path: Path) -> List[str]:
+        """Run the fixpoint; returns the names of rules applied, in order."""
+        applied: List[str] = []
+        for _ in range(self.MAX_APPLICATIONS):
+            for rule in self.rules:
+                if rule.guard(path):
+                    rule.apply(path)
+                    applied.append(rule.name)
+                    break
+            else:
+                return applied
+        raise RuntimeError(
+            f"transformation rules did not quiesce after "
+            f"{self.MAX_APPLICATIONS} applications: {applied[-5:]}")
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __repr__(self) -> str:
+        return f"<TransformRegistry {[r.name for r in self.rules]}>"
+
+
+def traverses(*router_names: str) -> Guard:
+    """Guard builder: true when the path crosses *router_names* consecutively.
+
+    The common pattern for code-fusion rules ("a path-transformation rule
+    that matches for MPEG being run directly on top of UDP").
+    """
+    wanted = list(router_names)
+
+    def guard(path: Path) -> bool:
+        names = path.routers()
+        span = len(wanted)
+        return any(names[i:i + span] == wanted
+                   for i in range(len(names) - span + 1))
+
+    return guard
+
+
+def has_attr(name: str, value: object = None) -> Guard:
+    """Guard builder: true when the path has attribute *name* (optionally
+    with a specific *value*)."""
+
+    def guard(path: Path) -> bool:
+        if name not in path.attrs:
+            return False
+        return value is None or path.attrs[name] == value
+
+    return guard
+
+
+def all_of(*guards: Guard) -> Guard:
+    """Conjunction of guards."""
+
+    def guard(path: Path) -> bool:
+        return all(g(path) for g in guards)
+
+    return guard

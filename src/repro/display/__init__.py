@@ -1,0 +1,8 @@
+"""Display subsystem: framebuffer with vsync, DISPLAY router."""
+
+from .framebuffer import Framebuffer, VideoSink, VSYNC_HANDLER_US
+from .router import PA_DEADLINE_MODE, PA_PREBUFFER, DisplayRouter, DisplayStage
+
+__all__ = ["Framebuffer", "VideoSink", "VSYNC_HANDLER_US",
+           "DisplayRouter", "DisplayStage",
+           "PA_DEADLINE_MODE", "PA_PREBUFFER"]

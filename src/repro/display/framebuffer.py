@@ -1,0 +1,165 @@
+"""The framebuffer: vsync-driven draining of video output queues.
+
+"In DISPLAY, the queue is drained in response to the vertical
+synchronization impulse of the video display.  Output to the display is
+synchronized to this impulse because there is no point in updating the
+display at a higher frequency."
+
+Two drain modes, matching the paper's two uses:
+
+* **max-rate** (Table 1): the experiment measures the *maximum decoding
+  rate*, so presentation must not throttle the pipeline — every queued
+  frame is retired at each vsync and counted;
+* **realtime** (Section 4.3): each sink has a presentation schedule
+  (frame *k* is due at ``start + k/fps``); a presentation instant that
+  passes with an empty queue is a **missed deadline** — the quantity the
+  EDF-vs-RR experiment reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .. import params
+from ..core.queues import PathQueue
+
+#: CPU cost of the vsync interrupt handler itself.
+VSYNC_HANDLER_US = 3.0
+
+
+class VideoSink:
+    """Per-path presentation bookkeeping."""
+
+    def __init__(self, name: str, queue: PathQueue, fps: float,
+                 started_at: float, prebuffer: int = 0):
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        self.name = name
+        self.queue = queue
+        self.fps = fps
+        self.started_at = started_at
+        #: Frames that must be queued before the presentation schedule
+        #: starts (realtime mode only) — players buffer before playing.
+        self.prebuffer = prebuffer
+        #: Total frames the stream will deliver (when known): presentation
+        #: instants past this are not deadlines, so a finished clip stops
+        #: accruing misses.  ``None`` = open-ended stream.
+        self.expected_frames: Optional[int] = None
+        self.next_index = 0          # next presentation instant index
+        self.presented = 0
+        self.missed_deadlines = 0
+        self.first_presented_at: Optional[float] = None
+        self.last_presented_at: Optional[float] = None
+
+    def present_time(self, index: int) -> float:
+        """Absolute due time of presentation instant *index*."""
+        return self.started_at + index * 1_000_000.0 / self.fps
+
+    def next_frame_deadline(self) -> float:
+        """Display time of the next frame to be *put in* the output queue
+        — the paper's EDF deadline when the output queue is the
+        bottleneck: instant index advances past everything already
+        queued."""
+        return self.present_time(self.next_index + len(self.queue))
+
+    def achieved_fps(self) -> float:
+        """Presented frames over the active presentation span."""
+        if self.presented < 2 or self.first_presented_at is None \
+                or self.last_presented_at is None \
+                or self.last_presented_at <= self.first_presented_at:
+            return 0.0
+        span = self.last_presented_at - self.first_presented_at
+        return (self.presented - 1) * 1_000_000.0 / span
+
+
+class Framebuffer:
+    """The display device.  Runs a periodic vsync interrupt on the CPU."""
+
+    def __init__(self, engine, cpu, vsync_hz: float = params.VSYNC_HZ,
+                 rate_limited: bool = True):
+        self.engine = engine
+        self.cpu = cpu
+        self.vsync_hz = vsync_hz
+        self.rate_limited = rate_limited
+        self.period_us = 1_000_000.0 / vsync_hz
+        self.sinks: Dict[str, VideoSink] = {}
+        self.vsyncs = 0
+        self._running = False
+
+    # -- sink management --------------------------------------------------------
+
+    def add_sink(self, name: str, queue: PathQueue, fps: float,
+                 prebuffer: int = 0) -> VideoSink:
+        if name in self.sinks:
+            raise ValueError(f"duplicate sink {name!r}")
+        sink = VideoSink(name, queue, fps, started_at=self.engine.now,
+                         prebuffer=prebuffer)
+        self.sinks[name] = sink
+        return sink
+
+    def remove_sink(self, name: str) -> None:
+        self.sinks.pop(name, None)
+
+    # -- vsync loop ----------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.engine.schedule(self.period_us, self._vsync)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _vsync(self) -> None:
+        if not self._running:
+            return
+        self.vsyncs += 1
+        self.cpu.interrupt(VSYNC_HANDLER_US, self._drain)
+        self.engine.schedule(self.period_us, self._vsync)
+
+    def _drain(self) -> None:
+        now = self.engine.now
+        for sink in self.sinks.values():
+            if self.rate_limited:
+                self._drain_realtime(sink, now)
+            else:
+                self._drain_max_rate(sink, now)
+
+    def _drain_max_rate(self, sink: VideoSink, now: float) -> None:
+        while not sink.queue.is_empty():
+            sink.queue.dequeue()
+            self._count_presentation(sink, now)
+
+    def _drain_realtime(self, sink: VideoSink, now: float) -> None:
+        # The schedule starts once the prebuffer fills (or with the first
+        # frame when no prebuffer is set): instants before the stream
+        # produces anything are not deadlines yet.
+        if sink.presented == 0 and sink.missed_deadlines == 0 \
+                and len(sink.queue) <= max(0, sink.prebuffer - 1):
+            sink.started_at = now
+            return
+        # Retire every presentation instant that has come due: show a
+        # frame if one is queued, otherwise record a missed deadline.
+        while sink.present_time(sink.next_index) <= now + 1e-9:
+            if sink.expected_frames is not None \
+                    and sink.next_index >= sink.expected_frames:
+                break  # the clip is over: no further deadlines exist
+            if sink.queue.is_empty():
+                sink.missed_deadlines += 1
+            else:
+                sink.queue.dequeue()
+                self._count_presentation(sink, now)
+            sink.next_index += 1
+
+    @staticmethod
+    def _count_presentation(sink: VideoSink, now: float) -> None:
+        sink.presented += 1
+        if sink.first_presented_at is None:
+            sink.first_presented_at = now
+        sink.last_presented_at = now
+
+    def __repr__(self) -> str:
+        mode = "realtime" if self.rate_limited else "max-rate"
+        return (f"<Framebuffer {self.vsync_hz:.0f}Hz {mode} "
+                f"sinks={len(self.sinks)}>")

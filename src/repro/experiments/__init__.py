@@ -1,0 +1,59 @@
+"""Experiment harnesses: one module per paper table / in-text experiment.
+
+See DESIGN.md section 4 for the experiment index.  Every harness is
+invoked both from ``benchmarks/`` (which print the regenerated tables)
+and importable for programmatic use.
+"""
+
+from .ablation import (
+    AlfResult,
+    SegregationPoint,
+    format_alf,
+    format_segregation,
+    measure_alf,
+    measure_segregation,
+    run_alf_ablation,
+    run_segregation_sweep,
+)
+from .admission_exp import (
+    AdmissionDecision,
+    ClipSample,
+    admission_scenario,
+    fit_model,
+    format_admission,
+    measure_clip_cost,
+)
+from .early_discard import (
+    EarlyDiscardResult,
+    format_early_discard,
+    run_early_discard,
+)
+from .edf_rr import EdfRrResult, format_edf_rr, run_edf_rr, run_queue_sweep
+from .micro import Fig7Stack, MicroReport, format_micro, measure_structure
+from .queue_sizing import (
+    QueueSizingPoint,
+    format_queue_sizing,
+    measure_point,
+    run_queue_sizing,
+)
+from .table1 import PAPER_TABLE1, Table1Row, format_table1, measure_max_rate, run_table1
+from .table2 import PAPER_TABLE2, Table2Row, format_table2, measure_under_load, run_table2
+from .testbed import Testbed, frames_budget
+
+__all__ = [
+    "Testbed", "frames_budget",
+    "run_table1", "format_table1", "measure_max_rate", "Table1Row",
+    "PAPER_TABLE1",
+    "run_table2", "format_table2", "measure_under_load", "Table2Row",
+    "PAPER_TABLE2",
+    "run_edf_rr", "run_queue_sweep", "format_edf_rr", "EdfRrResult",
+    "Fig7Stack", "measure_structure", "format_micro", "MicroReport",
+    "run_queue_sizing", "measure_point", "format_queue_sizing",
+    "QueueSizingPoint",
+    "fit_model", "measure_clip_cost", "admission_scenario",
+    "format_admission", "ClipSample", "AdmissionDecision",
+    "run_early_discard", "format_early_discard", "EarlyDiscardResult",
+    "run_segregation_sweep", "measure_segregation", "format_segregation",
+    "SegregationPoint",
+    "run_alf_ablation", "measure_alf", "format_alf", "AlfResult",
+]

@@ -1,0 +1,103 @@
+"""Regenerate every paper table from the command line.
+
+Usage::
+
+    python -m repro.experiments              # capped clip lengths
+    REPRO_FULL=1 python -m repro.experiments # the paper's full clips
+    python -m repro.experiments table1 e3    # a subset
+
+Experiment ids: table1, table2, e3 (EDF vs RR), e4 (micro), e5 (queue
+sizing), e6 (admission), e7 (early discard), e8 (ablations).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import (
+    admission_scenario,
+    fit_model,
+    format_admission,
+    format_alf,
+    format_early_discard,
+    format_edf_rr,
+    format_micro,
+    format_queue_sizing,
+    format_segregation,
+    format_table1,
+    format_table2,
+    measure_structure,
+    run_alf_ablation,
+    run_early_discard,
+    run_queue_sizing,
+    run_queue_sweep,
+    run_segregation_sweep,
+    run_table1,
+    run_table2,
+)
+
+
+def _table1() -> str:
+    return format_table1(run_table1())
+
+
+def _table2() -> str:
+    return format_table2(run_table2())
+
+
+def _e3() -> str:
+    return format_edf_rr(run_queue_sweep(queue_sizes=[16, 128]))
+
+
+def _e4() -> str:
+    return format_micro(measure_structure())
+
+
+def _e5() -> str:
+    return format_queue_sizing(run_queue_sizing(
+        latencies_us=[100.0, 10_000.0], inq_lens=[1, 2, 4, 8, 16, 32]))
+
+
+def _e6() -> str:
+    model, samples = fit_model()
+    return format_admission(samples, model.correlation(),
+                            admission_scenario(model))
+
+
+def _e7() -> str:
+    return format_early_discard(run_early_discard())
+
+
+def _e8() -> str:
+    return (format_segregation(run_segregation_sweep(
+        rates_pps=[0, 2000, 4000])) + "\n\n"
+        + format_alf(run_alf_ablation()))
+
+
+EXPERIMENTS = {
+    "table1": _table1,
+    "table2": _table2,
+    "e3": _e3,
+    "e4": _e4,
+    "e5": _e5,
+    "e6": _e6,
+    "e7": _e7,
+    "e8": _e8,
+}
+
+
+def main(argv) -> int:
+    wanted = argv[1:] or list(EXPERIMENTS)
+    unknown = [name for name in wanted if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; "
+              f"choose from {sorted(EXPERIMENTS)}")
+        return 2
+    for name in wanted:
+        print(f"\n=== {name} " + "=" * (66 - len(name)))
+        print(EXPERIMENTS[name]())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

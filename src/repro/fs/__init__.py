@@ -1,0 +1,20 @@
+"""Storage substrate: SCSI/UFS/VFS for the Figure 3 web-server graph."""
+
+from .blockdev import RamDisk
+from .memfs import MEMFS_PROC_US, MemFsRouter, MemFsStage
+from .messages import BlockReply, BlockRequest, FsReply, FsRequest
+from .scsi import SCSI_OP_US, ScsiRouter, ScsiStage
+from .ufs import DIRECT_BLOCKS, FsError, Inode, Ufs
+from .ufs_router import PA_FILE, PA_FILE_SEQUENTIAL, UFS_PROC_US, UfsRouter, UfsStage
+from .vfs import VFS_PROC_US, VfsRouter, VfsStage
+
+__all__ = [
+    "RamDisk",
+    "FsRequest", "FsReply", "BlockRequest", "BlockReply",
+    "ScsiRouter", "ScsiStage", "SCSI_OP_US",
+    "Ufs", "Inode", "FsError", "DIRECT_BLOCKS",
+    "UfsRouter", "UfsStage", "UFS_PROC_US",
+    "PA_FILE", "PA_FILE_SEQUENTIAL",
+    "VfsRouter", "VfsStage", "VFS_PROC_US",
+    "MemFsRouter", "MemFsStage", "MEMFS_PROC_US",
+]

@@ -1,0 +1,103 @@
+"""MEMFS: a RAM filesystem router.
+
+A second, independent implementation of the filesystem service type —
+the point of typed services is that "two services can be connected by an
+edge only if they are mutually compatible", so anything providing the
+``fs`` interface can sit under VFS.  MEMFS keeps files in a dict (no
+blocks, no disk) which makes it the natural home for ``/tmp``-style
+mounts and a useful contrast to UFS in the multi-mount tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.attributes import Attrs
+from ..core.errors import PathCreationError
+from ..core.graph import register_router
+from ..core.interfaces import FsIface
+from ..core.router import DemuxResult, NextHop, Router, Service
+from ..core.stage import BWD, FWD, Stage
+from ..net.common import charge, forward_or_deposit
+from .messages import FsReply, FsRequest
+
+#: Per-request cost: cheaper than UFS (no block translation, no disk).
+MEMFS_PROC_US = 2.0
+
+
+class MemFsStage(Stage):
+    """MEMFS's contribution to a file path (always the path's far end)."""
+
+    def __init__(self, router: "MemFsRouter", enter_service,
+                 filename: str):
+        super().__init__(router, enter_service, None,
+                         iface_factory=FsIface)
+        self.filename = filename
+        self.set_deliver(FWD, self._request)
+        self.set_deliver(BWD, self._nothing_below)
+
+    def establish(self, attrs: Attrs) -> None:
+        router: MemFsRouter = self.router  # type: ignore[assignment]
+        if self.filename not in router.files:
+            raise PathCreationError(
+                f"{router.name}: no such file {self.filename!r}")
+
+    def _request(self, iface, request, direction: int, **kwargs):
+        router: MemFsRouter = self.router  # type: ignore[assignment]
+        if not isinstance(request, FsRequest):
+            return None
+        charge(request, MEMFS_PROC_US)
+        data = router.files.get(self.filename)
+        if data is None:
+            reply = FsReply(request, error=f"{self.filename!r} was removed")
+        elif request.op == FsRequest.STAT:
+            reply = FsReply(request, size=len(data))
+        elif request.op == FsRequest.READ:
+            end = None if request.length is None \
+                else request.offset + request.length
+            reply = FsReply(request, data=data[request.offset:end],
+                            size=len(data))
+        elif request.op == FsRequest.WRITE:
+            router.files[self.filename] = (
+                data[:request.offset] + request.data
+                + data[request.offset + len(request.data):])
+            reply = FsReply(request, size=len(router.files[self.filename]))
+        else:
+            reply = FsReply(request, error=f"unknown op {request.op!r}")
+        router.requests += 1
+        return forward_or_deposit(self.end[BWD], reply, BWD)
+
+    def _nothing_below(self, iface, msg, direction: int, **kwargs):
+        return None
+
+
+@register_router("MemFsRouter")
+class MemFsRouter(Router):
+    """A dict-backed filesystem providing the ``fs`` service."""
+
+    SERVICES = ("up:fs",)
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.files: Dict[str, bytes] = {}
+        self.requests = 0
+
+    def write_file(self, name: str, data: bytes) -> None:
+        self.files[name] = bytes(data)
+
+    def read_file(self, name: str) -> bytes:
+        return self.files[name]
+
+    def create_stage(self, enter_service: int, attrs: Attrs
+                     ) -> Tuple[Optional[Stage], Optional[NextHop]]:
+        from .ufs_router import PA_FILE
+
+        enter = self.services[enter_service] if enter_service >= 0 else None
+        filename = attrs.get(PA_FILE)
+        if not filename:
+            return None, None
+        return MemFsStage(self, enter, filename), None  # a leaf
+
+    def demux(self, msg, service: Optional[Service],
+              offset: int = 0) -> DemuxResult:
+        return DemuxResult.drop(f"{self.name}: file paths are explicit")

@@ -1,0 +1,97 @@
+"""Messages that flow along file paths.
+
+File paths carry typed request/reply objects rather than wire bytes: the
+paper's path model is agnostic to what a "message" is (the MPEG path
+forwards decoded frames between MPEG and DISPLAY the same way).  Requests
+travel FWD (toward the disk), replies are turned around and travel BWD.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class FsRequest:
+    """A file-level operation entering at the top of a file path."""
+
+    __slots__ = ("op", "offset", "length", "data", "meta")
+
+    READ = "read"
+    WRITE = "write"
+    STAT = "stat"
+
+    def __init__(self, op: str, offset: int = 0,
+                 length: Optional[int] = None, data: bytes = b""):
+        if op not in (self.READ, self.WRITE, self.STAT):
+            raise ValueError(f"unknown fs op {op!r}")
+        self.op = op
+        self.offset = offset
+        self.length = length
+        self.data = data
+        self.meta: Dict[str, Any] = {}
+
+    def __repr__(self) -> str:
+        return f"<FsRequest {self.op} off={self.offset} len={self.length}>"
+
+
+class FsReply:
+    """The answer to an FsRequest, traveling back up the path."""
+
+    __slots__ = ("request", "data", "size", "error", "meta")
+
+    def __init__(self, request: FsRequest, data: bytes = b"",
+                 size: int = 0, error: Optional[str] = None):
+        self.request = request
+        self.data = data
+        self.size = size
+        self.error = error
+        self.meta: Dict[str, Any] = {}
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __repr__(self) -> str:
+        state = "ok" if self.ok else f"error={self.error!r}"
+        return f"<FsReply {self.request.op} {state} {len(self.data)}B>"
+
+
+class BlockRequest:
+    """A sector-level operation UFS forwards down to SCSI."""
+
+    __slots__ = ("op", "sector", "data", "tag", "meta")
+
+    READ = "read"
+    WRITE = "write"
+
+    def __init__(self, op: str, sector: int, data: bytes = b"",
+                 tag: Any = None):
+        self.op = op
+        self.sector = sector
+        self.data = data
+        self.tag = tag  # correlates the reply with the issuing request
+        self.meta: Dict[str, Any] = {}
+
+    def __repr__(self) -> str:
+        return f"<BlockRequest {self.op} sector={self.sector}>"
+
+
+class BlockReply:
+    """SCSI's answer to a BlockRequest."""
+
+    __slots__ = ("request", "data", "error", "meta")
+
+    def __init__(self, request: BlockRequest, data: bytes = b"",
+                 error: Optional[str] = None):
+        self.request = request
+        self.data = data
+        self.error = error
+        self.meta: Dict[str, Any] = {}
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __repr__(self) -> str:
+        return f"<BlockReply sector={self.request.sector} " \
+               f"{'ok' if self.ok else self.error}>"

@@ -1,0 +1,72 @@
+"""The SCSI router: the disk driver at the bottom of Figure 3."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..core.attributes import Attrs
+from ..core.graph import register_router
+from ..core.interfaces import FsIface
+from ..core.router import DemuxResult, NextHop, Router, Service
+from ..core.stage import BWD, FWD, Stage, turn_around
+from .blockdev import RamDisk
+from .messages import BlockReply, BlockRequest
+
+#: DMA setup + command processing per block operation.
+SCSI_OP_US = 40.0
+
+
+class ScsiStage(Stage):
+    """SCSI's contribution to a file path (the disk end)."""
+
+    def __init__(self, router: "ScsiRouter", enter_service):
+        super().__init__(router, enter_service, None,
+                         iface_factory=FsIface)
+        self.set_deliver(FWD, self._execute)
+        self.set_deliver(BWD, self._unused_bwd)
+
+    def _execute(self, iface, request, direction: int, **kwargs):
+        router: ScsiRouter = self.router  # type: ignore[assignment]
+        if not isinstance(request, BlockRequest):
+            return None  # only block requests make sense at a disk
+        reply = router.execute(request)
+        reply.meta["cost_us"] = request.meta.get("cost_us", 0.0) + SCSI_OP_US
+        return turn_around(iface, reply, direction, **kwargs)
+
+    def _unused_bwd(self, iface, msg, direction: int, **kwargs):
+        return None  # nothing ever enters a disk from below
+
+
+@register_router("ScsiRouter")
+class ScsiRouter(Router):
+    """Driver for one (RAM-backed) disk."""
+
+    SERVICES = ("ops:fs",)
+
+    def __init__(self, name: str, sectors: int = 4096,
+                 sector_size: int = 512):
+        super().__init__(name)
+        self.disk = RamDisk(sectors=sectors, sector_size=sector_size)
+        self.ops_executed = 0
+
+    def execute(self, request: BlockRequest) -> BlockReply:
+        self.ops_executed += 1
+        try:
+            if request.op == BlockRequest.READ:
+                return BlockReply(request,
+                                  data=self.disk.read_sector(request.sector))
+            if request.op == BlockRequest.WRITE:
+                self.disk.write_sector(request.sector, request.data)
+                return BlockReply(request)
+            return BlockReply(request, error=f"unknown op {request.op!r}")
+        except (IndexError, ValueError) as exc:
+            return BlockReply(request, error=str(exc))
+
+    def create_stage(self, enter_service: int, attrs: Attrs
+                     ) -> Tuple[Stage, Optional[NextHop]]:
+        enter = self.services[enter_service] if enter_service >= 0 else None
+        return ScsiStage(self, enter), None  # always a leaf
+
+    def demux(self, msg, service: Optional[Service],
+              offset: int = 0) -> DemuxResult:
+        return DemuxResult.drop(f"{self.name}: disks do not classify")

@@ -1,0 +1,208 @@
+"""The UFS router: the filesystem as a path stage.
+
+The interesting Scout property demonstrated here is invariant
+exploitation at creation time: a file path is created with ``PA_FILE``
+naming the file, so the UFS stage resolves the inode *once*, during
+establish — the per-request fast path then goes straight from file
+offsets to sector numbers with no name lookups.  (This is the file-system
+analogue of IP freezing its route.)  A ``PA_FILE_SEQUENTIAL`` invariant
+additionally tells the stage the file will be read in order — the paper's
+example of global knowledge ("the fact that data is accessed sequentially
+may mean that it is best to avoid caching in the file system") — which
+the stage honours by skipping its block cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.attributes import Attrs
+from ..core.errors import PathCreationError
+from ..core.graph import register_router
+from ..core.interfaces import FsIface
+from ..core.router import DemuxResult, NextHop, Router, Service
+from ..core.stage import BWD, FWD, Stage, forward
+from ..net.common import charge, forward_or_deposit
+from .messages import BlockReply, BlockRequest, FsReply, FsRequest
+from .ufs import FsError, Ufs
+
+#: Per-request filesystem bookkeeping cost.
+UFS_PROC_US = 8.0
+
+#: Path attribute: the file this path is bound to (relative to the
+#: filesystem root once VFS has stripped the mount prefix).
+PA_FILE = "PA_FILE"
+
+#: Path attribute: promise of strictly sequential access (Section 2.2's
+#: web-path invariant); the UFS stage skips caching when it holds.
+PA_FILE_SEQUENTIAL = "PA_FILE_SEQUENTIAL"
+
+
+class UfsStage(Stage):
+    """UFS's contribution to a file path (one per open file)."""
+
+    def __init__(self, router: "UfsRouter", enter_service, exit_service,
+                 filename: str):
+        super().__init__(router, enter_service, exit_service,
+                         iface_factory=FsIface)
+        self.filename = filename
+        self.inode = None
+        self.sequential = False
+        self._cache: Dict[int, bytes] = {}
+        self.cache_hits = 0
+        self._pending: Dict[int, dict] = {}
+        self._tag_counter = 0
+        self.set_deliver(FWD, self._request)
+        self.set_deliver(BWD, self._block_reply)
+
+    def establish(self, attrs: Attrs) -> None:
+        """Resolve the inode once — the path's frozen name lookup."""
+        router: UfsRouter = self.router  # type: ignore[assignment]
+        try:
+            self.inode = router.fs.lookup(self.filename)
+        except FsError as exc:
+            raise PathCreationError(
+                f"{router.name}: cannot open {self.filename!r}: {exc}"
+            ) from exc
+        self.sequential = bool(attrs.get(PA_FILE_SEQUENTIAL))
+
+    # -- requests travel FWD (toward the disk) -------------------------------
+
+    def _request(self, iface, request, direction: int, **kwargs):
+        router: UfsRouter = self.router  # type: ignore[assignment]
+        if not isinstance(request, FsRequest):
+            return None
+        charge(request, UFS_PROC_US)
+        if request.op == FsRequest.STAT:
+            return self._deposit_reply(FsReply(request, size=self.inode.size))
+        if request.op != FsRequest.READ:
+            return self._deposit_reply(FsReply(
+                request, error=f"op {request.op!r} not supported on paths "
+                "(use the router API)"))
+        return self._read(iface, request, direction, **kwargs)
+
+    def _read(self, iface, request: FsRequest, direction: int, **kwargs):
+        router: UfsRouter = self.router  # type: ignore[assignment]
+        sector_size = router.fs.sector_size
+        offset = request.offset
+        length = request.length if request.length is not None \
+            else self.inode.size - offset
+        length = max(0, min(length, self.inode.size - offset))
+        first = offset // sector_size
+        last = (offset + length - 1) // sector_size if length else first - 1
+        wanted: List[Tuple[int, int]] = []  # (block index, sector)
+        for block_index in range(first, last + 1):
+            if block_index >= len(self.inode.blocks):
+                break
+            wanted.append((block_index, self.inode.blocks[block_index]))
+        self._tag_counter += 1
+        tag = self._tag_counter
+        state = {"request": request, "offset": offset, "length": length,
+                 "pieces": {}, "expected": len(wanted),
+                 "sector_size": sector_size}
+        self._pending[tag] = state
+        if not wanted:  # zero-length read
+            return self._complete(tag, direction)
+        issued = 0
+        for block_index, sector in list(wanted):
+            cached = None if self.sequential else self._cache.get(sector)
+            if cached is not None:
+                self.cache_hits += 1
+                state["pieces"][block_index] = cached
+            else:
+                block_request = BlockRequest(BlockRequest.READ, sector,
+                                             tag=(tag, block_index))
+                issued += 1
+                forward(iface, block_request, direction, **kwargs)
+        if not issued and len(state["pieces"]) == state["expected"]:
+            return self._complete(tag, direction)
+        return None
+
+    # -- block replies travel BWD -----------------------------------------------
+
+    def _block_reply(self, iface, reply, direction: int, **kwargs):
+        if isinstance(reply, FsReply):
+            # A reply already assembled below us (not used today, but a
+            # stacked-filesystem configuration would produce one).
+            return forward_or_deposit(iface, reply, direction, **kwargs)
+        if not isinstance(reply, BlockReply) or reply.request.tag is None:
+            return None
+        tag, block_index = reply.request.tag
+        state = self._pending.get(tag)
+        if state is None:
+            return None  # reply for an abandoned request
+        if not reply.ok:
+            request = state["request"]
+            del self._pending[tag]
+            return self._deposit_or_forward(
+                iface, FsReply(request, error=reply.error), direction,
+                **kwargs)
+        if not self.sequential:
+            self._cache[reply.request.sector] = reply.data
+        state["pieces"][block_index] = reply.data
+        if len(state["pieces"]) < state["expected"]:
+            return None  # absorbed: more blocks outstanding
+        return self._complete(tag, direction, iface=iface, **kwargs)
+
+    def _complete(self, tag: int, direction: int, iface=None, **kwargs):
+        state = self._pending.pop(tag)
+        request: FsRequest = state["request"]
+        sector_size = state["sector_size"]
+        blob = b"".join(state["pieces"][index]
+                        for index in sorted(state["pieces"]))
+        skip = request.offset % sector_size
+        data = blob[skip:skip + state["length"]]
+        reply = FsReply(request, data=data, size=self.inode.size)
+        charge(reply, UFS_PROC_US / 2)
+        bwd_iface = iface if iface is not None else self.end[BWD]
+        return forward_or_deposit(bwd_iface, reply, BWD, **kwargs)
+
+    def _deposit_reply(self, reply: FsReply):
+        return forward_or_deposit(self.end[BWD], reply, BWD)
+
+    def _deposit_or_forward(self, iface, reply: FsReply, direction: int,
+                            **kwargs):
+        return forward_or_deposit(iface, reply, direction, **kwargs)
+
+
+@register_router("UfsRouter")
+class UfsRouter(Router):
+    """The UFS filesystem router."""
+
+    SERVICES = ("up:fs", "<disk:fsClient")
+
+    def __init__(self, name: str, n_inodes: int = 64,
+                 format_if_blank: bool = True):
+        super().__init__(name)
+        self.n_inodes = n_inodes
+        self.format_if_blank = format_if_blank
+        self.fs: Optional[Ufs] = None
+
+    def init(self) -> None:
+        super().init()
+        disk_service = self.service("disk").sole_link()
+        scsi, _svc = disk_service.peer_of(self.service("disk"))
+        self.fs = Ufs(scsi.disk, n_inodes=self.n_inodes)
+        try:
+            self.fs.mount()
+        except FsError:
+            if not self.format_if_blank:
+                raise
+            self.fs.mkfs()
+
+    def create_stage(self, enter_service: int, attrs: Attrs
+                     ) -> Tuple[Optional[Stage], Optional[NextHop]]:
+        enter = self.services[enter_service] if enter_service >= 0 else None
+        filename = attrs.get(PA_FILE)
+        if not filename:
+            return None, None  # a file path needs its file invariant
+        disk = self.service("disk")
+        if len(disk.links) != 1:
+            return None, None
+        peer_router, peer_service = disk.links[0].peer_of(disk)
+        stage = UfsStage(self, enter, disk, filename)
+        return stage, NextHop(peer_router, peer_service, attrs)
+
+    def demux(self, msg, service: Optional[Service],
+              offset: int = 0) -> DemuxResult:
+        return DemuxResult.drop(f"{self.name}: file paths are explicit")

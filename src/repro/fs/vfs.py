@@ -1,0 +1,91 @@
+"""The VFS router: mount table and pass-through (Figure 3's middle layer)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.attributes import Attrs
+from ..core.graph import register_router
+from ..core.interfaces import FsIface
+from ..core.router import DemuxResult, NextHop, Router, Service
+from ..core.stage import BWD, FWD, Stage
+from ..net.common import charge, forward_or_deposit
+from .ufs_router import PA_FILE
+
+#: Per-request VFS dispatch cost.
+VFS_PROC_US = 2.0
+
+
+class VfsStage(Stage):
+    """VFS's contribution: a frozen mount decision, then pass-through."""
+
+    def __init__(self, router: "VfsRouter", enter_service, exit_service):
+        super().__init__(router, enter_service, exit_service,
+                         iface_factory=FsIface)
+        self.set_deliver(FWD, self._down)
+        self.set_deliver(BWD, self._up)
+
+    def _down(self, iface, msg, direction: int, **kwargs):
+        charge(msg, VFS_PROC_US)
+        return forward_or_deposit(iface, msg, direction, **kwargs)
+
+    def _up(self, iface, msg, direction: int, **kwargs):
+        return forward_or_deposit(iface, msg, direction, **kwargs)
+
+
+@register_router("VfsRouter")
+class VfsRouter(Router):
+    """Routes file paths to the filesystem mounted at their prefix."""
+
+    SERVICES = ("up:fs", "<mounts:fsClient")
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        #: mount prefix -> mounted router name (e.g. "/" -> "UFS").
+        self._mount_table: Dict[str, str] = {}
+
+    def mount(self, prefix: str, router_name: str) -> None:
+        if not prefix.startswith("/"):
+            raise ValueError(f"mount prefix must be absolute: {prefix!r}")
+        self._mount_table[prefix.rstrip("/") or "/"] = router_name
+
+    def resolve_mount(self, filename: str) -> Tuple[str, str]:
+        """Longest-prefix match: returns (router name, relative name)."""
+        best: Optional[str] = None
+        for prefix in self._mount_table:
+            if filename == prefix or filename.startswith(
+                    prefix if prefix.endswith("/") else prefix + "/") \
+                    or prefix == "/":
+                if best is None or len(prefix) > len(best):
+                    best = prefix
+        if best is None:
+            raise KeyError(f"no filesystem mounted for {filename!r}")
+        relative = filename[len(best):].lstrip("/")
+        return self._mount_table[best], relative
+
+    def create_stage(self, enter_service: int, attrs: Attrs
+                     ) -> Tuple[Optional[Stage], Optional[NextHop]]:
+        enter = self.services[enter_service] if enter_service >= 0 else None
+        filename = attrs.get(PA_FILE)
+        if not filename:
+            return None, None
+        try:
+            fs_name, relative = self.resolve_mount(filename)
+        except KeyError:
+            return None, None  # nothing mounted there: path cannot exist
+        mounts = self.service("mounts")
+        target = None
+        for link in mounts.links:
+            peer_router, peer_service = link.peer_of(mounts)
+            if peer_router.name == fs_name:
+                target = (peer_router, peer_service)
+                break
+        if target is None:
+            return None, None
+        stage = VfsStage(self, enter, mounts)
+        hop_attrs = attrs.extended(**{PA_FILE: relative})
+        return stage, NextHop(target[0], target[1], hop_attrs)
+
+    def demux(self, msg, service: Optional[Service],
+              offset: int = 0) -> DemuxResult:
+        return DemuxResult.drop(f"{self.name}: file paths are explicit")

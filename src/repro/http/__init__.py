@@ -1,0 +1,5 @@
+"""HTTP subsystem: the web server atop the Figure 3 graph."""
+
+from .router import HTTP_PROC_US, HttpRouter, HttpStage
+
+__all__ = ["HttpRouter", "HttpStage", "HTTP_PROC_US"]

@@ -1,0 +1,264 @@
+"""The Linux-like baseline kernel (the paper's comparison system).
+
+This is *not* Linux; it is a model of the structural properties of a
+conventional monolithic kernel circa 1996 that the paper's comparison
+turns on:
+
+* **no early demux** — every received packet gets its full protocol
+  processing at interrupt (softirq) time, regardless of importance;
+  "Linux handles ICMP and video packets identically inside the kernel",
+  so an ICMP flood steals CPU from everything above it;
+* **kernel/user boundary** — the decoder is a user process: packets are
+  copied out of the kernel through a syscall, and every blocking receive
+  costs a context switch;
+* **window-system handoff** — the decoded, dithered frame is copied to
+  the display server (two context switches and a full-frame copy per
+  frame), the dominant structural cost behind Table 1's gap;
+* **single-class scheduling** — all decoder processes run at the same
+  round-robin priority; there is no per-stream deadline scheduling.
+
+Everything else — decoder, MFLOW protocol behaviour, framebuffer, cost
+model for decode/display proper — is shared with the Scout kernel, so
+the comparison isolates structure, exactly as the paper intends.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .. import params
+from ..core.queues import PathQueue
+from ..display.framebuffer import Framebuffer
+from ..mpeg.clips import ClipProfile
+from ..mpeg.cost import linux_frame_handoff_us
+from ..mpeg.decoder import MpegDecoder
+from ..net.addresses import EthAddr, IpAddr
+from ..net.headers import IcmpHeader, MflowHeader
+from ..net.packets import build_icmp_echo, build_mflow_frame, parse_frame
+from ..net.segment import EtherSegment, NetDevice
+from ..sim.threads import Compute, Dequeue, WaitSpace, YIELD
+from ..sim.world import POLICY_RR, SimWorld
+
+#: Per-packet kernel receive cost at softirq time (beyond the IRQ):
+#: generic input queueing plus ETH+IP handling.
+_RX_KERNEL_US = (params.LINUX_SOFTIRQ_US + params.ETH_PROC_US
+                 + params.IP_PROC_US)
+
+
+class LinuxSocket:
+    """A UDP socket: kernel-side receive buffer + owner bookkeeping."""
+
+    def __init__(self, port: int, maxlen: int = 32):
+        self.port = port
+        self.queue = PathQueue(maxlen=maxlen, name=f"sock{port}")
+        self.drops = 0
+
+
+class LinuxVideoSession:
+    """Handle on one running decoder process."""
+
+    def __init__(self, profile: ClipProfile, socket: LinuxSocket,
+                 sink, thread):
+        self.profile = profile
+        self.socket = socket
+        self.sink = sink
+        self.thread = thread
+
+    @property
+    def frames_presented(self) -> int:
+        return self.sink.presented
+
+    @property
+    def missed_deadlines(self) -> int:
+        return self.sink.missed_deadlines
+
+    def achieved_fps(self) -> float:
+        return self.sink.achieved_fps()
+
+
+class LinuxKernel:
+    """The conventional-kernel baseline on the same substrate."""
+
+    def __init__(self, world: SimWorld, segment: EtherSegment,
+                 local_mac: str = "02:00:00:00:00:01",
+                 local_ip: str = "10.0.0.1",
+                 rate_limited_display: bool = True,
+                 vsync_hz: float = params.VSYNC_HZ):
+        self.world = world
+        self.segment = segment
+        self.mac = EthAddr(local_mac)
+        self.addr = IpAddr(local_ip)
+        self.device = NetDevice(self.mac, world.cpu, name="eth0",
+                                irq_us=params.LINUX_IRQ_OVERHEAD_US)
+        segment.attach(self.device)
+        self.framebuffer = Framebuffer(world.engine, world.cpu,
+                                       vsync_hz=vsync_hz,
+                                       rate_limited=rate_limited_display)
+        self.framebuffer.start()
+        self.sockets: Dict[int, LinuxSocket] = {}
+        self.sessions: List[LinuxVideoSession] = []
+        # statistics
+        self.icmp_served = 0
+        self.rx_no_socket = 0
+        self.rx_socket_overflow = 0
+        self.rx_other_dropped = 0
+
+        self.device.rx_handler = self._rx
+
+    # ------------------------------------------------------------------
+    # Interrupt-time receive: the kernel processes EVERY packet fully,
+    # in arrival order, before any user work can run.
+    # ------------------------------------------------------------------
+
+    def _rx(self, frame: bytes) -> None:
+        cpu = self.world.cpu
+        parsed = parse_frame(frame)
+        if parsed.ip is None or parsed.ip.dst != self.addr:
+            cpu.extend_interrupt(_RX_KERNEL_US)
+            self.rx_other_dropped += 1
+            return
+        if parsed.icmp is not None:
+            self._serve_icmp(parsed)
+            return
+        if parsed.udp is not None:
+            cpu.extend_interrupt(_RX_KERNEL_US + params.UDP_PROC_US)
+            socket = self.sockets.get(parsed.udp.dport)
+            if socket is None:
+                self.rx_no_socket += 1
+                return
+            # Store the payload past ETH+IP+UDP; the app reads it out.
+            payload = frame[14 + 20 + 8:]
+            if not socket.queue.try_enqueue(payload):
+                self.rx_socket_overflow += 1
+            return
+        cpu.extend_interrupt(_RX_KERNEL_US)
+        self.rx_other_dropped += 1
+
+    def _serve_icmp(self, parsed) -> None:
+        """Echo served entirely at interrupt level — the kernel answers
+        floods at the expense of whatever was running."""
+        cpu = self.world.cpu
+        cost = (_RX_KERNEL_US + params.LINUX_ICMP_PROC_US
+                + params.IP_PROC_US + params.ETH_PROC_US
+                + params.LINUX_TX_DRIVER_US)
+        cpu.extend_interrupt(cost)
+        if parsed.icmp.icmp_type != IcmpHeader.ECHO_REQUEST:
+            return
+        self.icmp_served += 1
+        reply = build_icmp_echo(self.mac, parsed.eth.src, self.addr,
+                                parsed.ip.src, parsed.icmp.ident,
+                                parsed.icmp.seq, reply=True,
+                                payload=parsed.payload)
+        self.device.send(reply)
+
+    # ------------------------------------------------------------------
+    # The decoder application (user space)
+    # ------------------------------------------------------------------
+
+    def open_socket(self, port: int, maxlen: int = 32) -> LinuxSocket:
+        if port in self.sockets:
+            raise ValueError(f"port {port} already bound")
+        socket = LinuxSocket(port, maxlen=maxlen)
+        self.sockets[port] = socket
+        return socket
+
+    def start_video(self, profile: ClipProfile, remote: Tuple[str, int],
+                    local_port: int, fps: Optional[float] = None,
+                    inq_len: int = 32, outq_len: int = 32,
+                    priority: int = 0) -> LinuxVideoSession:
+        socket = self.open_socket(local_port, maxlen=inq_len)
+        display_queue = PathQueue(maxlen=outq_len,
+                                  name=f"xdisplay{local_port}")
+        sink = self.framebuffer.add_sink(
+            f"sock{local_port}", display_queue,
+            fps if fps is not None else profile.fps)
+        thread = self.world.spawn(
+            self._decoder_process(profile, socket, display_queue, remote,
+                                  local_port),
+            name=f"mpeg_play:{local_port}", policy=POLICY_RR,
+            priority=priority)
+        session = LinuxVideoSession(profile, socket, sink, thread)
+        self.sessions.append(session)
+        return session
+
+    def _decoder_process(self, profile: ClipProfile, socket: LinuxSocket,
+                         display_queue: PathQueue, remote: Tuple[str, int],
+                         local_port: int):
+        decoder = MpegDecoder(profile)
+        next_expected = 0
+        remote_ip = IpAddr(remote[0])
+        remote_mac = self._resolve(remote_ip)
+        while True:
+            blocked = socket.queue.is_empty()
+            payload = yield Dequeue(socket.queue)
+            yield WaitSpace(display_queue)
+            # recvfrom(): syscall, copy out of the kernel, and a process
+            # switch when the receive actually blocked.
+            cost = (params.LINUX_SYSCALL_US
+                    + len(payload) * params.LINUX_COPY_US_PER_BYTE)
+            if blocked:
+                cost += params.LINUX_CSWITCH_US
+            # User-space MFLOW: sequencing + window advertisement.
+            header = MflowHeader.unpack(payload[:MflowHeader.SIZE])
+            body = payload[MflowHeader.SIZE:]
+            cost += params.MFLOW_PROC_US
+            frame = None
+            if not header.is_window_adv and header.seq >= next_expected:
+                next_expected = header.seq + 1
+                result = decoder.feed(body)
+                cost += result.cost_us
+                frame = result.frame
+                cost += self._send_window_adv(header, socket, remote_ip,
+                                              remote_mac, remote[1],
+                                              local_port, next_expected)
+            if frame is not None and frame.complete:
+                # Display: dither (same cost model as Scout) plus the
+                # window-system handoff copy and context switches.
+                cost += frame.display_cost_us
+                cost += linux_frame_handoff_us(frame.pixels)
+            yield Compute(cost)
+            if frame is not None and frame.complete:
+                yield from self._enqueue_frame(display_queue, frame)
+            yield YIELD
+
+    def _enqueue_frame(self, display_queue: PathQueue, frame):
+        from ..sim.threads import Enqueue
+
+        yield Enqueue(display_queue, frame)
+
+    def _send_window_adv(self, header: MflowHeader, socket: LinuxSocket,
+                         remote_ip: IpAddr, remote_mac: EthAddr,
+                         remote_port: int, local_port: int,
+                         next_expected: int) -> float:
+        """sendto() of the advertisement; returns its CPU cost."""
+        free = socket.queue.free_slots
+        if free is None:
+            free = 64
+        frame = build_mflow_frame(self.mac, remote_mac, self.addr,
+                                  remote_ip, local_port, remote_port,
+                                  next_expected + free,
+                                  header.timestamp_us, b"",
+                                  window=free,
+                                  flags=MflowHeader.FLAG_WINDOW_ADV)
+        self.device.send(frame)
+        return (params.LINUX_SYSCALL_US + params.UDP_PROC_US
+                + params.IP_PROC_US + params.ETH_PROC_US
+                + params.LINUX_TX_DRIVER_US)
+
+    def _resolve(self, ip: IpAddr) -> EthAddr:
+        for endpoint in self.segment.endpoints():
+            if getattr(endpoint, "ip", None) == ip:
+                return endpoint.mac
+        return EthAddr.BROADCAST
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "icmp_served": self.icmp_served,
+            "rx_no_socket": self.rx_no_socket,
+            "rx_socket_overflow": self.rx_socket_overflow,
+            "cpu_compute_us": self.world.cpu.compute_us,
+            "cpu_interrupt_us": self.world.cpu.interrupt_us,
+        }
+
+    def __repr__(self) -> str:
+        return f"<LinuxKernel {self.addr} sessions={len(self.sessions)}>"

@@ -1,0 +1,421 @@
+"""The Scout kernel: the Figure 9 configuration, booted and running.
+
+Wires the router graph (DISPLAY / MPEG / MFLOW / SHELL / UDP / IP / ETH
+plus ARP and ICMP), attaches the NIC and framebuffer, and implements the
+two runtime behaviours that define Scout:
+
+* **interrupt-time classification** — every received frame is classified
+  at interrupt level and deposited directly on its path's input queue
+  ("since each video path has its own input queue and since the packet
+  classifier is run at interrupt time, newly arriving packets are
+  immediately placed in the correct queue"), or dropped right there when
+  no path wants it (early discard);
+* **per-path threads under per-path scheduling** — each path's thread
+  dequeues, traverses the path, and pays the accumulated CPU cost; the
+  path's ``wakeup`` callback imposes EDF deadlines (or RR priority) on
+  every wakeup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .. import params
+from ..core.attributes import (
+    PA_FRAME_RATE,
+    PA_INQ_LEN,
+    PA_NET_PARTICIPANTS,
+    PA_OUTQ_LEN,
+    PA_PATHNAME,
+    PA_SCHED_POLICY,
+    PA_SCHED_PRIORITY,
+    Attrs,
+)
+from ..core.classify import ClassifierStats, classify
+from ..core.graph import RouterGraph
+from ..core.message import Msg
+from ..core.path import DELETED, Path
+from ..core.path_create import AdmissionHook, path_create
+from ..core.stage import BWD
+from ..core.transform import TransformRegistry
+from ..display.framebuffer import Framebuffer
+from ..display.router import DisplayRouter
+from ..mpeg.clips import ClipProfile, PACKET_HEADER_SIZE
+from ..mpeg.decoder import peek_packet_header
+from ..mpeg.router import PA_FRAME_SKIP, PA_VIDEO_PROFILE, MpegRouter
+from ..net.arp import ArpRouter
+from ..net.common import PA_LOCAL_PORT, PA_UDP_CHECKSUM, charge, take_cost
+from ..net.eth import EthRouter
+from ..net.headers import EthHeader, IpHeader, UdpHeader, MflowHeader
+from ..net.icmp import IcmpRouter
+from ..net.ip import PA_IP_CATCHALL, IpRouter
+from ..net.mflow import MflowRouter
+from ..net.segment import EtherSegment, NetDevice
+from ..net.udp import UdpRouter
+from ..shell.router import ShellRouter
+from ..sim.threads import Compute, Dequeue, WaitSpace, YIELD
+from ..sim.world import POLICY_EDF, POLICY_RR, SimWorld
+from .transforms import default_transforms
+
+#: Byte offset of the MPEG packet header in a full video frame:
+#: ETH(14) + IP(20) + UDP(8) + MFLOW(12).
+_MPEG_HEADER_OFFSET = (EthHeader.SIZE + IpHeader.SIZE + UdpHeader.SIZE
+                       + MflowHeader.SIZE)
+
+
+class VideoSession:
+    """Handle on one running video path."""
+
+    def __init__(self, path: Path, profile: ClipProfile, local_port: int,
+                 sink, thread):
+        self.path = path
+        self.profile = profile
+        self.local_port = local_port
+        self.sink = sink
+        self.thread = thread
+
+    @property
+    def frames_presented(self) -> int:
+        return self.sink.presented
+
+    @property
+    def missed_deadlines(self) -> int:
+        return self.sink.missed_deadlines
+
+    def achieved_fps(self) -> float:
+        return self.sink.achieved_fps()
+
+    def __repr__(self) -> str:
+        return (f"<VideoSession {self.profile.name} path#{self.path.pid} "
+                f"presented={self.frames_presented}>")
+
+
+class ScoutKernel:
+    """A booted Scout system on the virtual machine."""
+
+    def __init__(self, world: SimWorld, segment: EtherSegment,
+                 local_mac: str = "02:00:00:00:00:01",
+                 local_ip: str = "10.0.0.1",
+                 rate_limited_display: bool = True,
+                 transforms: Optional[TransformRegistry] = None,
+                 admission: Optional[AdmissionHook] = None,
+                 icmp_priority: int = 1,
+                 inline_icmp: bool = False,
+                 vsync_hz: float = params.VSYNC_HZ):
+        self.world = world
+        self.segment = segment
+        self.transforms = transforms if transforms is not None \
+            else default_transforms()
+        self.admission = admission
+        self.inline_icmp = inline_icmp
+
+        # -- devices ------------------------------------------------------
+        self.device = NetDevice(local_mac, world.cpu, name="eth0")
+        segment.attach(self.device)
+        self.framebuffer = Framebuffer(world.engine, world.cpu,
+                                       vsync_hz=vsync_hz,
+                                       rate_limited=rate_limited_display)
+
+        # -- router graph (Figure 9 + ARP + ICMP) --------------------------
+        self.graph = RouterGraph()
+        self.eth = self.graph.add(EthRouter("ETH", mac=local_mac))
+        self.arp = self.graph.add(ArpRouter("ARP"))
+        self.ip = self.graph.add(IpRouter("IP", addr=local_ip))
+        self.udp = self.graph.add(UdpRouter("UDP"))
+        self.icmp = self.graph.add(IcmpRouter("ICMP"))
+        self.mflow = self.graph.add(MflowRouter("MFLOW"))
+        self.mpeg = self.graph.add(MpegRouter("MPEG"))
+        self.display = self.graph.add(DisplayRouter("DISPLAY"))
+        self.shell = self.graph.add(ShellRouter("SHELL"))
+        self.graph.connect("IP.down", "ETH.up")
+        self.graph.connect("IP.res", "ARP.resolver")
+        self.graph.connect("ARP.down", "ETH.up")
+        self.graph.connect("UDP.down", "IP.up")
+        self.graph.connect("ICMP.down", "IP.up")
+        self.graph.connect("MFLOW.down", "UDP.up")
+        self.graph.connect("MPEG.down", "MFLOW.up")
+        self.graph.connect("DISPLAY.down", "MPEG.up")
+        self.graph.connect("SHELL.down", "UDP.up")
+        self.eth.attach_device(self.device)
+        self.display.attach_framebuffer(self.framebuffer)
+        self.arp.learn_from_segment(segment)
+        self.graph.boot()
+
+        # -- runtime state ---------------------------------------------------
+        self.classifier_stats = ClassifierStats()
+        self.sessions: List[VideoSession] = []
+        self.shell_path: Optional[Path] = None
+        #: path pid -> keep-every-Nth modulus for adapter-level early drop.
+        self._skip_filters: Dict[int, int] = {}
+        self.early_drops = 0
+        self.unclassified_drops = 0
+        self.inq_overflow_drops = 0
+        self.icmp_inline_served = 0
+
+        self.device.rx_handler = self._rx
+        self.framebuffer.start()
+
+        # -- boot-time paths -------------------------------------------------
+        self.icmp_path = self._make_service_path(
+            self.icmp, Attrs(), POLICY_RR, icmp_priority, "icmp")
+        self.icmp.echo_path = self.icmp_path
+        self.frag_path = self._make_service_path(
+            self.ip, Attrs({PA_IP_CATCHALL: True}), POLICY_RR, icmp_priority,
+            "frag")
+        self.ip.frag_path = self.frag_path
+        self.ip.reclassify_hook = self._reclassify
+
+        self.shell.transforms = self.transforms
+        self.shell.register_command("mpeg_decode", self.display,
+                                    self._mpeg_decode_attrs,
+                                    self._mpeg_decode_post)
+
+    # ------------------------------------------------------------------
+    # Interrupt-time receive: classify early, segregate early.
+    # ------------------------------------------------------------------
+
+    def _rx(self, frame: bytes) -> None:
+        msg = Msg(frame, meta={"rx_time": self.world.now})
+        refinements_before = self.classifier_stats.refinements
+        path = classify(self.eth, msg, stats=self.classifier_stats)
+        hops = self.classifier_stats.refinements - refinements_before + 1
+        self.world.cpu.extend_interrupt(hops * params.CLASSIFY_PER_HOP_US)
+        if path is None:
+            self.unclassified_drops += 1
+            self.world.cpu.extend_interrupt(params.EARLY_DROP_US)
+            return
+        if self._should_early_drop(path, msg):
+            self.early_drops += 1
+            self.world.cpu.extend_interrupt(params.EARLY_DROP_US)
+            return
+        self._note_arrival(path)
+        if self.inline_icmp and path is self.icmp_path:
+            # Ablation: no early segregation for ICMP — serve the request
+            # at interrupt level, like a conventional kernel.
+            path.deliver(msg, BWD)
+            self.world.cpu.extend_interrupt(take_cost(msg))
+            self.icmp_inline_served += 1
+            return
+        queue = path.input_queue(BWD)
+        if not queue.try_enqueue(msg):
+            self.inq_overflow_drops += 1
+            self.world.cpu.extend_interrupt(params.EARLY_DROP_US)
+            return
+        path.stats.charge_memory(msg.footprint())
+
+    def _note_arrival(self, path: Path) -> None:
+        """Maintain the path's average packet inter-arrival time, which
+        the input-queue EDF deadline estimate consumes (Section 4.3)."""
+        now = self.world.now
+        last = path.attrs.get("_last_pkt_arrival_us")
+        if last is not None:
+            sample = now - last
+            previous = path.attrs.get("_pkt_interarrival_us")
+            path.attrs["_pkt_interarrival_us"] = sample if previous is None \
+                else previous + 0.125 * (sample - previous)
+        path.attrs["_last_pkt_arrival_us"] = now
+
+    def _should_early_drop(self, path: Path, msg: Msg) -> bool:
+        """Reduced-quality early discard (Section 4.4): packets belonging
+        to frames the user asked to skip die at the adapter."""
+        modulus = self._skip_filters.get(path.pid)
+        if not modulus or modulus <= 1:
+            return False
+        if len(msg) < _MPEG_HEADER_OFFSET + PACKET_HEADER_SIZE:
+            return False
+        header = peek_packet_header(
+            msg.peek(PACKET_HEADER_SIZE, at=_MPEG_HEADER_OFFSET))
+        if header is None:
+            return False
+        frame_no, _ftype, _flags = header
+        return frame_no % modulus != 0
+
+    # ------------------------------------------------------------------
+    # Path threads
+    # ------------------------------------------------------------------
+
+    def _video_thread_body(self, path: Path):
+        inq = path.input_queue(BWD)
+        outq = path.output_queue(BWD)
+        while path.state != DELETED:
+            msg = yield Dequeue(inq)
+            # "if the output queue is full already, there is little point
+            # in scheduling a thread to process a packet in the input
+            # queue" — reserve display space before burning decode CPU.
+            yield WaitSpace(outq)
+            self._traverse(path, msg)
+            cost = take_cost(msg)
+            if cost > 0:
+                yield Compute(cost)
+            path.stats.release_memory(msg.footprint())
+            yield YIELD
+
+    def _service_thread_body(self, path: Path):
+        inq = path.input_queue(BWD)
+        while path.state != DELETED:
+            msg = yield Dequeue(inq)
+            self._traverse(path, msg)
+            cost = take_cost(msg)
+            if cost > 0:
+                yield Compute(cost)
+            path.stats.release_memory(msg.footprint())
+            yield YIELD
+
+    @staticmethod
+    def _traverse(path: Path, msg: Msg) -> None:
+        entry = msg.meta.pop("entry_router", None)
+        if entry is not None:
+            path.inject_at(path.stage_of(entry), msg, BWD)
+        else:
+            path.deliver(msg, BWD)
+
+    def _make_service_path(self, router, attrs: Attrs, policy: str,
+                           priority: int, name: str) -> Path:
+        path = path_create(router, attrs, transforms=self.transforms,
+                           admission=self.admission)
+        self.world.spawn(self._service_thread_body(path),
+                         name=f"{name}-path{path.pid}", policy=policy,
+                         priority=priority, path=path)
+        return path
+
+    # ------------------------------------------------------------------
+    # Reassembled datagrams: rerun the classifier (Section 3.5)
+    # ------------------------------------------------------------------
+
+    def _reclassify(self, msg: Msg, header) -> None:
+        take_cost(msg)  # the fragment path's thread already paid so far
+        whole = msg
+        whole.push(header.pack())
+        refinements_before = self.classifier_stats.refinements
+        path = classify(self.ip, whole, stats=self.classifier_stats)
+        hops = self.classifier_stats.refinements - refinements_before + 1
+        charge(whole, hops * params.CLASSIFY_PER_HOP_US)
+        if path is None or path is self.frag_path:
+            self.unclassified_drops += 1
+            return
+        whole.meta["entry_router"] = "IP"
+        if not path.input_queue(BWD).try_enqueue(whole):
+            self.inq_overflow_drops += 1
+
+    # ------------------------------------------------------------------
+    # Video sessions
+    # ------------------------------------------------------------------
+
+    def build_video_attrs(self, profile: ClipProfile,
+                          remote: Tuple[str, int],
+                          local_port: Optional[int] = None,
+                          fps: Optional[float] = None,
+                          policy: str = POLICY_EDF,
+                          priority: int = 0,
+                          inq_len: int = 32,
+                          outq_len: int = 32,
+                          skip: int = 1,
+                          checksum: bool = False,
+                          prebuffer: int = 0,
+                          deadline_mode: str = "output") -> Attrs:
+        """The invariants SHELL (or a test) supplies for an MPEG path."""
+        from ..display.router import PA_DEADLINE_MODE, PA_PREBUFFER
+
+        stream_fps = fps if fps is not None else profile.fps
+        return Attrs({
+            PA_PREBUFFER: prebuffer,
+            PA_DEADLINE_MODE: deadline_mode,
+            PA_NET_PARTICIPANTS: remote,
+            PA_PATHNAME: "MPEG",
+            PA_VIDEO_PROFILE: profile,
+            PA_LOCAL_PORT: self.udp.allocate_port(local_port),
+            # Reduced-quality playback presents every Nth frame, so the
+            # display schedule runs at the reduced rate.
+            PA_FRAME_RATE: stream_fps / max(1, skip),
+            PA_SCHED_POLICY: policy,
+            PA_SCHED_PRIORITY: priority,
+            PA_INQ_LEN: inq_len,
+            PA_OUTQ_LEN: outq_len,
+            PA_FRAME_SKIP: skip,
+            PA_UDP_CHECKSUM: checksum,
+        })
+
+    def start_video(self, profile: ClipProfile, remote: Tuple[str, int],
+                    early_drop_skipped: bool = True,
+                    **attr_kwargs) -> VideoSession:
+        """Create an MPEG path + thread; returns the live session."""
+        attrs = self.build_video_attrs(profile, remote, **attr_kwargs)
+        path = path_create(self.display, attrs, transforms=self.transforms,
+                           admission=self.admission)
+        return self._attach_video_path(path, early_drop_skipped)
+
+    def _attach_video_path(self, path: Path,
+                           early_drop_skipped: bool = True) -> VideoSession:
+        attrs = path.attrs
+        profile: ClipProfile = attrs[PA_VIDEO_PROFILE]
+        skip = int(attrs.get(PA_FRAME_SKIP, 1))
+        if skip > 1 and early_drop_skipped:
+            self._skip_filters[path.pid] = skip
+        policy = attrs.get(PA_SCHED_POLICY, POLICY_EDF)
+        priority = int(attrs.get(PA_SCHED_PRIORITY, 0))
+        thread = self.world.spawn(self._video_thread_body(path),
+                                  name=f"video-path{path.pid}",
+                                  policy=policy, priority=priority,
+                                  path=path)
+        sink = self.framebuffer.sinks[f"path{path.pid}"]
+        session = VideoSession(path, profile, attrs[PA_LOCAL_PORT], sink,
+                               thread)
+        self.sessions.append(session)
+        return session
+
+    def stop_video(self, session: VideoSession) -> None:
+        self._skip_filters.pop(session.path.pid, None)
+        session.path.delete()
+        release = getattr(self.admission, "release", None)
+        if release is not None:
+            release(session.path)  # return the memory grant to the pool
+
+    # ------------------------------------------------------------------
+    # SHELL
+    # ------------------------------------------------------------------
+
+    def start_shell(self, port: int = 5000) -> Path:
+        attrs = Attrs({PA_IP_CATCHALL: True, PA_LOCAL_PORT: port,
+                       PA_INQ_LEN: 16})
+        self.shell_path = self._make_service_path(self.shell, attrs,
+                                                  POLICY_RR, 2, "shell")
+        return self.shell_path
+
+    def _mpeg_decode_attrs(self, args: Dict[str, str], meta) -> Attrs:
+        from ..mpeg.clips import clip_by_name
+
+        profile = clip_by_name(args.get("clip", "Neptune"))
+        # "SHELL assumes that the network address of the video source is
+        # the same as the address that originated the command request."
+        source_ip = args.get("ip") or str(meta.get("ip_src"))
+        source_port = int(args["port"])
+        return self.build_video_attrs(
+            profile, (source_ip, source_port),
+            fps=float(args["fps"]) if "fps" in args else None,
+            policy=args.get("policy", POLICY_EDF),
+            priority=int(args.get("priority", 0)),
+            skip=int(args.get("skip", 1)))
+
+    def _mpeg_decode_post(self, path: Path, args: Dict[str, str],
+                          msg: Msg) -> None:
+        self._attach_video_path(path)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "classified": self.classifier_stats.classified,
+            "classifier_drops": self.classifier_stats.dropped,
+            "early_drops": self.early_drops,
+            "inq_overflow_drops": self.inq_overflow_drops,
+            "echo_requests": self.icmp.echo_requests,
+            "cpu_compute_us": self.world.cpu.compute_us,
+            "cpu_interrupt_us": self.world.cpu.interrupt_us,
+            "vsyncs": self.framebuffer.vsyncs,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<ScoutKernel {self.ip.addr} sessions={len(self.sessions)} "
+                f"t={self.world.now:.0f}us>")

@@ -1,0 +1,62 @@
+"""Spec-file texts for the paper's two system configurations.
+
+The Scout kernel builds its graph programmatically (it must wire devices
+and framebuffers as it goes), but the same configurations are expressible
+in the spec-file language — these are the texts, used by documentation,
+examples, and the parity tests that keep them truthful.
+"""
+
+#: Figure 9: the MPEG appliance (plus ARP and ICMP, which the evaluation
+#: uses but the figure omits).
+FIG9_SPEC = """
+# Figure 9 -- router graph for the MPEG example
+router ETH     { class = EthRouter;     service = {up:net};
+                 params = {mac: "02:00:00:00:00:01"}; }
+router ARP     { class = ArpRouter;     service = {resolver:nsProvider, <down:net}; }
+router IP      { class = IpRouter;      service = {up:net, <down:net, <res:nsClient};
+                 params = {addr: "10.0.0.1"}; }
+router UDP     { class = UdpRouter;     service = {up:net, <down:net}; }
+router ICMP    { class = IcmpRouter;    service = {<down:net}; }
+router MFLOW   { class = MflowRouter;   service = {up:net, <down:net}; }
+router MPEG    { class = MpegRouter;    service = {up:net, <down:net}; }
+router DISPLAY { class = DisplayRouter; service = {<down:net}; }
+router SHELL   { class = ShellRouter;   service = {<down:net}; }
+
+connect IP.down      ETH.up;
+connect IP.res       ARP.resolver;
+connect ARP.down     ETH.up;
+connect UDP.down     IP.up;
+connect ICMP.down    IP.up;
+connect MFLOW.down   UDP.up;
+connect MPEG.down    MFLOW.up;
+connect DISPLAY.down MPEG.up;
+connect SHELL.down   UDP.up;
+"""
+
+#: Figure 3: the web-server graph (single link layer; the paper's ATM and
+#: FDDI boxes illustrate the multiple-lower-network case, which the IP
+#: router handles by refusing to freeze the route — see
+#: tests/integration/test_http_server.py).
+FIG3_SPEC = """
+# Figure 3 -- router graph for a web server
+router HTTP { class = HttpRouter; service = {<net:net, <files:fsClient}; }
+router TCP  { class = TcpRouter;  service = {up:net, <down:net}; }
+router IP   { class = IpRouter;   service = {up:net, <down:net, <res:nsClient};
+              params = {addr: "10.0.0.1"}; }
+router ARP  { class = ArpRouter;  service = {resolver:nsProvider, <down:net}; }
+router ETH  { class = EthRouter;  service = {up:net};
+              params = {mac: "02:00:00:00:00:01"}; }
+router VFS  { class = VfsRouter;  service = {up:fs, <mounts:fsClient}; }
+router UFS  { class = UfsRouter;  service = {up:fs, <disk:fsClient}; }
+router SCSI { class = ScsiRouter; service = {ops:fs};
+              params = {sectors: 2048}; }
+
+connect HTTP.net   TCP.up;
+connect HTTP.files VFS.up;
+connect TCP.down   IP.up;
+connect IP.down    ETH.up;
+connect IP.res     ARP.resolver;
+connect ARP.down   ETH.up;
+connect VFS.mounts UFS.up;
+connect UFS.disk   SCSI.ops;
+"""

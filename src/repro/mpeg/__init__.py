@@ -1,0 +1,45 @@
+"""Synthetic MPEG subsystem: bitstream, clips, encoder, decoder, router."""
+
+from .bitstream import BitReader, BitWriter
+from .clips import (
+    B_FRAME,
+    CANYON,
+    FLAG_FIRST_PACKET,
+    FLAG_LAST_PACKET,
+    FLOWER,
+    FRAME_TYPE_NAMES,
+    I_FRAME,
+    NEPTUNE,
+    P_FRAME,
+    PACKET_HEADER_SIZE,
+    PAPER_CLIPS,
+    REDS_NIGHTMARE,
+    ClipProfile,
+    EncodedClip,
+    EncodedFrame,
+    MpegEncoder,
+    clip_by_name,
+    synthesize_clip,
+)
+from .cost import decode_cost_us, display_cost_us, linux_frame_handoff_us
+from .decoder import (
+    DecodedFrame,
+    MpegDecodeError,
+    MpegDecoder,
+    PacketDecodeResult,
+    peek_packet_header,
+)
+from .router import PA_FRAME_SKIP, PA_VIDEO_PROFILE, MpegRouter, MpegStage
+
+__all__ = [
+    "BitReader", "BitWriter",
+    "ClipProfile", "EncodedClip", "EncodedFrame", "MpegEncoder",
+    "synthesize_clip", "clip_by_name",
+    "FLOWER", "NEPTUNE", "REDS_NIGHTMARE", "CANYON", "PAPER_CLIPS",
+    "I_FRAME", "P_FRAME", "B_FRAME", "FRAME_TYPE_NAMES",
+    "FLAG_FIRST_PACKET", "FLAG_LAST_PACKET", "PACKET_HEADER_SIZE",
+    "decode_cost_us", "display_cost_us", "linux_frame_handoff_us",
+    "MpegDecoder", "DecodedFrame", "PacketDecodeResult", "MpegDecodeError",
+    "peek_packet_header",
+    "MpegRouter", "MpegStage", "PA_VIDEO_PROFILE", "PA_FRAME_SKIP",
+]

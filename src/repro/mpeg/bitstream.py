@@ -1,0 +1,90 @@
+"""Bit-level I/O for the synthetic MPEG codec.
+
+The real Berkeley decoder reads the stream 32 bits at a time — the
+property Section 4.1 exploits when fusing the UDP checksum into MPEG's
+data read.  These classes give the synthetic codec the same shape: the
+encoder writes macroblock records bit by bit, the decoder reads every bit
+back, and both therefore actually touch all the data they claim to.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Append-only bit stream writer (MSB first)."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._bitpos = 0  # bits used in the final byte
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the low *nbits* of *value*."""
+        if nbits < 0 or nbits > 64:
+            raise ValueError(f"bad field width {nbits}")
+        if value < 0 or (nbits < 64 and value >> nbits):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        for shift in range(nbits - 1, -1, -1):
+            bit = (value >> shift) & 1
+            if self._bitpos == 0:
+                self._buffer.append(0)
+            self._buffer[-1] |= bit << (7 - self._bitpos)
+            self._bitpos = (self._bitpos + 1) % 8
+
+    def write_bytes(self, data: bytes) -> None:
+        for byte in data:
+            self.write(byte, 8)
+
+    def align(self) -> None:
+        """Pad with zero bits to the next byte boundary."""
+        if self._bitpos:
+            self.write(0, 8 - self._bitpos)
+
+    @property
+    def bit_length(self) -> int:
+        total = len(self._buffer) * 8
+        if self._bitpos:
+            total -= 8 - self._bitpos
+        return total
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buffer)
+
+
+class BitReader:
+    """Sequential bit stream reader (MSB first)."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0  # absolute bit position
+
+    def read(self, nbits: int) -> int:
+        """Read *nbits* as an unsigned integer."""
+        if nbits < 0 or nbits > 64:
+            raise ValueError(f"bad field width {nbits}")
+        if self._pos + nbits > len(self._data) * 8:
+            raise EOFError(
+                f"bitstream exhausted at bit {self._pos} (+{nbits})")
+        value = 0
+        pos = self._pos
+        for _ in range(nbits):
+            byte = self._data[pos >> 3]
+            value = (value << 1) | ((byte >> (7 - (pos & 7))) & 1)
+            pos += 1
+        self._pos = pos
+        return value
+
+    def skip(self, nbits: int) -> None:
+        if self._pos + nbits > len(self._data) * 8:
+            raise EOFError("cannot skip past end of bitstream")
+        self._pos += nbits
+
+    def align(self) -> None:
+        self._pos = (self._pos + 7) & ~7
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+    @property
+    def bit_position(self) -> int:
+        return self._pos

@@ -1,0 +1,48 @@
+"""The decode/display CPU cost model.
+
+Section 4.4: "our experiments show that there is a good correlation
+between the average size of a frame (in bits) and the average amount of
+CPU time it takes to decode a frame.  Naturally, the model that translates
+average frame size into CPU processing time is parameterized by the speed
+of the CPU, the memory system, and the graphics card."
+
+We use exactly that model:
+
+    decode_us(frame)  = a * macroblocks + b * bits
+    display_us(frame) = c * pixels          (dither + blit)
+
+with (a, b, c) fitted once against the paper's Table 1 Scout column (see
+EXPERIMENTS.md).  The linear-in-bits term is what makes frame-size jitter
+translate into decode-time jitter, driving the Section 4.2/4.3 queueing
+and scheduling behaviour.
+"""
+
+from __future__ import annotations
+
+from .. import params
+
+
+def decode_cost_us(bits: int, macroblocks: int,
+                   us_per_bit: float = params.DECODE_US_PER_BIT,
+                   us_per_mb: float = params.DECODE_US_PER_MACROBLOCK) -> float:
+    """CPU time to decode a frame (or a packet's worth of macroblocks)."""
+    if bits < 0 or macroblocks < 0:
+        raise ValueError("bits and macroblocks must be non-negative")
+    return us_per_mb * macroblocks + us_per_bit * bits
+
+
+def display_cost_us(pixels: int,
+                    us_per_pixel: float = params.DISPLAY_US_PER_PIXEL) -> float:
+    """CPU time to dither and display a decoded frame."""
+    if pixels < 0:
+        raise ValueError("pixels must be non-negative")
+    return us_per_pixel * pixels
+
+
+def linux_frame_handoff_us(pixels: int) -> float:
+    """The Linux baseline's extra per-frame cost: copying the dithered
+    frame to the window system plus the process switches around it."""
+    copy = (pixels * params.LINUX_DISPLAY_BYTES_PER_PIXEL
+            * params.LINUX_FRAME_COPY_US_PER_BYTE)
+    switches = params.LINUX_DISPLAY_CSWITCHES * params.LINUX_CSWITCH_US
+    return copy + switches

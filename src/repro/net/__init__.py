@@ -1,0 +1,62 @@
+"""Networking substrate: addresses, wire formats, the simulated segment,
+and the protocol routers (ETH, ARP, IP, UDP, ICMP, TCP, MFLOW, TEST)."""
+
+from .addresses import EthAddr, IpAddr
+from .arp import ArpRouter
+from .checksum import internet_checksum, verify_checksum
+from .common import (
+    COST_KEY,
+    PA_ETH_DST,
+    PA_ETHERTYPE,
+    PA_LOCAL_PORT,
+    PA_UDP_CHECKSUM,
+    charge,
+    peek_cost,
+    take_cost,
+)
+from .eth import EthRouter, EthStage
+from .headers import (
+    ETHERTYPE_ARP,
+    ETHERTYPE_IP,
+    EthHeader,
+    IcmpHeader,
+    IpHeader,
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    MflowHeader,
+    TcpHeader,
+    UdpHeader,
+)
+from .icmp import IcmpRouter
+from .ip import PA_IP_CATCHALL, IpRouter, IpStage
+from .mflow import MflowRouter, MflowStage
+from .packets import (
+    ParsedPacket,
+    build_icmp_echo,
+    build_mflow_frame,
+    build_udp_frame,
+    parse_frame,
+)
+from .segment import Endpoint, EtherSegment, HostAgent, NetDevice
+from .tcp import TcpRouter, TcpStage
+from .testrouter import TestRouter, TestStage
+from .udp import UdpRouter, UdpStage
+
+__all__ = [
+    "EthAddr", "IpAddr",
+    "internet_checksum", "verify_checksum",
+    "EthHeader", "IpHeader", "UdpHeader", "IcmpHeader", "TcpHeader",
+    "MflowHeader",
+    "ETHERTYPE_IP", "ETHERTYPE_ARP",
+    "IPPROTO_ICMP", "IPPROTO_TCP", "IPPROTO_UDP",
+    "EtherSegment", "Endpoint", "NetDevice", "HostAgent",
+    "EthRouter", "EthStage", "ArpRouter", "IpRouter", "IpStage",
+    "UdpRouter", "UdpStage", "IcmpRouter", "TcpRouter", "TcpStage",
+    "MflowRouter", "MflowStage", "TestRouter", "TestStage",
+    "PA_IP_CATCHALL", "PA_LOCAL_PORT", "PA_ETH_DST", "PA_ETHERTYPE",
+    "PA_UDP_CHECKSUM", "COST_KEY",
+    "charge", "take_cost", "peek_cost",
+    "build_udp_frame", "build_mflow_frame", "build_icmp_echo",
+    "parse_frame", "ParsedPacket",
+]

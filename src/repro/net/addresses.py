@@ -1,0 +1,123 @@
+"""Network addresses: Ethernet MACs and IPv4 addresses.
+
+Addresses are small immutable value types with wire (bytes) and
+human-readable forms.  Kept deliberately simple — enough for the router
+graph's demonstration protocols, not a general netlib.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Union
+
+
+class EthAddr:
+    """A 48-bit Ethernet address."""
+
+    __slots__ = ("_octets",)
+
+    _RE = re.compile(r"^([0-9a-fA-F]{2}:){5}[0-9a-fA-F]{2}$")
+
+    BROADCAST: "EthAddr"
+
+    def __init__(self, value: Union[str, bytes, "EthAddr"]):
+        if isinstance(value, EthAddr):
+            self._octets = value._octets
+        elif isinstance(value, bytes):
+            if len(value) != 6:
+                raise ValueError(f"MAC must be 6 bytes, got {len(value)}")
+            self._octets = value
+        elif isinstance(value, str):
+            if not self._RE.match(value):
+                raise ValueError(f"malformed MAC address {value!r}")
+            self._octets = bytes(int(part, 16) for part in value.split(":"))
+        else:
+            raise TypeError(f"cannot make EthAddr from {type(value).__name__}")
+
+    def to_bytes(self) -> bytes:
+        return self._octets
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._octets == b"\xff" * 6
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EthAddr):
+            return self._octets == other._octets
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._octets)
+
+    def __str__(self) -> str:
+        return ":".join(f"{b:02x}" for b in self._octets)
+
+    def __repr__(self) -> str:
+        return f"EthAddr('{self}')"
+
+
+EthAddr.BROADCAST = EthAddr(b"\xff" * 6)
+
+
+class IpAddr:
+    """A 32-bit IPv4 address."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[str, int, bytes, "IpAddr"]):
+        if isinstance(value, IpAddr):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value <= 0xFFFFFFFF:
+                raise ValueError(f"IPv4 address out of range: {value}")
+            self._value = value
+        elif isinstance(value, bytes):
+            if len(value) != 4:
+                raise ValueError(f"IPv4 address must be 4 bytes, got {len(value)}")
+            self._value = int.from_bytes(value, "big")
+        elif isinstance(value, str):
+            parts = value.split(".")
+            if len(parts) != 4:
+                raise ValueError(f"malformed IPv4 address {value!r}")
+            octets = []
+            for part in parts:
+                if not part.isdigit() or not 0 <= int(part) <= 255:
+                    raise ValueError(f"malformed IPv4 address {value!r}")
+                octets.append(int(part))
+            self._value = int.from_bytes(bytes(octets), "big")
+        else:
+            raise TypeError(f"cannot make IpAddr from {type(value).__name__}")
+
+    def to_bytes(self) -> bytes:
+        return self._value.to_bytes(4, "big")
+
+    def to_int(self) -> int:
+        return self._value
+
+    def same_network(self, other: "IpAddr", prefix_len: int = 24) -> bool:
+        """True when both addresses share the /prefix_len network.
+
+        This is IP's *local knowledge* routing test from Section 2.2: "if
+        IP can determine that the remote host is on the same Ethernet as
+        the local host" the routing decision can be frozen into the path.
+        """
+        if not 0 <= prefix_len <= 32:
+            raise ValueError(f"bad prefix length {prefix_len}")
+        if prefix_len == 0:
+            return True
+        mask = ~((1 << (32 - prefix_len)) - 1) & 0xFFFFFFFF
+        return (self._value & mask) == (other._value & mask)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IpAddr):
+            return self._value == other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __str__(self) -> str:
+        return ".".join(str(b) for b in self.to_bytes())
+
+    def __repr__(self) -> str:
+        return f"IpAddr('{self}')"

@@ -1,0 +1,70 @@
+"""The ARP router: the name-service provider of Figure 6.
+
+ARP exposes a ``resolver`` service of type ``nsProvider``; IP connects its
+``res`` (``nsClient``) service to it and calls :meth:`ArpRouter.resolve`
+while establishing a path, freezing the Ethernet destination into the
+path's attributes.
+
+The cache can be preloaded (the common configuration for experiments) and
+learns from a host registry attached to the segment.  A full asynchronous
+request/reply exchange is deliberately out of scope: path creation in
+Scout is synchronous, and the paper treats address resolution as a solved
+sub-problem.  Unresolvable addresses raise, which aborts path creation —
+the right failure mode for a path whose invariants cannot be satisfied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.errors import PathCreationError
+from ..core.graph import register_router
+from ..core.router import Router
+from .addresses import EthAddr, IpAddr
+
+
+@register_router("ArpRouter")
+class ArpRouter(Router):
+    """Address resolution: IP address -> Ethernet address."""
+
+    SERVICES = ("resolver:nsProvider", "<down:net")
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._cache: Dict[IpAddr, EthAddr] = {}
+        # statistics
+        self.hits = 0
+        self.misses = 0
+
+    # -- table management --------------------------------------------------------
+
+    def add_entry(self, ip, mac) -> None:
+        """Preload a static mapping (boot-time configuration)."""
+        self._cache[IpAddr(ip)] = EthAddr(mac)
+
+    def learn_from_segment(self, segment) -> None:
+        """Populate the cache from every host on an attached segment that
+        exposes an ``ip`` attribute (our HostAgent remotes do)."""
+        for endpoint in segment.endpoints():
+            ip = getattr(endpoint, "ip", None)
+            if ip is not None:
+                self.add_entry(ip, endpoint.mac)
+
+    # -- the resolver service -------------------------------------------------------
+
+    def resolve(self, ip) -> EthAddr:
+        """Resolve *ip*, raising :class:`PathCreationError` on failure.
+
+        Called synchronously from IP's establish: a path whose peer
+        cannot be resolved must not come into existence.
+        """
+        ip = IpAddr(ip)
+        mac = self._cache.get(ip)
+        if mac is None:
+            self.misses += 1
+            raise PathCreationError(f"{self.name}: cannot resolve {ip}")
+        self.hits += 1
+        return mac
+
+    def entries(self) -> Dict[IpAddr, EthAddr]:
+        return dict(self._cache)

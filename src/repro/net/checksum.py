@@ -1,0 +1,36 @@
+"""The Internet checksum (RFC 1071 one's-complement sum).
+
+Used by IP (header checksum), UDP (optional payload checksum — the one
+Section 4.1 suggests fusing into MPEG's data read via a path
+transformation), and ICMP.
+"""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement checksum of *data*.
+
+    Odd-length input is zero-padded, per the RFC.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True when *data* (including its embedded checksum field) sums to a
+    valid one's-complement zero."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total == 0xFFFF

@@ -1,0 +1,70 @@
+"""Conventions shared by the protocol routers.
+
+**Cost charging.**  Stage deliver functions are logically instantaneous
+(the core is simulator-agnostic); they *record* their CPU cost on the
+message via :func:`charge`.  The kernel's path thread collects the
+accumulated cost after a traversal and yields ``Compute`` for it, so the
+virtual CPU pays exactly what the stages declared.
+
+**Classifier context.**  Refining routers stash what they parsed in
+``msg.meta`` (e.g. ``ip_src``, ``udp_ports``) so higher routers can
+complete classification without re-walking lower headers — the same
+whole-header-stack view a real packet classifier compiles.
+
+**Net-specific path attributes.**  Extra ``PA_*`` names used only by the
+networking routers live here rather than in :mod:`repro.core.attributes`.
+"""
+
+from __future__ import annotations
+
+from ..core.message import Msg
+
+#: Local UDP/TCP port requested for the path (else ephemeral).
+PA_LOCAL_PORT = "PA_LOCAL_PORT"
+
+#: Resolved Ethernet destination for the path (set by IP's establish).
+PA_ETH_DST = "PA_ETH_DST"
+
+#: Ethertype the layer above ETH speaks (set by IP/ARP during creation).
+PA_ETHERTYPE = "PA_ETHERTYPE"
+
+#: Truthy to enable the optional UDP payload checksum on this path.
+PA_UDP_CHECKSUM = "PA_UDP_CHECKSUM"
+
+#: Key under which stages accumulate CPU cost on a message.
+COST_KEY = "cost_us"
+
+
+def charge(msg: Msg, us: float) -> None:
+    """Record *us* microseconds of CPU cost against *msg*'s traversal."""
+    msg.meta[COST_KEY] = msg.meta.get(COST_KEY, 0.0) + us
+
+
+def take_cost(msg: Msg) -> float:
+    """Remove and return the accumulated traversal cost."""
+    return msg.meta.pop(COST_KEY, 0.0)
+
+
+def peek_cost(msg: Msg) -> float:
+    """Return the accumulated traversal cost without clearing it."""
+    return msg.meta.get(COST_KEY, 0.0)
+
+
+def forward_or_deposit(iface, msg: Msg, direction: int, **kwargs):
+    """Forward *msg* to the next interface, or — when this stage is the
+    end of the path — deposit it on the path's output queue.
+
+    This is what lets the same router serve as an interior stage in one
+    path (MFLOW below MPEG in Figure 9) and the top of another (an
+    MFLOW-terminated measurement path): the extreme stage's deliver is
+    responsible for connecting to "the routers that manage the path
+    queues", which in the library means the output queue itself.
+    """
+    from ..core.stage import forward  # local import: avoid cycle at load
+
+    if iface.next is not None:
+        return forward(iface, msg, direction, **kwargs)
+    stage = iface.stage
+    if not stage.path.output_queue(direction).try_enqueue(msg):
+        msg.meta["drop_reason"] = "path output queue full"
+    return None

@@ -1,0 +1,130 @@
+"""The ETH router: Ethernet framing and the device boundary.
+
+ETH is the bottom of every network path (Figures 3, 6, 9).  On the send
+side its stage pushes the Ethernet header and hands the frame to the NIC;
+on the receive side the *kernel* (not the router) runs the classifier at
+interrupt time and deposits the message on a path's input queue, after
+which the path thread enters the path at the ETH stage, which pops the
+header and forwards upward.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .. import params
+from ..core.attributes import Attrs
+from ..core.message import Msg
+from ..core.router import DemuxResult, NextHop, Router, Service
+from ..core.stage import BWD, FWD, Stage, forward
+from ..core.graph import register_router
+from .addresses import EthAddr
+from .common import PA_ETH_DST, PA_ETHERTYPE, charge
+from .headers import EthHeader
+from .segment import NetDevice
+
+
+class EthStage(Stage):
+    """ETH's contribution to a path (an extreme stage)."""
+
+    def __init__(self, router: "EthRouter", enter_service: Optional[Service]):
+        super().__init__(router, enter_service, None)
+        self.dst_mac: Optional[EthAddr] = None
+        self.ethertype = 0
+        self.set_deliver(FWD, self._send)
+        self.set_deliver(BWD, self._receive)
+
+    def establish(self, attrs: Attrs) -> None:
+        """Freeze the frame header fields for this path.
+
+        The destination MAC was resolved (via ARP) by the IP stage's
+        establish, which recorded it in the path attributes — stages
+        sharing state anonymously through attrs, as Section 3.2 describes.
+        """
+        dst = attrs.get(PA_ETH_DST)
+        self.dst_mac = EthAddr(dst) if dst is not None else EthAddr.BROADCAST
+        self.ethertype = attrs.get(PA_ETHERTYPE, 0)
+
+    def _send(self, iface, msg: Msg, direction: int, **kwargs) -> None:
+        router: EthRouter = self.router  # type: ignore[assignment]
+        charge(msg, params.ETH_PROC_US)
+        # Catch-all paths (ICMP echo) have no frozen destination; the
+        # responding stage supplies a per-message override instead.
+        dst = msg.meta.get("eth_dst_override") or self.dst_mac \
+            or EthAddr.BROADCAST
+        msg.push(EthHeader(dst, router.mac, self.ethertype).pack())
+        router.transmit(msg)
+
+    def _receive(self, iface, msg: Msg, direction: int, **kwargs):
+        charge(msg, params.ETH_PROC_US)
+        if len(msg) < EthHeader.SIZE:
+            msg.meta["drop_reason"] = "runt frame"
+            return None
+        msg.meta["eth_header"] = EthHeader.unpack(msg.peek(EthHeader.SIZE))
+        msg.pop(EthHeader.SIZE)
+        return forward(iface, msg, direction, **kwargs)
+
+
+@register_router("EthRouter")
+class EthRouter(Router):
+    """Driver router for one Ethernet adapter."""
+
+    SERVICES = ("up:net",)
+
+    def __init__(self, name: str, mac: str = "02:00:00:00:00:01",
+                 mtu: int = params.ETH_MTU):
+        super().__init__(name)
+        self.mac = EthAddr(mac)
+        self.mtu = mtu
+        self.device: Optional[NetDevice] = None
+        #: ethertype -> (router, service) registrations from upper layers.
+        self._ethertype_peers: dict = {}
+        # statistics
+        self.tx_frames = 0
+
+    # -- wiring -----------------------------------------------------------------
+
+    def attach_device(self, device: NetDevice) -> None:
+        self.device = device
+
+    def register_ethertype(self, ethertype: int, router: Router,
+                           service: Service) -> None:
+        """Upper layers (IP, ARP) register the ethertype they speak; both
+        routing refinement (demux) and payload dispatch use this table."""
+        self._ethertype_peers[ethertype] = (router, service)
+
+    def payload_mtu(self) -> int:
+        """Bytes available to the layer above per frame."""
+        return self.mtu
+
+    # -- path creation -------------------------------------------------------------
+
+    def create_stage(self, enter_service: int, attrs: Attrs
+                     ) -> Tuple[Stage, Optional[NextHop]]:
+        enter = self.services[enter_service] if enter_service >= 0 else None
+        return EthStage(self, enter), None  # ETH is always a leaf
+
+    # -- classification ---------------------------------------------------------------
+
+    def demux(self, msg: Msg, service: Optional[Service],
+              offset: int = 0) -> DemuxResult:
+        if len(msg) < offset + EthHeader.SIZE:
+            return DemuxResult.drop(f"{self.name}: runt frame")
+        header = EthHeader.unpack(msg.peek(EthHeader.SIZE, at=offset))
+        if header.dst != self.mac and not header.dst.is_broadcast:
+            return DemuxResult.drop(f"{self.name}: not our MAC ({header.dst})")
+        peer = self._ethertype_peers.get(header.ethertype)
+        if peer is None:
+            return DemuxResult.drop(
+                f"{self.name}: no protocol for ethertype 0x{header.ethertype:04x}")
+        msg.meta["eth_src"] = header.src
+        return DemuxResult.refine(peer[0], peer[1], consumed=EthHeader.SIZE)
+
+    # -- transmission -------------------------------------------------------------------
+
+    def transmit(self, msg: Msg) -> None:
+        """Hand a fully framed message to the adapter."""
+        if self.device is None:
+            raise RuntimeError(f"{self.name} has no attached device")
+        self.tx_frames += 1
+        self.device.send(msg.to_bytes())

@@ -1,0 +1,252 @@
+"""Wire formats for the demonstration protocols.
+
+Each header is a small value class with ``pack()`` / ``unpack()`` over
+``struct``.  The MFLOW header is our rendering of the paper's flow-control
+protocol: a sequence number for ordered-but-unreliable delivery, a
+timestamp for RTT measurement ("MFLOW can measure the round-trip latency
+by putting a timestamp in its header"), and the advertised window
+("MFLOW advertises the maximum sequence number that it is willing to
+receive").
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import ClassVar
+
+from .addresses import EthAddr, IpAddr
+from .checksum import internet_checksum
+
+# Ethertypes / protocol numbers
+ETHERTYPE_IP = 0x0800
+ETHERTYPE_ARP = 0x0806
+IPPROTO_ICMP = 1
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+# IP flags
+IP_FLAG_MORE_FRAGMENTS = 0x1
+
+
+class EthHeader:
+    """Ethernet II: dst(6) src(6) ethertype(2)."""
+
+    FORMAT: ClassVar[str] = "!6s6sH"
+    SIZE: ClassVar[int] = struct.calcsize(FORMAT)
+
+    __slots__ = ("dst", "src", "ethertype")
+
+    def __init__(self, dst: EthAddr, src: EthAddr, ethertype: int):
+        self.dst = dst
+        self.src = src
+        self.ethertype = ethertype
+
+    def pack(self) -> bytes:
+        return struct.pack(self.FORMAT, self.dst.to_bytes(),
+                           self.src.to_bytes(), self.ethertype)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthHeader":
+        dst, src, ethertype = struct.unpack(cls.FORMAT, data[:cls.SIZE])
+        return cls(EthAddr(dst), EthAddr(src), ethertype)
+
+    def __repr__(self) -> str:
+        return f"Eth({self.src}->{self.dst} type=0x{self.ethertype:04x})"
+
+
+class IpHeader:
+    """IPv4 without options: 20 bytes."""
+
+    FORMAT: ClassVar[str] = "!BBHHHBBH4s4s"
+    SIZE: ClassVar[int] = struct.calcsize(FORMAT)
+
+    __slots__ = ("total_length", "ident", "flags", "frag_offset", "ttl",
+                 "proto", "src", "dst")
+
+    def __init__(self, total_length: int, ident: int, proto: int,
+                 src: IpAddr, dst: IpAddr, ttl: int = 64,
+                 flags: int = 0, frag_offset: int = 0):
+        self.total_length = total_length
+        self.ident = ident
+        self.flags = flags
+        self.frag_offset = frag_offset  # in 8-byte units, per the RFC
+        self.ttl = ttl
+        self.proto = proto
+        self.src = src
+        self.dst = dst
+
+    @property
+    def more_fragments(self) -> bool:
+        return bool(self.flags & IP_FLAG_MORE_FRAGMENTS)
+
+    @property
+    def is_fragment(self) -> bool:
+        """True for any packet that is part of a fragmented datagram."""
+        return self.more_fragments or self.frag_offset != 0
+
+    def pack(self) -> bytes:
+        ver_ihl = (4 << 4) | 5
+        flags_frag = (self.flags << 13) | (self.frag_offset & 0x1FFF)
+        without_cksum = struct.pack(
+            self.FORMAT, ver_ihl, 0, self.total_length, self.ident,
+            flags_frag, self.ttl, self.proto, 0,
+            self.src.to_bytes(), self.dst.to_bytes())
+        cksum = internet_checksum(without_cksum)
+        return without_cksum[:10] + struct.pack("!H", cksum) + without_cksum[12:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IpHeader":
+        (ver_ihl, _tos, total_length, ident, flags_frag, ttl, proto,
+         _cksum, src, dst) = struct.unpack(cls.FORMAT, data[:cls.SIZE])
+        if ver_ihl >> 4 != 4:
+            raise ValueError(f"not an IPv4 header (version {ver_ihl >> 4})")
+        header = cls(total_length, ident, proto, IpAddr(src), IpAddr(dst),
+                     ttl=ttl, flags=flags_frag >> 13,
+                     frag_offset=flags_frag & 0x1FFF)
+        return header
+
+    def __repr__(self) -> str:
+        frag = f" frag@{self.frag_offset * 8}{'+' if self.more_fragments else ''}" \
+            if self.is_fragment else ""
+        return f"Ip({self.src}->{self.dst} proto={self.proto}{frag})"
+
+
+class UdpHeader:
+    """UDP: sport(2) dport(2) length(2) checksum(2)."""
+
+    FORMAT: ClassVar[str] = "!HHHH"
+    SIZE: ClassVar[int] = struct.calcsize(FORMAT)
+
+    __slots__ = ("sport", "dport", "length", "checksum")
+
+    def __init__(self, sport: int, dport: int, length: int, checksum: int = 0):
+        self.sport = sport
+        self.dport = dport
+        self.length = length
+        self.checksum = checksum
+
+    def pack(self) -> bytes:
+        return struct.pack(self.FORMAT, self.sport, self.dport,
+                           self.length, self.checksum)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UdpHeader":
+        return cls(*struct.unpack(cls.FORMAT, data[:cls.SIZE]))
+
+    def __repr__(self) -> str:
+        return f"Udp({self.sport}->{self.dport} len={self.length})"
+
+
+class IcmpHeader:
+    """ICMP echo: type(1) code(1) cksum(2) id(2) seq(2)."""
+
+    FORMAT: ClassVar[str] = "!BBHHH"
+    SIZE: ClassVar[int] = struct.calcsize(FORMAT)
+
+    ECHO_REQUEST = 8
+    ECHO_REPLY = 0
+
+    __slots__ = ("icmp_type", "code", "ident", "seq")
+
+    def __init__(self, icmp_type: int, ident: int, seq: int, code: int = 0):
+        self.icmp_type = icmp_type
+        self.code = code
+        self.ident = ident
+        self.seq = seq
+
+    def pack(self) -> bytes:
+        without = struct.pack(self.FORMAT, self.icmp_type, self.code, 0,
+                              self.ident, self.seq)
+        cksum = internet_checksum(without)
+        return without[:2] + struct.pack("!H", cksum) + without[4:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IcmpHeader":
+        icmp_type, code, _cksum, ident, seq = struct.unpack(
+            cls.FORMAT, data[:cls.SIZE])
+        return cls(icmp_type, ident, seq, code=code)
+
+    def __repr__(self) -> str:
+        kind = {8: "echo-req", 0: "echo-reply"}.get(self.icmp_type,
+                                                    str(self.icmp_type))
+        return f"Icmp({kind} id={self.ident} seq={self.seq})"
+
+
+class TcpHeader:
+    """Simplified TCP: sport(2) dport(2) seq(4) ack(4) flags(2) win(2)."""
+
+    FORMAT: ClassVar[str] = "!HHIIHH"
+    SIZE: ClassVar[int] = struct.calcsize(FORMAT)
+
+    FLAG_SYN = 0x02
+    FLAG_ACK = 0x10
+    FLAG_FIN = 0x01
+
+    __slots__ = ("sport", "dport", "seq", "ack", "flags", "window")
+
+    def __init__(self, sport: int, dport: int, seq: int, ack: int = 0,
+                 flags: int = 0, window: int = 8192):
+        self.sport = sport
+        self.dport = dport
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.window = window
+
+    def pack(self) -> bytes:
+        return struct.pack(self.FORMAT, self.sport, self.dport, self.seq,
+                           self.ack, self.flags, self.window)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TcpHeader":
+        sport, dport, seq, ack, flags, window = struct.unpack(
+            cls.FORMAT, data[:cls.SIZE])
+        return cls(sport, dport, seq, ack=ack, flags=flags, window=window)
+
+    def __repr__(self) -> str:
+        return f"Tcp({self.sport}->{self.dport} seq={self.seq} ack={self.ack})"
+
+
+class MflowHeader:
+    """MFLOW: seq(4) timestamp_us(4) window(2) flags(1) pad(1).
+
+    ``flags`` bit 0 marks a window-advertisement (no payload); bit 1 marks
+    the first packet of a video frame (ALF framing aid).
+    """
+
+    FORMAT: ClassVar[str] = "!IIHBB"
+    SIZE: ClassVar[int] = struct.calcsize(FORMAT)
+
+    FLAG_WINDOW_ADV = 0x1
+    FLAG_FRAME_START = 0x2
+
+    __slots__ = ("seq", "timestamp_us", "window", "flags")
+
+    def __init__(self, seq: int, timestamp_us: int, window: int = 0,
+                 flags: int = 0):
+        self.seq = seq & 0xFFFFFFFF
+        self.timestamp_us = timestamp_us & 0xFFFFFFFF
+        self.window = window
+        self.flags = flags
+
+    @property
+    def is_window_adv(self) -> bool:
+        return bool(self.flags & self.FLAG_WINDOW_ADV)
+
+    @property
+    def is_frame_start(self) -> bool:
+        return bool(self.flags & self.FLAG_FRAME_START)
+
+    def pack(self) -> bytes:
+        return struct.pack(self.FORMAT, self.seq, self.timestamp_us,
+                           self.window, self.flags, 0)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "MflowHeader":
+        seq, ts, window, flags, _pad = struct.unpack(cls.FORMAT,
+                                                     data[:cls.SIZE])
+        return cls(seq, ts, window=window, flags=flags)
+
+    def __repr__(self) -> str:
+        kind = "wadv" if self.is_window_adv else "data"
+        return f"Mflow({kind} seq={self.seq} win={self.window})"

@@ -1,0 +1,108 @@
+"""The ICMP router: echo request/reply (the Table 2 load generator target).
+
+The Scout kernel creates one wide, low-priority ICMP path at boot
+(ICMP -> IP -> ETH).  Echo requests classified to it wait in its input
+queue until its (low-priority) thread runs; the reply is generated inside
+the path and turned around toward the requester.  Under the Table 2 flood
+this is exactly the early segregation the paper demonstrates: video work
+never waits behind ICMP work.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .. import params
+from ..core.attributes import PA_PROTID, Attrs
+from ..core.graph import register_router
+from ..core.message import Msg
+from ..core.router import DemuxResult, NextHop, Router, Service
+from ..core.stage import BWD, FWD, Stage, forward, turn_around
+from .common import charge
+from .headers import IcmpHeader, IPPROTO_ICMP
+from .ip import PA_IP_CATCHALL
+
+
+class IcmpStage(Stage):
+    """ICMP's contribution to the echo path."""
+
+    def __init__(self, router: "IcmpRouter", enter_service, exit_service):
+        super().__init__(router, enter_service, exit_service)
+        self.set_deliver(FWD, self._send)
+        self.set_deliver(BWD, self._receive)
+
+    def _send(self, iface, msg: Msg, direction: int, **kwargs):
+        charge(msg, params.ICMP_PROC_US / 2)
+        return forward(iface, msg, direction, **kwargs)
+
+    def _receive(self, iface, msg: Msg, direction: int, **kwargs):
+        router: IcmpRouter = self.router  # type: ignore[assignment]
+        charge(msg, params.ICMP_PROC_US)
+        if len(msg) < IcmpHeader.SIZE:
+            msg.meta["drop_reason"] = "short ICMP packet"
+            return None
+        header = IcmpHeader.unpack(msg.peek(IcmpHeader.SIZE))
+        msg.pop(IcmpHeader.SIZE)
+        if header.icmp_type != IcmpHeader.ECHO_REQUEST:
+            msg.meta["drop_reason"] = f"unhandled ICMP type {header.icmp_type}"
+            return None
+        router.echo_requests += 1
+        reply = Msg(IcmpHeader(IcmpHeader.ECHO_REPLY, header.ident,
+                               header.seq).pack() + msg.to_bytes())
+        # Address the reply to the requester using classifier context.
+        if "ip_src" in msg.meta:
+            reply.meta["ip_dst_override"] = msg.meta["ip_src"]
+        if "eth_src" in msg.meta:
+            reply.meta["eth_dst_override"] = msg.meta["eth_src"]
+        reply.meta["ip_proto_override"] = IPPROTO_ICMP
+        router.echo_replies += 1
+        turn_around(iface, reply, direction)
+        # Reply traversal cost is paid by this path's thread too.
+        charge(msg, reply.meta.get("cost_us", 0.0))
+        return None  # the request is fully absorbed
+
+
+@register_router("IcmpRouter")
+class IcmpRouter(Router):
+    """The ICMP protocol router."""
+
+    SERVICES = ("<down:net",)
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        #: The wide echo path, bound by the kernel after boot.
+        self.echo_path = None
+        self.echo_requests = 0
+        self.echo_replies = 0
+
+    def init(self) -> None:
+        super().init()
+        down = self.service("down").sole_link()
+        ip_router, _service = down.peer_of(self.service("down"))
+        register = getattr(ip_router, "register_proto", None)
+        if register is not None:
+            register(IPPROTO_ICMP, self, self.service("down"))
+
+    def create_stage(self, enter_service: int, attrs: Attrs
+                     ) -> Tuple[Optional[Stage], Optional[NextHop]]:
+        enter = self.services[enter_service] if enter_service >= 0 else None
+        down = self.service("down")
+        if len(down.links) != 1:
+            return None, None
+        peer_router, peer_service = down.links[0].peer_of(down)
+        stage = IcmpStage(self, enter, down)
+        hop_attrs = attrs.extended(**{PA_PROTID: IPPROTO_ICMP,
+                                      PA_IP_CATCHALL: True})
+        return stage, NextHop(peer_router, peer_service, hop_attrs)
+
+    def demux(self, msg: Msg, service: Optional[Service],
+              offset: int = 0) -> DemuxResult:
+        if self.echo_path is None:
+            return DemuxResult.drop(f"{self.name}: no echo path bound")
+        if len(msg) < offset + IcmpHeader.SIZE:
+            return DemuxResult.drop(f"{self.name}: short ICMP packet")
+        header = IcmpHeader.unpack(msg.peek(IcmpHeader.SIZE, at=offset))
+        if header.icmp_type != IcmpHeader.ECHO_REQUEST:
+            return DemuxResult.drop(
+                f"{self.name}: unhandled ICMP type {header.icmp_type}")
+        return DemuxResult.found(self.echo_path)

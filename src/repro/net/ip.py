@@ -1,0 +1,311 @@
+"""The IP router: routing by local knowledge, fragmentation, reassembly.
+
+IP is the paper's worked example of *local* knowledge in path creation
+(Section 2.2): "if IP can determine that the remote host is on the same
+Ethernet as the local host" the routing decision can be frozen; otherwise
+"IP can not be sure whether data will go out through ATM or FDDI" and the
+path must end at IP.  ``create_stage`` implements exactly that rule.
+
+IP is also where the classifier's *best-effort* semantics show up
+(Section 3.5): fragments are handed to a short/fat catch-all path that
+knows how to reassemble them, and "once the full datagram is available,
+the IP protocol can rerun the classifier to find the next path".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional, Tuple
+
+from .. import params
+from ..core.attributes import PA_NET_PARTICIPANTS, Attrs
+from ..core.graph import register_router
+from ..core.message import Msg
+from ..core.router import DemuxResult, NextHop, Router, Service
+from ..core.stage import BWD, FWD, Stage, forward
+from .addresses import IpAddr
+from .common import PA_ETH_DST, PA_ETHERTYPE, charge, forward_or_deposit
+from .headers import ETHERTYPE_IP, IP_FLAG_MORE_FRAGMENTS, IpHeader
+
+#: Attribute marking the wide catch-all path that accepts any datagram
+#: (used for the fragment-reassembly path).
+PA_IP_CATCHALL = "PA_IP_CATCHALL"
+
+def _next_ident16(counter=itertools.count(1)) -> int:
+    return next(counter) & 0xFFFF
+
+
+class _ReassemblyBuffer:
+    """Fragments of one datagram, keyed by (src, ident) at the stage."""
+
+    __slots__ = ("pieces", "total_end")
+
+    def __init__(self) -> None:
+        self.pieces: Dict[int, bytes] = {}   # byte offset -> payload
+        self.total_end: Optional[int] = None  # set when the MF=0 piece lands
+
+    def add(self, offset: int, payload: bytes, more_fragments: bool) -> None:
+        self.pieces[offset] = payload
+        if not more_fragments:
+            self.total_end = offset + len(payload)
+
+    def complete(self) -> bool:
+        if self.total_end is None:
+            return False
+        covered = 0
+        for offset in sorted(self.pieces):
+            if offset > covered:
+                return False  # gap
+            covered = max(covered, offset + len(self.pieces[offset]))
+        return covered >= self.total_end
+
+    def assemble(self) -> bytes:
+        out = bytearray()
+        for offset in sorted(self.pieces):
+            piece = self.pieces[offset]
+            if offset < len(out):
+                piece = piece[len(out) - offset:]  # overlap trim
+            out += piece
+        return bytes(out[: self.total_end])
+
+
+class IpStage(Stage):
+    """IP's contribution to a path."""
+
+    #: Cap on simultaneously reassembling datagrams per stage; oldest is
+    #: evicted first.  Stands in for the RFC's reassembly timeout (virtual
+    #: time makes a strict timer an unnecessary complication here).
+    MAX_REASSEMBLY = 32
+
+    def __init__(self, router: "IpRouter", enter_service: Optional[Service],
+                 exit_service: Optional[Service], proto: int,
+                 remote_ip: Optional[IpAddr], catchall: bool):
+        super().__init__(router, enter_service, exit_service)
+        self.proto = proto
+        self.remote_ip = remote_ip
+        self.catchall = catchall
+        self._buffers: Dict[Tuple[IpAddr, int], _ReassemblyBuffer] = {}
+        self.fragments_sent = 0
+        self.datagrams_reassembled = 0
+        self.set_deliver(FWD, self._send)
+        self.set_deliver(BWD, self._receive)
+
+    def establish(self, attrs: Attrs) -> None:
+        """Resolve the peer's MAC via the ARP resolver service and record
+        it for the ETH stage — the nsClient edge of Figure 6 in action."""
+        router: IpRouter = self.router  # type: ignore[assignment]
+        if self.remote_ip is not None and self.exit_service is not None:
+            # Only a path that actually continues to a link layer needs the
+            # peer's MAC; a path truncated at IP (off-net peer) does not.
+            attrs[PA_ETH_DST] = router.resolve(self.remote_ip)
+        attrs[PA_ETHERTYPE] = ETHERTYPE_IP
+
+    # -- send: header push + fragmentation ---------------------------------------
+
+    def _send(self, iface, msg: Msg, direction: int, **kwargs):
+        router: IpRouter = self.router  # type: ignore[assignment]
+        charge(msg, params.IP_PROC_US)
+        # Catch-all paths carry per-message destinations (echo replies).
+        dst = msg.meta.get("ip_dst_override") or self.remote_ip
+        proto = msg.meta.get("ip_proto_override", self.proto)
+        if dst is None:
+            msg.meta["drop_reason"] = "IP path has no remote participant"
+            return None
+        payload_mtu = router.frame_payload_mtu() - IpHeader.SIZE
+        if len(msg) <= payload_mtu:
+            header = IpHeader(IpHeader.SIZE + len(msg), _next_ident16(),
+                              proto, router.addr, dst)
+            msg.push(header.pack())
+            return forward(iface, msg, direction, **kwargs)
+        return self._send_fragments(iface, msg, direction, payload_mtu,
+                                    dst=dst, proto=proto, **kwargs)
+
+    def _send_fragments(self, iface, msg: Msg, direction: int,
+                        payload_mtu: int, dst: IpAddr, proto: int, **kwargs):
+        router: IpRouter = self.router  # type: ignore[assignment]
+        chunk = payload_mtu - (payload_mtu % 8)  # offsets are 8-byte units
+        ident = _next_ident16()
+        offset = 0
+        result = None
+        while len(msg) > 0:
+            take = min(chunk, len(msg))
+            piece = msg.split(take)
+            more = len(msg) > 0
+            header = IpHeader(
+                IpHeader.SIZE + take, ident, proto,
+                router.addr, dst,
+                flags=IP_FLAG_MORE_FRAGMENTS if more else 0,
+                frag_offset=offset // 8)
+            piece.push(header.pack())
+            charge(piece, params.IP_FRAG_PER_FRAG_US)
+            self.fragments_sent += 1
+            offset += take
+            result = forward(iface, piece, direction, **kwargs)
+        return result
+
+    # -- receive: validation + reassembly -------------------------------------------
+
+    def _receive(self, iface, msg: Msg, direction: int, **kwargs):
+        router: IpRouter = self.router  # type: ignore[assignment]
+        charge(msg, params.IP_PROC_US)
+        if len(msg) < IpHeader.SIZE:
+            msg.meta["drop_reason"] = "short IP packet"
+            router.rx_dropped += 1
+            return None
+        header = IpHeader.unpack(msg.peek(IpHeader.SIZE))
+        if header.dst != router.addr:
+            msg.meta["drop_reason"] = f"IP dst {header.dst} is not {router.addr}"
+            router.rx_dropped += 1
+            return None
+        msg.pop(IpHeader.SIZE)
+        # Trim link-layer padding beyond the IP total length.
+        payload_len = header.total_length - IpHeader.SIZE
+        if len(msg) > payload_len:
+            tail = msg.to_bytes()[:payload_len]
+            trimmed = Msg(tail, meta=msg.meta)
+            msg = trimmed
+        msg.meta["ip_header"] = header
+        if header.is_fragment:
+            charge(msg, params.IP_FRAG_PER_FRAG_US)
+            return self._receive_fragment(iface, header, msg, direction,
+                                          **kwargs)
+        return forward_or_deposit(iface, msg, direction, **kwargs)
+
+    def _receive_fragment(self, iface, header: IpHeader, msg: Msg,
+                          direction: int, **kwargs):
+        router: IpRouter = self.router  # type: ignore[assignment]
+        key = (header.src, header.ident)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            if len(self._buffers) >= self.MAX_REASSEMBLY:
+                oldest = next(iter(self._buffers))
+                del self._buffers[oldest]
+                router.reassembly_evictions += 1
+            buffer = self._buffers[key] = _ReassemblyBuffer()
+        buffer.add(header.frag_offset * 8, msg.to_bytes(),
+                   header.more_fragments)
+        if not buffer.complete():
+            return None  # absorbed: most fragments produce no output
+        del self._buffers[key]
+        self.datagrams_reassembled += 1
+        whole = Msg(buffer.assemble(), meta=msg.meta)
+        rebuilt = IpHeader(IpHeader.SIZE + len(whole), header.ident,
+                           header.proto, header.src, header.dst)
+        whole.meta["ip_header"] = rebuilt
+        if self.catchall:
+            # Short/fat path's job ends here: rerun the classifier on the
+            # assembled datagram so it reaches the path that wants it.
+            return router.reclassify(whole, rebuilt)
+        return forward_or_deposit(iface, whole, direction, **kwargs)
+
+
+@register_router("IpRouter")
+class IpRouter(Router):
+    """The IP protocol router."""
+
+    SERVICES = ("up:net", "<down:net", "res:nsClient")
+
+    def __init__(self, name: str, addr: str = "10.0.0.1",
+                 prefix_len: int = 24):
+        super().__init__(name)
+        self.addr = IpAddr(addr)
+        self.prefix_len = prefix_len
+        self._proto_peers: Dict[int, Tuple[Router, Service]] = {}
+        #: The wide reassembly path fragments are classified to.
+        self.frag_path = None
+        #: Kernel hook receiving reassembled datagrams for reclassification
+        #: (set by the Scout kernel; see ScoutKernel._reclassify).
+        self.reclassify_hook: Optional[Callable[[Msg, IpHeader], None]] = None
+        # statistics
+        self.rx_dropped = 0
+        self.reassembly_evictions = 0
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def init(self) -> None:
+        super().init()
+        down = self.service("down").sole_link()
+        eth_router, _service = down.peer_of(self.service("down"))
+        register = getattr(eth_router, "register_ethertype", None)
+        if register is not None:
+            register(ETHERTYPE_IP, self, self.service("up"))
+
+    def register_proto(self, proto: int, router: Router,
+                       service: Service) -> None:
+        """Transport routers (UDP, TCP, ICMP) register their protocol id."""
+        self._proto_peers[proto] = (router, service)
+
+    def resolve(self, ip: IpAddr):
+        """Resolve *ip* through the connected nsProvider (ARP)."""
+        res = self.service("res").sole_link()
+        arp_router, _service = res.peer_of(self.service("res"))
+        return arp_router.resolve(ip)
+
+    def frame_payload_mtu(self) -> int:
+        down = self.service("down").sole_link()
+        eth_router, _service = down.peer_of(self.service("down"))
+        return eth_router.payload_mtu()
+
+    # -- path creation ------------------------------------------------------------------
+
+    def create_stage(self, enter_service: int, attrs: Attrs
+                     ) -> Tuple[Optional[Stage], Optional[NextHop]]:
+        enter = self.services[enter_service] if enter_service >= 0 else None
+        catchall = bool(attrs.get(PA_IP_CATCHALL))
+        remote_ip: Optional[IpAddr] = None
+        if not catchall:
+            participants = attrs.get(PA_NET_PARTICIPANTS)
+            if participants is None:
+                return None, None  # invariants too weak: path ends before IP
+            remote_ip = IpAddr(participants[0])
+        proto = attrs.get("PA_PROTID", 0)
+        down = self.service("down")
+        # The local-knowledge routing rule: freeze the decision only when
+        # there is exactly one lower network and (for addressed paths) the
+        # peer is directly on it.
+        if len(down.links) != 1:
+            stage = IpStage(self, enter, None, proto, remote_ip, catchall)
+            return stage, None  # can't pick among ATM/FDDI/...: path ends
+        if remote_ip is not None and not self.addr.same_network(
+                remote_ip, self.prefix_len):
+            stage = IpStage(self, enter, None, proto, remote_ip, catchall)
+            return stage, None  # routed via a gateway: decision not frozen
+        peer_router, peer_service = down.links[0].peer_of(down)
+        stage = IpStage(self, enter, down, proto, remote_ip, catchall)
+        return stage, NextHop(peer_router, peer_service, attrs)
+
+    # -- classification -------------------------------------------------------------------
+
+    def demux(self, msg: Msg, service: Optional[Service],
+              offset: int = 0) -> DemuxResult:
+        if len(msg) < offset + IpHeader.SIZE:
+            return DemuxResult.drop(f"{self.name}: short IP packet")
+        try:
+            header = IpHeader.unpack(msg.peek(IpHeader.SIZE, at=offset))
+        except ValueError as exc:
+            return DemuxResult.drop(f"{self.name}: {exc}")
+        if header.dst != self.addr:
+            return DemuxResult.drop(f"{self.name}: not our address "
+                                    f"({header.dst})")
+        msg.meta["ip_src"] = header.src
+        msg.meta["ip_proto"] = header.proto
+        if header.is_fragment:
+            if self.frag_path is not None:
+                return DemuxResult.found(self.frag_path)
+            return DemuxResult.drop(
+                f"{self.name}: fragment but no reassembly path configured")
+        peer = self._proto_peers.get(header.proto)
+        if peer is None:
+            return DemuxResult.drop(
+                f"{self.name}: no transport for proto {header.proto}")
+        return DemuxResult.refine(peer[0], peer[1], consumed=IpHeader.SIZE)
+
+    # -- reassembled-datagram handoff ----------------------------------------------------------
+
+    def reclassify(self, msg: Msg, header: IpHeader) -> None:
+        """Hand a freshly reassembled datagram back to the kernel so the
+        classifier can run again and route it to its real path."""
+        if self.reclassify_hook is not None:
+            self.reclassify_hook(msg, header)
+        else:
+            msg.meta["drop_reason"] = "reassembled datagram with no reclassify hook"

@@ -1,0 +1,173 @@
+"""The MFLOW router: the paper's flow-control protocol (Section 4.1).
+
+"The MFLOW router implements a simple flow-control protocol.  MFLOW
+advertises the maximum sequence number that it is willing to receive based
+on the sequence number of the last processed packet and the input queue
+size.  MFLOW uses sequence numbers to ensure ordered, but not reliable,
+delivery of packets to MPEG."
+
+Receive-side behaviour implemented here (the sink; the video *source* is
+a remote host agent):
+
+* data packets out of sequence order are never delivered backwards: stale
+  or duplicate sequence numbers are dropped, gaps are tolerated (ordered,
+  not reliable);
+* after each delivered packet the stage *turns a window advertisement
+  around* through the same path — bidirectionality (Section 2.4.1) in
+  action — advertising ``last_seq + free input-queue slots`` and echoing
+  the sender's timestamp so the source can measure RTT ("MFLOW can
+  measure the round-trip latency by putting a timestamp in its header").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .. import params
+from ..core.attributes import PA_NET_PARTICIPANTS, Attrs
+from ..core.graph import register_router
+from ..core.message import Msg
+from ..core.queues import BWD_IN
+from ..core.router import DemuxResult, NextHop, Router, Service
+from ..core.stage import BWD, FWD, Stage, forward, turn_around
+from .common import charge, forward_or_deposit
+from .headers import MflowHeader
+
+
+class MflowStage(Stage):
+    """MFLOW's contribution to a path (receive side)."""
+
+    def __init__(self, router: "MflowRouter", enter_service, exit_service,
+                 flow_key: Optional[Tuple]):
+        super().__init__(router, enter_service, exit_service)
+        self.flow_key = flow_key
+        self.next_expected = 0
+        self.last_delivered_seq = -1
+        self.stale_drops = 0
+        self.gaps = 0
+        self.window_advs_sent = 0
+        self.set_deliver(FWD, self._send)
+        self.set_deliver(BWD, self._receive)
+
+    def establish(self, attrs: Attrs) -> None:
+        router: MflowRouter = self.router  # type: ignore[assignment]
+        if self.flow_key is not None:
+            router.register_flow(self.flow_key, self.path)
+
+    def destroy(self) -> None:
+        router: MflowRouter = self.router  # type: ignore[assignment]
+        if self.flow_key is not None:
+            router.unregister_flow(self.flow_key)
+
+    # -- send side (window advertisements travel FWD) --------------------------
+
+    def _send(self, iface, msg: Msg, direction: int, **kwargs):
+        charge(msg, params.MFLOW_PROC_US / 2)
+        return forward(iface, msg, direction, **kwargs)
+
+    # -- receive side ------------------------------------------------------------
+
+    def _receive(self, iface, msg: Msg, direction: int, **kwargs):
+        router: MflowRouter = self.router  # type: ignore[assignment]
+        charge(msg, params.MFLOW_PROC_US)
+        if len(msg) < MflowHeader.SIZE:
+            msg.meta["drop_reason"] = "short MFLOW packet"
+            return None
+        header = MflowHeader.unpack(msg.peek(MflowHeader.SIZE))
+        msg.pop(MflowHeader.SIZE)
+        if header.is_window_adv:
+            # We are the sink; an advertisement addressed to us is noise.
+            msg.meta["drop_reason"] = "window advertisement at sink"
+            return None
+        if header.seq < self.next_expected:
+            self.stale_drops += 1
+            msg.meta["drop_reason"] = (
+                f"stale seq {header.seq} < {self.next_expected}")
+            return None
+        if header.seq > self.next_expected:
+            self.gaps += 1  # ordered but not reliable: tolerate the gap
+        self.next_expected = header.seq + 1
+        self.last_delivered_seq = header.seq
+        msg.meta["mflow_header"] = header
+        self._advertise_window(iface, header, msg, direction)
+        return forward_or_deposit(iface, msg, direction, **kwargs)
+
+    def _advertise_window(self, iface, header: MflowHeader, data_msg: Msg,
+                          direction: int) -> None:
+        """Turn a window advertisement around toward the source."""
+        free = self.path.q[BWD_IN].free_slots
+        if free is None:
+            free = 64
+        adv = MflowHeader(self.last_delivered_seq + 1 + free,
+                          header.timestamp_us,  # echoed for RTT measurement
+                          window=free,
+                          flags=MflowHeader.FLAG_WINDOW_ADV)
+        wadv = Msg(adv.pack())
+        # Echo replies and advertisements reuse the data packet's source
+        # as their destination; addressed paths already know it, catch-all
+        # paths read the override.
+        for key in ("ip_dst_override", "udp_dport_override"):
+            if key in data_msg.meta:
+                wadv.meta[key] = data_msg.meta[key]
+        charge(wadv, params.MFLOW_PROC_US / 2)
+        self.window_advs_sent += 1
+        turn_around(iface, wadv, direction)
+        # The advertisement's traversal cost lands on the data message's
+        # account so the path thread pays for it in one Compute.
+        charge(data_msg, wadv.meta.get("cost_us", 0.0))
+
+
+@register_router("MflowRouter")
+class MflowRouter(Router):
+    """The MFLOW protocol router."""
+
+    SERVICES = ("up:net", "<down:net")
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._flows: Dict[Tuple, object] = {}
+
+    # -- flow registry --------------------------------------------------------------
+
+    def register_flow(self, key: Tuple, path) -> None:
+        self._flows[key] = path
+
+    def unregister_flow(self, key: Tuple) -> None:
+        self._flows.pop(key, None)
+
+    @staticmethod
+    def flow_key(remote_ip, remote_port: int) -> Tuple:
+        return (str(remote_ip), int(remote_port))
+
+    # -- path creation ------------------------------------------------------------------
+
+    def create_stage(self, enter_service: int, attrs: Attrs
+                     ) -> Tuple[Optional[Stage], Optional[NextHop]]:
+        enter = self.services[enter_service] if enter_service >= 0 else None
+        participants = attrs.get(PA_NET_PARTICIPANTS)
+        if participants is None:
+            return None, None
+        down = self.service("down")
+        if len(down.links) != 1:
+            return None, None
+        peer_router, peer_service = down.links[0].peer_of(down)
+        key = self.flow_key(participants[0], participants[1])
+        stage = MflowStage(self, enter, down, key)
+        return stage, NextHop(peer_router, peer_service, attrs)
+
+    # -- classification --------------------------------------------------------------------
+
+    def demux(self, msg: Msg, service: Optional[Service],
+              offset: int = 0) -> DemuxResult:
+        """Refinement entry when UDP maps a port to MFLOW rather than to a
+        single path: match the exact flow by the source the lower
+        classifiers stashed in the message meta."""
+        ip_src = msg.meta.get("ip_src")
+        ports = msg.meta.get("udp_ports")
+        if ip_src is None or ports is None:
+            return DemuxResult.drop(f"{self.name}: missing classifier context")
+        key = self.flow_key(ip_src, ports[0])
+        path = self._flows.get(key)
+        if path is None:
+            return DemuxResult.drop(f"{self.name}: no flow for {key}")
+        return DemuxResult.found(path)

@@ -1,0 +1,94 @@
+"""Whole-packet build/parse helpers.
+
+Remote host agents and tests need to construct complete frames without
+walking a path; these helpers pack the header stack in one call and parse
+it back.  The kernels under test never use them on the receive side —
+they run their real protocol routers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import NamedTuple, Optional
+
+from .addresses import EthAddr, IpAddr
+from .headers import (
+    ETHERTYPE_IP,
+    EthHeader,
+    IcmpHeader,
+    IpHeader,
+    IPPROTO_ICMP,
+    IPPROTO_UDP,
+    MflowHeader,
+    UdpHeader,
+)
+
+def _next_ident(counter=itertools.count(1)) -> int:
+    return next(counter) & 0xFFFF
+
+
+def build_udp_frame(src_mac: EthAddr, dst_mac: EthAddr,
+                    src_ip: IpAddr, dst_ip: IpAddr,
+                    sport: int, dport: int, payload: bytes) -> bytes:
+    """Build a complete ETH/IP/UDP frame."""
+    udp = UdpHeader(sport, dport, UdpHeader.SIZE + len(payload)).pack()
+    total = IpHeader.SIZE + len(udp) + len(payload)
+    ip = IpHeader(total, _next_ident(), IPPROTO_UDP, src_ip, dst_ip).pack()
+    eth = EthHeader(dst_mac, src_mac, ETHERTYPE_IP).pack()
+    return eth + ip + udp + payload
+
+
+def build_mflow_frame(src_mac: EthAddr, dst_mac: EthAddr,
+                      src_ip: IpAddr, dst_ip: IpAddr,
+                      sport: int, dport: int,
+                      seq: int, timestamp_us: float, payload: bytes,
+                      window: int = 0, flags: int = 0) -> bytes:
+    """Build ETH/IP/UDP/MFLOW — the video source's data packet."""
+    mflow = MflowHeader(seq, int(timestamp_us), window=window,
+                        flags=flags).pack()
+    return build_udp_frame(src_mac, dst_mac, src_ip, dst_ip,
+                           sport, dport, mflow + payload)
+
+
+def build_icmp_echo(src_mac: EthAddr, dst_mac: EthAddr,
+                    src_ip: IpAddr, dst_ip: IpAddr,
+                    ident: int, seq: int,
+                    reply: bool = False, payload: bytes = b"") -> bytes:
+    """Build an ICMP echo request (or reply) frame."""
+    icmp_type = IcmpHeader.ECHO_REPLY if reply else IcmpHeader.ECHO_REQUEST
+    icmp = IcmpHeader(icmp_type, ident, seq).pack() + payload
+    total = IpHeader.SIZE + len(icmp)
+    ip = IpHeader(total, _next_ident(), IPPROTO_ICMP, src_ip, dst_ip).pack()
+    eth = EthHeader(dst_mac, src_mac, ETHERTYPE_IP).pack()
+    return eth + ip + icmp
+
+
+class ParsedPacket(NamedTuple):
+    """A convenience view of a parsed frame (tests and host agents)."""
+
+    eth: EthHeader
+    ip: Optional[IpHeader]
+    udp: Optional[UdpHeader]
+    icmp: Optional[IcmpHeader]
+    mflow: Optional[MflowHeader]
+    payload: bytes
+
+
+def parse_frame(frame: bytes, expect_mflow: bool = False) -> ParsedPacket:
+    """Parse a frame's header stack as far as it goes."""
+    eth = EthHeader.unpack(frame)
+    rest = frame[EthHeader.SIZE:]
+    ip = udp = icmp = mflow = None
+    if eth.ethertype == ETHERTYPE_IP and len(rest) >= IpHeader.SIZE:
+        ip = IpHeader.unpack(rest)
+        rest = rest[IpHeader.SIZE:]
+        if ip.proto == IPPROTO_UDP and len(rest) >= UdpHeader.SIZE:
+            udp = UdpHeader.unpack(rest)
+            rest = rest[UdpHeader.SIZE:]
+            if expect_mflow and len(rest) >= MflowHeader.SIZE:
+                mflow = MflowHeader.unpack(rest)
+                rest = rest[MflowHeader.SIZE:]
+        elif ip.proto == IPPROTO_ICMP and len(rest) >= IcmpHeader.SIZE:
+            icmp = IcmpHeader.unpack(rest)
+            rest = rest[IcmpHeader.SIZE:]
+    return ParsedPacket(eth, ip, udp, icmp, mflow, rest)

@@ -1,0 +1,167 @@
+"""A simplified TCP router.
+
+TCP appears in the paper's Figure 3 web-server graph and in its examples
+of attribute rewriting ("when FTP forwards a path create operation to TCP,
+it sets PA_PROTID to 21.  If TCP decides to forward path creation to IP,
+it resets the value of PA_PROTID to 6").  The reproduction needs TCP as a
+*substrate*: enough machinery to build the Figure 3 graph, create paths
+through it, move ordered byte-stream data, and acknowledge it — not a
+full congestion-controlled implementation, which none of the paper's
+experiments exercise.
+
+Supported: per-path sequence numbers, in-order delivery with duplicate
+suppression, cumulative ACKs turned around through the path, and the
+PA_PROTID rewrite.  Not modeled: handshake, retransmission, congestion
+control (documented simplification; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Tuple
+
+from .. import params
+from ..core.attributes import PA_NET_PARTICIPANTS, PA_PROTID, Attrs
+from ..core.graph import register_router
+from ..core.message import Msg
+from ..core.router import DemuxResult, NextHop, Router, Service
+from ..core.stage import BWD, FWD, Stage, forward, turn_around
+from .common import PA_LOCAL_PORT, charge, forward_or_deposit
+from .headers import IPPROTO_TCP, TcpHeader
+
+_ephemeral_ports = itertools.count(32768)
+
+
+class TcpStage(Stage):
+    """TCP's contribution to a path."""
+
+    def __init__(self, router: "TcpRouter", enter_service, exit_service,
+                 local_port: int, remote_port: int):
+        super().__init__(router, enter_service, exit_service)
+        self.local_port = local_port
+        self.remote_port = remote_port
+        self.send_seq = 0
+        self.recv_next = 0
+        self.acks_sent = 0
+        self.dup_drops = 0
+        self.set_deliver(FWD, self._send)
+        self.set_deliver(BWD, self._receive)
+
+    def establish(self, attrs: Attrs) -> None:
+        router: TcpRouter = self.router  # type: ignore[assignment]
+        router.bind_port_to_path(self.local_port, self.path)
+
+    def destroy(self) -> None:
+        router: TcpRouter = self.router  # type: ignore[assignment]
+        router.release_port(self.local_port)
+
+    def _send(self, iface, msg: Msg, direction: int, **kwargs):
+        charge(msg, params.TCP_PROC_US)
+        header = TcpHeader(self.local_port, self.remote_port,
+                           seq=self.send_seq, ack=self.recv_next,
+                           flags=TcpHeader.FLAG_ACK)
+        self.send_seq += len(msg)
+        msg.push(header.pack())
+        return forward(iface, msg, direction, **kwargs)
+
+    def _receive(self, iface, msg: Msg, direction: int, **kwargs):
+        router: TcpRouter = self.router  # type: ignore[assignment]
+        charge(msg, params.TCP_PROC_US)
+        if len(msg) < TcpHeader.SIZE:
+            msg.meta["drop_reason"] = "short TCP segment"
+            return None
+        header = TcpHeader.unpack(msg.peek(TcpHeader.SIZE))
+        msg.pop(TcpHeader.SIZE)
+        if header.seq < self.recv_next:
+            self.dup_drops += 1
+            msg.meta["drop_reason"] = f"duplicate seq {header.seq}"
+            return None
+        if header.seq > self.recv_next:
+            # Simplified: out-of-order segments are dropped; the peer's
+            # (unmodeled) retransmission would resupply them.
+            msg.meta["drop_reason"] = (
+                f"out-of-order seq {header.seq} != {self.recv_next}")
+            return None
+        self.recv_next = header.seq + len(msg)
+        msg.meta["tcp_header"] = header
+        self._acknowledge(iface, msg, direction)
+        if len(msg) == 0:
+            return None  # bare ACK
+        return forward_or_deposit(iface, msg, direction, **kwargs)
+
+    def _acknowledge(self, iface, data_msg: Msg, direction: int) -> None:
+        """Turn a cumulative ACK around toward the sender — the paper's
+        piggy-back-acknowledgment motivation for bidirectional paths."""
+        ack = Msg(TcpHeader(self.local_port, self.remote_port,
+                            seq=self.send_seq, ack=self.recv_next,
+                            flags=TcpHeader.FLAG_ACK).pack())
+        for key in ("ip_dst_override", "udp_dport_override"):
+            if key in data_msg.meta:
+                ack.meta[key] = data_msg.meta[key]
+        charge(ack, params.TCP_PROC_US / 2)
+        self.acks_sent += 1
+        turn_around(iface, ack, direction)
+        charge(data_msg, ack.meta.get("cost_us", 0.0))
+
+
+@register_router("TcpRouter")
+class TcpRouter(Router):
+    """The (simplified) TCP protocol router."""
+
+    SERVICES = ("up:net", "<down:net")
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._port_paths: Dict[int, object] = {}
+        self._port_peers: Dict[int, Tuple[Router, Service]] = {}
+
+    def init(self) -> None:
+        super().init()
+        down = self.service("down").sole_link()
+        ip_router, _service = down.peer_of(self.service("down"))
+        register = getattr(ip_router, "register_proto", None)
+        if register is not None:
+            register(IPPROTO_TCP, self, self.service("up"))
+
+    def bind_port_to_path(self, port: int, path) -> None:
+        self._port_paths[port] = path
+
+    def bind_port(self, port: int, router: Router, service: Service) -> None:
+        self._port_peers[port] = (router, service)
+
+    def release_port(self, port: int) -> None:
+        self._port_paths.pop(port, None)
+        self._port_peers.pop(port, None)
+
+    def create_stage(self, enter_service: int, attrs: Attrs
+                     ) -> Tuple[Optional[Stage], Optional[NextHop]]:
+        enter = self.services[enter_service] if enter_service >= 0 else None
+        participants = attrs.get(PA_NET_PARTICIPANTS)
+        if participants is None:
+            return None, None
+        local_port = attrs.get(PA_LOCAL_PORT) or next(_ephemeral_ports)
+        down = self.service("down")
+        if len(down.links) != 1:
+            return None, None
+        peer_router, peer_service = down.links[0].peer_of(down)
+        stage = TcpStage(self, enter, down, local_port, participants[1])
+        # The paper's example rewrite: whatever PA_PROTID the layer above
+        # set (21 for FTP), TCP resets it to 6 for IP.
+        hop_attrs = attrs.extended(**{PA_PROTID: IPPROTO_TCP})
+        return stage, NextHop(peer_router, peer_service, hop_attrs)
+
+    def demux(self, msg: Msg, service: Optional[Service],
+              offset: int = 0) -> DemuxResult:
+        if len(msg) < offset + TcpHeader.SIZE:
+            return DemuxResult.drop(f"{self.name}: short TCP segment")
+        header = TcpHeader.unpack(msg.peek(TcpHeader.SIZE, at=offset))
+        msg.meta["tcp_ports"] = (header.sport, header.dport)
+        path = self._port_paths.get(header.dport)
+        if path is not None:
+            return DemuxResult.found(path)
+        peer = self._port_peers.get(header.dport)
+        if peer is not None:
+            return DemuxResult.refine(peer[0], peer[1],
+                                      consumed=TcpHeader.SIZE)
+        return DemuxResult.drop(
+            f"{self.name}: no listener on port {header.dport}")

@@ -1,0 +1,124 @@
+"""Central cost-model parameters (calibrated once, used everywhere).
+
+All macro experiments run in virtual time on a model of the paper's
+machine (300 MHz Alpha 21064).  The constants below are the *entire*
+calibration surface; EXPERIMENTS.md documents which were fitted to the
+paper's Table 1 Scout column and which are a-priori estimates.  Everything
+downstream (Linux-vs-Scout ratios, Table 2 interference, EDF results) is a
+prediction of the model, not a fit.
+
+Units: microseconds (``_US``), cycles (``_CYCLES``), or per-unit rates.
+"""
+
+# --------------------------------------------------------------------------
+# Machine
+# --------------------------------------------------------------------------
+
+#: CPU clock of the paper's Alpha 21064.
+CPU_MHZ = 300.0
+
+# --------------------------------------------------------------------------
+# Interrupts and classification (Scout kernel)
+# --------------------------------------------------------------------------
+
+#: Hardware interrupt entry/exit + DMA ring bookkeeping per received frame.
+IRQ_OVERHEAD_US = 2.0
+
+#: Scout packet classification per router hop (the demux chain).  Four
+#: hops for a UDP packet lands at ~4.4 us, matching Section 3.6's "less
+#: than 5 us" claim.
+CLASSIFY_PER_HOP_US = 1.1
+
+#: Dropping a packet at the adapter once classification says it is not
+#: wanted (early discard, Section 4.4).
+EARLY_DROP_US = 0.5
+
+# --------------------------------------------------------------------------
+# Per-layer protocol processing (both kernels; Scout pays these inside the
+# path, Linux pays them at softirq time)
+# --------------------------------------------------------------------------
+
+ETH_PROC_US = 3.0      #: Ethernet header handling per packet
+IP_PROC_US = 6.0       #: IP header handling per packet (no fragmentation)
+IP_FRAG_PER_FRAG_US = 4.0   #: extra per fragment emitted/reassembled
+UDP_PROC_US = 4.0      #: UDP header handling per packet
+MFLOW_PROC_US = 4.0    #: MFLOW sequencing/window bookkeeping per packet
+ICMP_PROC_US = 5.0     #: ICMP echo processing per packet
+TCP_PROC_US = 9.0      #: simplified TCP per-segment processing
+
+#: Touching payload bytes (checksum) costs this per byte when enabled.
+CHECKSUM_US_PER_BYTE = 0.004
+
+# --------------------------------------------------------------------------
+# MPEG decode + display cost model (fitted to Table 1's Scout column; see
+# EXPERIMENTS.md for the fit).  Decode cost correlates with frame size in
+# bits — the Section 4.4 admission-control observation — plus a per-
+# macroblock floor; display cost is dithering+blit per pixel.
+# --------------------------------------------------------------------------
+
+DECODE_US_PER_MACROBLOCK = 20.0
+DECODE_US_PER_BIT = 0.133
+DISPLAY_US_PER_PIXEL = 0.05
+
+# --------------------------------------------------------------------------
+# Linux-like baseline kernel structure costs
+# --------------------------------------------------------------------------
+
+#: Kernel/user boundary crossing (read()/recvfrom() syscall).
+LINUX_SYSCALL_US = 20.0
+
+#: Copying packet payload between kernel and user space, per byte.
+LINUX_COPY_US_PER_BYTE = 0.01
+
+#: Kernel protocol processing beyond the hardware IRQ, charged per packet
+#: at softirq (i.e. ahead of all user work) regardless of the packet's
+#: importance — the structural difference Table 2 exposes.
+LINUX_SOFTIRQ_US = 15.0
+
+#: Process context switch.
+LINUX_CSWITCH_US = 25.0
+
+#: The baseline's general-purpose interrupt entry/exit is heavier than
+#: Scout's streamlined one (full register save + generic dispatch through
+#: PALcode on the Alpha).
+LINUX_IRQ_OVERHEAD_US = 15.0
+
+#: Driver-level transmit setup when the kernel originates a packet
+#: (ICMP replies, window advertisements).
+LINUX_TX_DRIVER_US = 15.0
+
+#: In-kernel ICMP echo service beyond generic IP receive: checksum both
+#: ways, reply construction with payload copy.
+LINUX_ICMP_PROC_US = 25.0
+
+#: The decoded frame must be handed to the window system: one extra copy
+#: of the dithered frame (2 bytes/pixel) plus two context switches.  This
+#: is the dominant structural cost behind the Table 1 gap.
+LINUX_FRAME_COPY_US_PER_BYTE = 0.022
+LINUX_DISPLAY_BYTES_PER_PIXEL = 2
+LINUX_DISPLAY_CSWITCHES = 2
+
+# --------------------------------------------------------------------------
+# Network
+# --------------------------------------------------------------------------
+
+ETH_MTU = 1500                 #: Ethernet MTU in bytes
+ETH_HEADER_BYTES = 14
+ETH_BANDWIDTH_MBPS = 10.0      #: the paper predates fast Ethernet on Scout
+ETH_LINK_LATENCY_US = 10.0     #: one-way propagation + hub latency (LAN)
+
+#: Remote-host agent service time (video source / ping sender reacting to
+#: a packet).  These hosts are not CPU-modeled; they just take a moment.
+REMOTE_HOST_SERVICE_US = 30.0
+
+#: ping -f behaviour: send a new request on every reply, or at this
+#: fallback interval when replies stop coming (classic flood ping sends
+#: at least 100 packets per second).
+PING_FLOOD_FALLBACK_US = 10_000.0
+
+# --------------------------------------------------------------------------
+# Display refresh
+# --------------------------------------------------------------------------
+
+#: Vertical-sync frequency of the framebuffer (Hz).
+VSYNC_HZ = 60.0

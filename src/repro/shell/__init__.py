@@ -1,0 +1,12 @@
+"""SHELL subsystem: the command router that creates paths on request."""
+
+from .router import (
+    SHELL_COMMAND_US,
+    ShellCommand,
+    ShellRouter,
+    ShellStage,
+    parse_command,
+)
+
+__all__ = ["ShellRouter", "ShellStage", "ShellCommand", "parse_command",
+           "SHELL_COMMAND_US"]

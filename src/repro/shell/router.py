@@ -1,0 +1,156 @@
+"""The SHELL router: network commands that create paths (Section 4.1).
+
+"SHELL is not unlike a UNIX shell in that it waits for a command request
+which it then maps into a command 'invocation'.  In the context of Scout,
+this involves mapping the command name into an appropriate path create
+operation.  To create a path, SHELL requires two pieces of information:
+the router on which the path create operation is to be invoked and a set
+of attributes (invariants)."
+
+Commands arrive as UDP text of the form::
+
+    mpeg_decode ip=10.0.0.2 port=7200 clip=Neptune
+
+The kernel registers each command with its target router, an attribute
+builder, and a post-create hook (which spawns the path's thread).  SHELL
+replies to the requester with the new path's id and local port.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..core.attributes import Attrs
+from ..core.errors import ScoutError
+from ..core.graph import register_router
+from ..core.message import Msg
+from ..core.path import Path
+from ..core.path_create import path_create
+from ..core.router import DemuxResult, NextHop, Router, Service
+from ..core.stage import BWD, FWD, Stage, forward, turn_around
+from ..core.transform import TransformRegistry
+from ..net.common import charge
+
+#: CPU cost of parsing a command and invoking pathCreate (the ~200 us
+#: measured creation cost plus parsing overhead).
+SHELL_COMMAND_US = 250.0
+
+AttrsBuilder = Callable[[Dict[str, str], Dict[str, Any]], Attrs]
+PostCreate = Callable[[Path, Dict[str, str], Msg], None]
+
+
+class ShellCommand:
+    """One registered command: name -> (target router, attrs, hook)."""
+
+    __slots__ = ("name", "target", "build_attrs", "post_create")
+
+    def __init__(self, name: str, target: Router, build_attrs: AttrsBuilder,
+                 post_create: Optional[PostCreate] = None):
+        self.name = name
+        self.target = target
+        self.build_attrs = build_attrs
+        self.post_create = post_create
+
+
+def parse_command(text: str) -> Tuple[str, Dict[str, str]]:
+    """Parse ``name key=value ...`` command text."""
+    tokens = text.split()
+    if not tokens:
+        raise ValueError("empty command")
+    args: Dict[str, str] = {}
+    for token in tokens[1:]:
+        key, sep, value = token.partition("=")
+        if not sep or not key:
+            raise ValueError(f"malformed argument {token!r}")
+        args[key] = value
+    return tokens[0], args
+
+
+class ShellStage(Stage):
+    """SHELL's contribution to the command path."""
+
+    def __init__(self, router: "ShellRouter", exit_service):
+        super().__init__(router, None, exit_service)
+        self.set_deliver(FWD, self._down)
+        self.set_deliver(BWD, self._command)
+
+    def _down(self, iface, msg, direction: int, **kwargs):
+        return forward(iface, msg, direction, **kwargs)
+
+    def _command(self, iface, msg: Msg, direction: int, **kwargs):
+        router: ShellRouter = self.router  # type: ignore[assignment]
+        charge(msg, SHELL_COMMAND_US)
+        try:
+            reply_text = router.execute(msg)
+        except (ScoutError, ValueError, KeyError) as exc:
+            router.commands_failed += 1
+            reply_text = f"error {exc}"
+        self._reply(iface, msg, reply_text, direction)
+        return None
+
+    def _reply(self, iface, request: Msg, text: str, direction: int) -> None:
+        reply = Msg(text.encode("utf-8"))
+        if "ip_src" in request.meta:
+            reply.meta["ip_dst_override"] = request.meta["ip_src"]
+        ports = request.meta.get("udp_ports")
+        if ports:
+            reply.meta["udp_dport_override"] = ports[0]
+        if "eth_src" in request.meta:
+            reply.meta["eth_dst_override"] = request.meta["eth_src"]
+        turn_around(iface, reply, direction)
+        charge(request, reply.meta.get("cost_us", 0.0))
+
+
+@register_router("ShellRouter")
+class ShellRouter(Router):
+    """The command shell."""
+
+    SERVICES = ("<down:net",)
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._commands: Dict[str, ShellCommand] = {}
+        #: Transformation rules applied to paths SHELL creates.
+        self.transforms: Optional[TransformRegistry] = None
+        self.commands_run = 0
+        self.commands_failed = 0
+        #: Paths created by commands, by pid (for inspection/teardown).
+        self.created_paths: Dict[int, Path] = {}
+
+    # -- command registry ----------------------------------------------------------
+
+    def register_command(self, name: str, target: Router,
+                         build_attrs: AttrsBuilder,
+                         post_create: Optional[PostCreate] = None) -> None:
+        self._commands[name] = ShellCommand(name, target, build_attrs,
+                                            post_create)
+
+    def execute(self, msg: Msg) -> str:
+        """Parse and run the command carried by *msg*; returns reply text."""
+        name, args = parse_command(msg.to_bytes().decode("utf-8"))
+        command = self._commands.get(name)
+        if command is None:
+            raise ValueError(f"unknown command {name!r}")
+        attrs = command.build_attrs(args, msg.meta)
+        path = path_create(command.target, attrs, transforms=self.transforms)
+        self.created_paths[path.pid] = path
+        if command.post_create is not None:
+            command.post_create(path, args, msg)
+        self.commands_run += 1
+        local_port = attrs.get("PA_LOCAL_PORT", "-")
+        return f"ok pid={path.pid} port={local_port}"
+
+    # -- path creation (the shell's own command path) ------------------------------------
+
+    def create_stage(self, enter_service: int, attrs: Attrs
+                     ) -> Tuple[Optional[Stage], Optional[NextHop]]:
+        down = self.service("down")
+        if len(down.links) != 1:
+            return None, None
+        peer_router, peer_service = down.links[0].peer_of(down)
+        stage = ShellStage(self, down)
+        return stage, NextHop(peer_router, peer_service, attrs)
+
+    def demux(self, msg: Msg, service: Optional[Service],
+              offset: int = 0) -> DemuxResult:
+        return DemuxResult.drop(f"{self.name}: port binding handles demux")

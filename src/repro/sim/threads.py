@@ -1,0 +1,171 @@
+"""Simulated threads: the active entities that execute paths.
+
+Section 3.4: "Paths are executed by threads — the active entities in
+Scout ... threads are scheduled non-preemptively according to some
+scheduling policy and priority."
+
+A thread body is a Python generator that *yields* operations to the
+scheduler:
+
+* ``Compute(us)``      — consume CPU for ``us`` virtual microseconds;
+* ``Dequeue(q)``       — take an item from a path queue, blocking while
+  empty (``yield``'s value is the item);
+* ``Enqueue(q, item)`` — put an item, blocking while full;
+* ``WaitSpace(q)``     — block until the queue has a free slot (used to
+  avoid processing work whose output could not be stored: "if the output
+  queue is full already, there is little point in scheduling a thread to
+  process a packet in the input queue");
+* ``Sleep(us)``        — block for a fixed virtual duration;
+* ``YIELD``            — voluntarily return to the ready queue (this is
+  the *only* way another same-policy thread gets the CPU, because
+  scheduling is non-preemptive).
+
+Everything a thread does between yields is logically instantaneous; CPU
+time is consumed only through ``Compute`` (and through interrupts stealing
+from an in-flight compute).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, Optional
+
+from ..core.path import Path
+from ..core.queues import PathQueue
+
+_thread_ids = itertools.count(1)
+
+#: Thread states.
+READY, RUNNING, BLOCKED, DONE = "ready", "running", "blocked", "done"
+
+
+class Op:
+    """Base class for operations a thread may yield."""
+
+    __slots__ = ()
+
+
+class Compute(Op):
+    """Consume *us* microseconds of CPU (non-preemptively)."""
+
+    __slots__ = ("us",)
+
+    def __init__(self, us: float):
+        if us < 0:
+            raise ValueError("compute time must be non-negative")
+        self.us = us
+
+    def __repr__(self) -> str:
+        return f"Compute({self.us:.2f}us)"
+
+
+class Dequeue(Op):
+    """Take the next item from *queue*, blocking while it is empty."""
+
+    __slots__ = ("queue",)
+
+    def __init__(self, queue: PathQueue):
+        self.queue = queue
+
+    def __repr__(self) -> str:
+        return f"Dequeue({self.queue.name})"
+
+
+class Enqueue(Op):
+    """Deposit *item* on *queue*, blocking while it is full."""
+
+    __slots__ = ("queue", "item")
+
+    def __init__(self, queue: PathQueue, item: Any):
+        self.queue = queue
+        self.item = item
+
+    def __repr__(self) -> str:
+        return f"Enqueue({self.queue.name})"
+
+
+class WaitSpace(Op):
+    """Block until *queue* has at least one free slot (without taking it)."""
+
+    __slots__ = ("queue",)
+
+    def __init__(self, queue: PathQueue):
+        self.queue = queue
+
+    def __repr__(self) -> str:
+        return f"WaitSpace({self.queue.name})"
+
+
+class Sleep(Op):
+    """Block for *us* virtual microseconds."""
+
+    __slots__ = ("us",)
+
+    def __init__(self, us: float):
+        if us < 0:
+            raise ValueError("sleep time must be non-negative")
+        self.us = us
+
+    def __repr__(self) -> str:
+        return f"Sleep({self.us:.2f}us)"
+
+
+class _Yield(Op):
+    """Voluntarily relinquish the CPU (cooperative round-robin point)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "YIELD"
+
+
+#: The singleton yield operation.
+YIELD = _Yield()
+
+ThreadBody = Generator[Op, Any, None]
+
+
+class SimThread:
+    """A non-preemptively scheduled thread.
+
+    Parameters
+    ----------
+    body:
+        The generator driving the thread.
+    name:
+        Diagnostic label.
+    policy:
+        Name of the scheduling policy this thread runs under.
+    priority:
+        Priority within a fixed-priority policy (lower number = higher
+        priority, matching "the path handling ICMP requests is run at the
+        next lower priority" being priority+1).
+    path:
+        The path this thread executes on behalf of; lets the scheduler
+        invoke the path's ``wakeup`` callback ("a mechanism that allows a
+        newly awakened thread to inherit a path's scheduling
+        requirements") and charges CPU to the path.
+    """
+
+    def __init__(self, body: ThreadBody, name: str = "",
+                 policy: str = "rr", priority: int = 0,
+                 path: Optional[Path] = None):
+        self.tid = next(_thread_ids)
+        self.body = body
+        self.name = name or f"thread{self.tid}"
+        self.policy = policy
+        self.priority = priority
+        self.path = path
+        self.state = BLOCKED  # not yet started; spawn() makes it READY
+        #: Absolute deadline for EDF scheduling (smaller = more urgent).
+        self.deadline = float("inf")
+        #: Operation being retried after a block (set by the scheduler).
+        self.pending_op: Optional[Op] = None
+        # accounting
+        self.cpu_us = 0.0
+        self.blocks = 0
+        self.wakeups = 0
+
+    def __repr__(self) -> str:
+        return (f"<SimThread {self.name} {self.state} policy={self.policy} "
+                f"prio={self.priority}>")

@@ -1,0 +1,126 @@
+"""Unit tests for path attributes (invariants)."""
+
+import pytest
+
+from repro.core import (
+    PA_PATHNAME,
+    PA_PROTID,
+    Attrs,
+    as_attrs,
+)
+
+
+class TestAttrsBasics:
+    def test_construct_from_mapping_and_kwargs(self):
+        attrs = Attrs({"a": 1}, b=2)
+        assert attrs["a"] == 1
+        assert attrs["b"] == 2
+        assert len(attrs) == 2
+
+    def test_kwargs_override_mapping(self):
+        attrs = Attrs({"a": 1}, a=9)
+        assert attrs["a"] == 9
+
+    def test_get_with_default(self):
+        attrs = Attrs(x=1)
+        assert attrs.get("x") == 1
+        assert attrs.get("missing") is None
+        assert attrs.get("missing", 42) == 42
+
+    def test_contains_and_iteration_order(self):
+        attrs = Attrs()
+        attrs["first"] = 1
+        attrs["second"] = 2
+        assert "first" in attrs
+        assert list(attrs) == ["first", "second"]
+
+    def test_setitem_rejects_non_string_names(self):
+        attrs = Attrs()
+        with pytest.raises(TypeError):
+            attrs[42] = "x"
+        with pytest.raises(TypeError):
+            attrs[""] = "x"
+
+    def test_delete(self):
+        attrs = Attrs(a=1)
+        del attrs["a"]
+        assert "a" not in attrs
+
+    def test_require_present_and_missing(self):
+        attrs = Attrs({PA_PROTID: 17})
+        assert attrs.require(PA_PROTID) == 17
+        with pytest.raises(KeyError, match="PA_PATHNAME"):
+            attrs.require(PA_PATHNAME)
+
+
+class TestAttrsDerivation:
+    """The non-destructive operations routers use during path creation."""
+
+    def test_extended_does_not_mutate_parent(self):
+        parent = Attrs({PA_PROTID: 21})
+        child = parent.extended(**{PA_PROTID: 6})
+        assert parent[PA_PROTID] == 21  # TCP's caller still sees port 21
+        assert child[PA_PROTID] == 6    # IP sees protocol 6
+
+    def test_extended_preserves_other_invariants(self):
+        parent = Attrs({PA_PATHNAME: "MPEG", "qos": "soft-rt"})
+        child = parent.extended(extra=1)
+        assert child[PA_PATHNAME] == "MPEG"
+        assert child["qos"] == "soft-rt"
+        assert child["extra"] == 1
+
+    def test_without_removes_and_ignores_missing(self):
+        attrs = Attrs(a=1, b=2)
+        trimmed = attrs.without("a", "never-there")
+        assert "a" not in trimmed
+        assert trimmed["b"] == 2
+        assert attrs["a"] == 1  # original intact
+
+    def test_merge_layers_other_on_top(self):
+        base = Attrs(a=1, b=2)
+        merged = base.merge({"b": 20, "c": 30})
+        assert merged.snapshot() == {"a": 1, "b": 20, "c": 30}
+        assert base["b"] == 2
+
+    def test_merge_none_is_copy(self):
+        base = Attrs(a=1)
+        merged = base.merge(None)
+        assert merged == base
+        merged["a"] = 2
+        assert base["a"] == 1
+
+    def test_set_chains(self):
+        attrs = Attrs().set("a", 1).set("b", 2)
+        assert attrs.snapshot() == {"a": 1, "b": 2}
+
+    def test_snapshot_is_independent(self):
+        attrs = Attrs(a=1)
+        snap = attrs.snapshot()
+        snap["a"] = 99
+        assert attrs["a"] == 1
+
+
+class TestAttrsEquality:
+    def test_equal_to_attrs_and_dict(self):
+        assert Attrs(a=1) == Attrs(a=1)
+        assert Attrs(a=1) == {"a": 1}
+        assert Attrs(a=1) != Attrs(a=2)
+
+    def test_repr_mentions_pairs(self):
+        assert "a=1" in repr(Attrs(a=1))
+
+
+class TestAsAttrs:
+    def test_none_becomes_empty(self):
+        attrs = as_attrs(None)
+        assert isinstance(attrs, Attrs)
+        assert len(attrs) == 0
+
+    def test_attrs_passes_through_identically(self):
+        original = Attrs(a=1)
+        assert as_attrs(original) is original
+
+    def test_dict_is_wrapped(self):
+        attrs = as_attrs({"a": 1})
+        assert isinstance(attrs, Attrs)
+        assert attrs["a"] == 1

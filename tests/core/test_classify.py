@@ -1,0 +1,114 @@
+"""Tests for incremental packet classification (demux chains)."""
+
+import pytest
+
+from repro.core import (
+    Attrs,
+    ClassificationError,
+    ClassifierStats,
+    DemuxResult,
+    Msg,
+    Router,
+    classify,
+    classify_or_raise,
+    path_create,
+)
+from ..helpers import ChainRouter, make_chain
+
+
+def bound_chain(*names, bind_at=None):
+    """Build a chain, create a path, and bind it at router *bind_at*."""
+    graph, routers = make_chain(*names)
+    path = path_create(routers[0], Attrs())
+    target = graph.router(bind_at or names[-1])
+    target.bound_path = path
+    return graph, routers, path
+
+
+class TestIncrementalDemux:
+    def test_single_router_decides(self):
+        _, routers, path = bound_chain("A", "B", bind_at="A")
+        msg = Msg(b"A...")
+        assert classify(routers[0], msg) is path
+        assert msg.meta["path"] is path
+
+    def test_refinement_walks_down_the_chain(self):
+        # Tag bytes spell the refinement route: A defers, B defers, C decides.
+        _, routers, path = bound_chain("A", "B", "C", bind_at="C")
+        stats = ClassifierStats()
+        msg = Msg(b"xyC-payload")  # A sees 'x' (not A) -> down, B sees 'y' -> down
+        assert classify(routers[0], msg, stats=stats) is path
+        assert stats.refinements == 2
+        assert stats.classified == 1
+
+    def test_classification_does_not_consume_message(self):
+        _, routers, _ = bound_chain("A", "B", bind_at="B")
+        msg = Msg(b"zB-payload")
+        classify(routers[0], msg)
+        assert msg.to_bytes() == b"zB-payload"
+
+    def test_unclassifiable_data_discarded_with_reason(self):
+        _, routers, _ = bound_chain("A", "B", bind_at="B")
+        stats = ClassifierStats()
+        msg = Msg(b"??")
+        assert classify(routers[0], msg, stats=stats) is None
+        assert stats.dropped == 1
+        assert "drop_reason" in msg.meta
+
+    def test_decider_without_bound_path_drops(self):
+        _, routers = make_chain("A", "B")
+        msg = Msg(b"zB")
+        assert classify(routers[0], msg) is None
+        assert "no bound path" in msg.meta["drop_reason"]
+
+    def test_classify_or_raise(self):
+        _, routers, path = bound_chain("A", bind_at="A")
+        assert classify_or_raise(routers[0], Msg(b"A")) is path
+        with pytest.raises(ClassificationError):
+            classify_or_raise(routers[0], Msg(b"?"))
+
+    def test_empty_message_dropped_not_crashed(self):
+        _, routers, _ = bound_chain("A", "B", bind_at="B")
+        assert classify(routers[0], Msg(b"")) is None
+
+
+class TestNonConvergence:
+    def test_demux_cycle_detected(self):
+        class PingPong(Router):
+            SERVICES = ("up:net", "down:net")
+            peer = None
+
+            def demux(self, msg, service, offset=0):
+                return DemuxResult.refine(self.peer, self.peer.service("up"))
+
+        a, b = PingPong("A"), PingPong("B")
+        a.peer, b.peer = b, a
+        with pytest.raises(ClassificationError, match="converge"):
+            classify(a, Msg(b"x"))
+
+
+class TestBestEffortSemantics:
+    def test_good_enough_path_for_fragments(self):
+        """The Scout classifier may return a 'short/fat' catch-all path:
+        a router can decide to claim traffic it can only partially
+        classify (IP fragments go to the reassembly path)."""
+        class FragmentAware(ChainRouter):
+            def __init__(self, name):
+                super().__init__(name)
+                self.reassembly_path = None
+
+            def demux(self, msg, service, offset=0):
+                if msg.peek(1, at=offset) == b"F":
+                    return DemuxResult.found(self.reassembly_path)
+                return super().demux(msg, service, offset)
+
+        from repro.core import RouterGraph
+        graph = RouterGraph()
+        ip = graph.add(FragmentAware("I"))
+        eth = graph.add(ChainRouter("E"))
+        graph.connect("E.down", "I.up")
+        graph.boot()
+        fat_path = path_create(eth, Attrs(role="reassembly"))
+        ip.reassembly_path = fat_path
+        msg = Msg(b"xF:frag1")  # E defers (x), I claims fragments
+        assert classify(eth, msg) is fat_path

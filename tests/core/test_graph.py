@@ -1,0 +1,232 @@
+"""Unit tests for the router graph: edges, init order, cycle rejection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    ConfigurationError,
+    CyclicDependencyError,
+    Router,
+    RouterGraph,
+    RouterRegistry,
+    build_graph,
+    register_router,
+)
+from ..helpers import ChainRouter
+
+
+class Plain(Router):
+    SERVICES = ("up:net", "down:net")  # no init-order markers
+
+
+class Ordered(Router):
+    SERVICES = ("up:net", "<down:net")
+
+
+class TestGraphConstruction:
+    def test_add_and_lookup(self):
+        graph = RouterGraph()
+        router = graph.add(Plain("A"))
+        assert graph.router("A") is router
+
+    def test_duplicate_names_rejected(self):
+        graph = RouterGraph()
+        graph.add(Plain("A"))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            graph.add(Plain("A"))
+
+    def test_unknown_router_lookup(self):
+        with pytest.raises(ConfigurationError, match="no router"):
+            RouterGraph().router("A")
+
+    def test_connect_by_dotted_names(self):
+        graph = RouterGraph()
+        graph.add(Plain("A"))
+        graph.add(Plain("B"))
+        graph.connect("A.down", "B.up")
+        assert graph.edges() == [("A", "down", "B", "up")]
+
+    def test_connect_requires_dotted_form(self):
+        graph = RouterGraph()
+        graph.add(Plain("A"))
+        with pytest.raises(ConfigurationError, match="Router.service"):
+            graph.connect("A", "A.up")
+
+    def test_no_changes_after_boot(self):
+        graph = RouterGraph()
+        graph.add(Plain("A"))
+        graph.boot()
+        with pytest.raises(ConfigurationError, match="build time"):
+            graph.add(Plain("B"))
+
+
+class TestInitOrder:
+    def build_stack(self, *names):
+        """names[0] on top; each .down connects to the next one's .up."""
+        graph = RouterGraph()
+        for name in names:
+            graph.add(Ordered(name))
+        for upper, lower in zip(names, names[1:]):
+            graph.connect(f"{upper}.down", f"{lower}.up")
+        return graph
+
+    def test_lower_layers_initialize_first(self):
+        graph = self.build_stack("UDP", "IP", "ETH")
+        order = [r.name for r in graph.init_order()]
+        assert order.index("ETH") < order.index("IP") < order.index("UDP")
+
+    def test_boot_runs_init_in_order(self):
+        graph = RouterGraph()
+        for name in ("A", "B", "C"):
+            graph.add(ChainRouter(name))
+        graph.connect("A.down", "B.up")
+        graph.connect("B.down", "C.up")
+        graph.boot()
+        seqs = {name: graph.router(name).init_seq for name in "ABC"}
+        assert seqs["C"] < seqs["B"] < seqs["A"]
+        assert all(graph.router(n).init_count == 1 for n in "ABC")
+
+    def test_diamond_dependency(self):
+        # UDP and TCP both over IP over ETH: ETH first, IP second.
+        graph = RouterGraph()
+        for name in ("UDP", "TCP", "IP", "ETH"):
+            graph.add(Ordered(name))
+        graph.connect("UDP.down", "IP.up")
+        graph.connect("TCP.down", "IP.up")
+        graph.connect("IP.down", "ETH.up")
+        order = [r.name for r in graph.init_order()]
+        assert order.index("ETH") == 0
+        assert order.index("IP") == 1
+
+    def test_unmarked_edges_impose_no_order(self):
+        graph = RouterGraph()
+        graph.add(Plain("A"))
+        graph.add(Plain("B"))
+        graph.connect("A.down", "B.up")
+        deps = graph.init_dependencies()
+        assert deps == {"A": set(), "B": set()}
+
+    def test_order_is_deterministic(self):
+        graph1 = self.build_stack("A", "B", "C")
+        graph2 = self.build_stack("A", "B", "C")
+        assert [r.name for r in graph1.init_order()] == \
+               [r.name for r in graph2.init_order()]
+
+
+class TestCyclicDependencies:
+    def test_cycle_rejected_with_named_cycle(self):
+        graph = RouterGraph()
+        graph.add(Ordered("A"))
+        graph.add(Ordered("B"))
+        # A waits for B (A.down marked), B waits for A (B.down marked).
+        graph.connect("A.down", "B.up")
+        graph.connect("B.down", "A.up")
+        with pytest.raises(CyclicDependencyError) as excinfo:
+            graph.boot()
+        assert set(excinfo.value.cycle) == {"A", "B"}
+
+    def test_cyclic_data_flow_without_markers_is_legal(self):
+        """The paper admits cyclic dependencies as long as a partial
+        initialization order exists."""
+        graph = RouterGraph()
+        graph.add(Plain("A"))
+        graph.add(Plain("B"))
+        graph.connect("A.down", "B.up")
+        graph.connect("B.down", "A.up")
+        graph.boot()  # must not raise
+
+    def test_three_node_cycle(self):
+        graph = RouterGraph()
+        for name in ("A", "B", "C"):
+            graph.add(Ordered(name))
+        graph.connect("A.down", "B.up")
+        graph.connect("B.down", "C.up")
+        graph.connect("C.down", "A.up")
+        with pytest.raises(CyclicDependencyError):
+            graph.init_order()
+
+    def test_cycle_plus_independent_routers(self):
+        graph = RouterGraph()
+        for name in ("A", "B"):
+            graph.add(Ordered(name))
+        graph.add(Plain("LONER"))
+        graph.connect("A.down", "B.up")
+        graph.connect("B.down", "A.up")
+        with pytest.raises(CyclicDependencyError) as excinfo:
+            graph.init_order()
+        assert "LONER" not in excinfo.value.cycle
+
+
+@register_router("GraphTestRouter")
+class GraphTestRouter(Router):
+    SERVICES = ("up:net", "<down:net")
+
+    def __init__(self, name, mtu=1500):
+        super().__init__(name)
+        self.mtu = mtu
+
+
+class TestBuildFromSpec:
+    SPEC = """
+    router TOP { class = GraphTestRouter; service = {up:net, <down:net}; }
+    router BOT { class = GraphTestRouter; params = {mtu: 9000}; }
+    connect TOP.down BOT.up;
+    """
+
+    def test_builds_and_boots(self):
+        graph = build_graph(self.SPEC)
+        assert graph.booted
+        assert graph.router("BOT").mtu == 9000
+        assert graph.router("TOP").mtu == 1500
+
+    def test_overrides_beat_spec_params(self):
+        graph = build_graph(self.SPEC, overrides={"BOT": {"mtu": 576}})
+        assert graph.router("BOT").mtu == 576
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigurationError, match="no registered router"):
+            build_graph("router X { class = Missing; }")
+
+    def test_spec_service_mismatch_rejected(self):
+        bad = "router A { class = GraphTestRouter; service = {sideways:net}; }"
+        with pytest.raises(ConfigurationError, match="does not implement"):
+            build_graph(bad)
+
+    def test_spec_service_type_mismatch_rejected(self):
+        bad = "router A { class = GraphTestRouter; service = {up:nsClient}; }"
+        with pytest.raises(ConfigurationError, match="type"):
+            build_graph(bad)
+
+    def test_registry_lookup(self):
+        assert RouterRegistry.lookup("GraphTestRouter") is GraphTestRouter
+
+    def test_to_dot_mentions_every_router(self):
+        graph = build_graph(self.SPEC, boot=False)
+        dot = graph.to_dot()
+        assert '"TOP"' in dot and '"BOT"' in dot
+
+
+# -- property: init order is always a valid topological order -----------------
+
+@given(st.integers(min_value=2, max_value=8), st.data())
+def test_init_order_respects_all_dependencies(n, data):
+    """Random DAG of Ordered routers: every marked dependency must be
+    initialized earlier."""
+    names = [f"R{i}" for i in range(n)]
+    graph = RouterGraph()
+    for name in names:
+        graph.add(Ordered(name))
+    # Edges only from lower index (waits) to higher index (provider):
+    # guarantees acyclicity, random shape.
+    edges = []
+    for i in range(n - 1):
+        extra = data.draw(st.lists(
+            st.integers(min_value=i + 1, max_value=n - 1),
+            max_size=2, unique=True))
+        for j in extra:
+            edges.append((names[i], names[j]))
+    for waiter, provider in edges:
+        graph.connect(f"{waiter}.down", f"{provider}.up")
+    order = [r.name for r in graph.init_order()]
+    for waiter, provider in edges:
+        assert order.index(provider) < order.index(waiter)

@@ -1,0 +1,95 @@
+"""Unit tests for interface types and the service-type connection rule."""
+
+import pytest
+
+from repro.core import (
+    FsIface,
+    Iface,
+    NetIface,
+    NsIface,
+    RtNetIface,
+    ServiceType,
+    ServiceTypeError,
+    WinIface,
+    iface_satisfies,
+)
+from repro.core.interfaces import DEV, NET, NS_CLIENT, NS_PROVIDER, RTNET
+
+
+class TestIfaceSatisfies:
+    """'Interfaces provided must be identical to or more specific than the
+    interfaces required.'"""
+
+    def test_identical_satisfies(self):
+        assert iface_satisfies(NetIface, NetIface)
+
+    def test_more_specific_satisfies(self):
+        assert iface_satisfies(RtNetIface, NetIface)
+
+    def test_less_specific_does_not_satisfy(self):
+        assert not iface_satisfies(NetIface, RtNetIface)
+
+    def test_unrelated_does_not_satisfy(self):
+        assert not iface_satisfies(WinIface, NetIface)
+
+    def test_everything_satisfies_base_iface(self):
+        for klass in (NetIface, RtNetIface, NsIface, WinIface, FsIface):
+            assert iface_satisfies(klass, Iface)
+
+
+class TestServiceTypeCompatibility:
+    def test_symmetric_net_compatible_with_itself(self):
+        assert NET.compatible_with(NET)
+
+    def test_rtnet_connects_where_net_is_required(self):
+        # rtnet provides RtNetIface (more specific), requires NetIface.
+        assert RTNET.compatible_with(NET)
+        assert NET.compatible_with(RTNET)
+
+    def test_asymmetric_ns_pair(self):
+        assert NS_PROVIDER.compatible_with(NS_CLIENT)
+        assert NS_CLIENT.compatible_with(NS_PROVIDER)
+
+    def test_ns_provider_incompatible_with_net(self):
+        assert not NS_PROVIDER.compatible_with(NET)
+
+    def test_dev_and_net_interoperate(self):
+        assert DEV.compatible_with(NET)
+
+
+class TestServiceTypeRegistry:
+    def test_lookup_registered(self):
+        assert ServiceType.lookup("net") is NET
+
+    def test_lookup_unknown_raises_with_known_list(self):
+        with pytest.raises(ServiceTypeError, match="net"):
+            ServiceType.lookup("no-such-type")
+
+    def test_unregistered_type_stays_out_of_registry(self):
+        anon = ServiceType("anon-test", NetIface, NetIface, register=False)
+        with pytest.raises(ServiceTypeError):
+            ServiceType.lookup("anon-test")
+        assert anon.compatible_with(NET)
+
+    def test_rejects_non_iface_classes(self):
+        with pytest.raises(ServiceTypeError):
+            ServiceType("bad", int, NetIface, register=False)  # type: ignore[arg-type]
+
+
+class TestIfaceStructure:
+    def test_primitive_iface_has_three_pointers(self):
+        iface = Iface()
+        assert iface.next is None
+        assert iface.back is None
+        assert iface.stage is None
+
+    def test_net_iface_adds_deliver(self):
+        called = []
+        iface = NetIface(deliver=lambda i, m, d: called.append(m))
+        iface.deliver(iface, "msg", 0)
+        assert called == ["msg"]
+
+    def test_modeled_sizes_grow_with_specialization(self):
+        assert Iface.modeled_size() == 24  # three 8-byte pointers
+        assert NetIface.modeled_size() == 32  # + deliver pointer
+        assert RtNetIface.modeled_size() == 40  # + deadline hint

@@ -1,0 +1,92 @@
+"""Edge cases and introspection surfaces not covered elsewhere."""
+
+import pytest
+
+from repro.core import (
+    Attrs,
+    BWD,
+    FWD,
+    Msg,
+    NetIface,
+    Path,
+    RouterRegistry,
+    ServiceType,
+    forward,
+    opposite,
+    path_create,
+    turn_around,
+)
+from ..helpers import ChainRouter, make_chain
+
+
+class TestDirectionHelpers:
+    def test_opposite(self):
+        assert opposite(FWD) == BWD
+        assert opposite(BWD) == FWD
+
+    def test_forward_without_next_is_a_wiring_bug(self):
+        iface = NetIface()
+        with pytest.raises(RuntimeError, match="no next interface"):
+            forward(iface, Msg(), FWD)
+
+    def test_turn_around_without_back_is_a_wiring_bug(self):
+        iface = NetIface()
+        with pytest.raises(RuntimeError, match="no back interface"):
+            turn_around(iface, Msg(), FWD)
+
+
+class TestPathEdgeCases:
+    def test_empty_path_end_is_none_pair(self):
+        assert Path().end == [None, None]
+
+    def test_empty_path_has_no_entry(self):
+        from repro.core import PathStateError
+
+        with pytest.raises(PathStateError):
+            Path().entry_iface(FWD)
+
+    def test_repr_shows_chain_and_state(self):
+        _, routers = make_chain("A", "B")
+        path = path_create(routers[0], Attrs())
+        assert "A->B" in repr(path)
+        assert "established" in repr(path)
+
+    def test_len_counts_stages(self):
+        _, routers = make_chain("A", "B", "C")
+        assert len(path_create(routers[0], Attrs())) == 3
+
+
+class TestIntrospection:
+    def test_router_registry_knows_builtins(self):
+        known = RouterRegistry.known()
+        for name in ("EthRouter", "IpRouter", "UdpRouter", "MpegRouter",
+                     "DisplayRouter", "ShellRouter", "UfsRouter",
+                     "HttpRouter"):
+            assert name in known
+
+    def test_service_type_registry_snapshot(self):
+        registered = ServiceType.registered()
+        assert {"net", "nsProvider", "nsClient", "fs",
+                "fsClient"} <= set(registered)
+
+    def test_router_modeled_size_grows_with_services(self):
+        class One(ChainRouter):
+            SERVICES = ("up:net",)
+
+        class Three(ChainRouter):
+            SERVICES = ("up:net", "down:net", "res:nsClient")
+
+        assert Three("T").modeled_size() > One("O").modeled_size()
+
+    def test_iface_repr_names_owner(self):
+        _, routers = make_chain("OWNER")
+        path = path_create(routers[0], Attrs())
+        assert "OWNER" in repr(path.stages[0].end[FWD])
+
+    def test_queue_repr_shows_occupancy(self):
+        from repro.core import PathQueue
+
+        queue = PathQueue(maxlen=4, name="video.in")
+        queue.enqueue("x")
+        assert "video.in" in repr(queue)
+        assert "1/4" in repr(queue)

@@ -1,0 +1,203 @@
+"""Tests for path structure, delivery, bidirectionality, and accounting."""
+
+import pytest
+
+from repro.core import (
+    BWD,
+    FWD,
+    Attrs,
+    Msg,
+    Path,
+    PathStateError,
+    path_create,
+    path_delete,
+)
+from ..helpers import ChainRouter, make_chain
+
+
+def build_path(*names, attrs=None, **router_kwargs):
+    graph, routers = make_chain(*names, **router_kwargs)
+    path = path_create(routers[0], attrs or Attrs())
+    return graph, routers, path
+
+
+class TestPathStructure:
+    def test_stage_per_router(self):
+        _, _, path = build_path("A", "B", "C")
+        assert len(path) == 3
+        assert path.routers() == ["A", "B", "C"]
+
+    def test_end_stages(self):
+        _, _, path = build_path("A", "B", "C")
+        assert path.end[0].router.name == "A"
+        assert path.end[1].router.name == "C"
+
+    def test_interface_chaining_forward(self):
+        _, _, path = build_path("A", "B", "C")
+        a, b, c = path.stages
+        assert a.end[FWD].next is b.end[FWD]
+        assert b.end[FWD].next is c.end[FWD]
+        assert c.end[FWD].next is None
+
+    def test_interface_chaining_backward(self):
+        _, _, path = build_path("A", "B", "C")
+        a, b, c = path.stages
+        assert c.end[BWD].next is b.end[BWD]
+        assert b.end[BWD].next is a.end[BWD]
+        assert a.end[BWD].next is None
+
+    def test_back_pointers_cross_directions(self):
+        _, _, path = build_path("A", "B", "C")
+        a, b, c = path.stages
+        # Turning a FWD message around at B resumes BWD processing at A.
+        assert b.end[FWD].back is a.end[BWD]
+        # Turning a BWD message around at B resumes FWD processing at C.
+        assert b.end[BWD].back is c.end[FWD]
+        assert a.end[FWD].back is None
+        assert c.end[BWD].back is None
+
+    def test_stage_of(self):
+        _, _, path = build_path("A", "B")
+        assert path.stage_of("B").router.name == "B"
+        with pytest.raises(KeyError):
+            path.stage_of("Z")
+
+    def test_unique_pids(self):
+        _, _, p1 = build_path("A", "B")
+        _, _, p2 = build_path("A", "B")
+        assert p1.pid != p2.pid
+
+
+class TestDelivery:
+    def test_forward_traversal_visits_all_stages(self):
+        _, _, path = build_path("A", "B", "C")
+        msg = Msg(b"data")
+        path.deliver(msg, FWD)
+        assert msg.meta["trace"] == [("A", FWD), ("B", FWD), ("C", FWD)]
+
+    def test_forward_message_lands_on_fwd_output_queue(self):
+        _, _, path = build_path("A", "B")
+        msg = Msg(b"data")
+        path.deliver(msg, FWD)
+        assert path.output_queue(FWD).dequeue() is msg
+
+    def test_backward_traversal(self):
+        _, _, path = build_path("A", "B", "C")
+        msg = Msg(b"data")
+        path.deliver(msg, BWD)
+        assert msg.meta["trace"] == [("C", BWD), ("B", BWD), ("A", BWD)]
+        assert path.output_queue(BWD).dequeue() is msg
+
+    def test_absorb_mid_path(self):
+        """Reassembly-style: most input messages produce no output."""
+        _, _, path = build_path("A", "B", "C", B={"absorb": True})
+        msg = Msg(b"frag")
+        path.deliver(msg, FWD)
+        assert msg.meta["absorbed_at"] == "B"
+        assert msg.meta["trace"] == [("A", FWD), ("B", FWD)]
+        assert path.output_queue(FWD).is_empty()
+
+    def test_turn_around_mid_path(self):
+        """A request bounced at B comes back out at A traveling BWD."""
+        _, _, path = build_path("A", "B", "C", B={"bounce": True})
+        msg = Msg(b"ping")
+        path.deliver(msg, FWD)
+        assert msg.meta["trace"] == [("A", FWD), ("B", FWD), ("A", BWD)]
+        assert path.output_queue(BWD).dequeue() is msg
+
+    def test_inject_at_interior_stage(self):
+        """Spontaneous message creation inside a path (Section 2.4.2)."""
+        _, _, path = build_path("A", "B", "C")
+        msg = Msg(b"retransmit")
+        path.inject_at(path.stage_of("B"), msg, FWD)
+        assert msg.meta["trace"] == [("B", FWD), ("C", FWD)]
+
+    def test_inject_at_foreign_stage_rejected(self):
+        _, _, path1 = build_path("A", "B")
+        _, _, path2 = build_path("A", "B")
+        with pytest.raises(PathStateError):
+            path1.inject_at(path2.stage_of("A"), Msg(), FWD)
+
+    def test_message_counters(self):
+        _, _, path = build_path("A", "B")
+        path.deliver(Msg(), FWD)
+        path.deliver(Msg(), FWD)
+        path.deliver(Msg(), BWD)
+        assert path.stats.messages_fwd == 2
+        assert path.stats.messages_bwd == 1
+
+
+class TestLifecycle:
+    def test_establish_ran_with_attrs(self):
+        _, _, path = build_path("A", "B", attrs=Attrs(qos="rt"))
+        for stage in path.stages:
+            assert stage.established_with["qos"] == "rt"
+
+    def test_delete_runs_destroy_and_clears_queues(self):
+        _, _, path = build_path("A", "B")
+        path.deliver(Msg(), FWD)  # leaves one message on the output queue
+        path_delete(path)
+        assert all(stage.destroyed for stage in path.stages)
+        assert all(q.is_empty() for q in path.q)
+        assert path.state == "deleted"
+
+    def test_delete_is_idempotent(self):
+        _, _, path = build_path("A", "B")
+        path_delete(path)
+        path_delete(path)
+
+    def test_deliver_after_delete_rejected(self):
+        _, _, path = build_path("A", "B")
+        path_delete(path)
+        with pytest.raises(PathStateError):
+            path.deliver(Msg(), FWD)
+
+
+class TestAccounting:
+    def test_modeled_size_matches_paper_scale(self):
+        """Section 3.6: path object ~300 bytes, stages ~150 bytes each."""
+        assert 250 <= Path.MODELED_BYTES <= 350
+        _, _, path = build_path("A", "B", "C")
+        per_stage = (path.modeled_size() - Path.MODELED_BYTES) / 3
+        assert 100 <= per_stage <= 200
+
+    def test_cycle_charging(self):
+        path = Path()
+        path.stats.charge_cycles(100)
+        path.stats.charge_cycles(50)
+        assert path.stats.cycles == 150
+
+    def test_memory_accounting_watermark(self):
+        path = Path()
+        path.stats.charge_memory(1000)
+        path.stats.charge_memory(500)
+        path.stats.release_memory(1200)
+        assert path.stats.mem_bytes == 300
+        assert path.stats.mem_high_watermark == 1500
+
+    def test_memory_release_floors_at_zero(self):
+        path = Path()
+        path.stats.charge_memory(10)
+        path.stats.release_memory(100)
+        assert path.stats.mem_bytes == 0
+
+    def test_proc_time_average_converges(self):
+        path = Path()
+        path.stats.record_proc_time(100.0)
+        assert path.stats.avg_proc_time_us == 100.0
+        for _ in range(200):
+            path.stats.record_proc_time(50.0)
+        assert abs(path.stats.avg_proc_time_us - 50.0) < 1.0
+
+
+class TestQueueRoles:
+    def test_input_output_mapping(self):
+        path = Path()
+        assert path.input_queue(FWD) is path.q[0]
+        assert path.output_queue(FWD) is path.q[1]
+        assert path.input_queue(BWD) is path.q[2]
+        assert path.output_queue(BWD) is path.q[3]
+
+    def test_queue_names_carry_pid_and_role(self):
+        path = Path()
+        assert f"path{path.pid}.fwd_in" == path.q[0].name

@@ -1,0 +1,224 @@
+"""Tests for the four-phase path creation pipeline."""
+
+import pytest
+
+from repro.core import (
+    AdmissionError,
+    Attrs,
+    NextHop,
+    PA_INQ_LEN,
+    PA_OUTQ_LEN,
+    PathCreationError,
+    Router,
+    Stage,
+    TransformRegistry,
+    path_create,
+)
+from repro.core.path_create import MAX_PATH_LENGTH
+from ..helpers import ChainRouter, TraceStage, make_chain
+
+
+class TestStageChain:
+    def test_path_grows_to_maximum_length(self):
+        _, routers = make_chain("A", "B", "C", "D")
+        path = path_create(routers[0], Attrs())
+        assert path.routers() == ["A", "B", "C", "D"]
+
+    def test_creation_stops_where_invariants_end(self):
+        """A router returning no next hop terminates the path (leaf)."""
+        _, routers = make_chain("A", "B")
+        path = path_create(routers[1], Attrs())  # start at the leaf itself
+        assert path.routers() == ["B"]
+
+    def test_each_router_contributes_one_stage(self):
+        _, routers = make_chain("A", "B", "C")
+        path_create(routers[0], Attrs())
+        assert [r.stages_created for r in routers] == [1, 1, 1]
+
+    def test_first_router_sees_enter_service_minus_one(self):
+        seen = {}
+
+        class Probe(ChainRouter):
+            def create_stage(self, enter_service, attrs):
+                seen.setdefault(self.name, enter_service)
+                return super().create_stage(enter_service, attrs)
+
+        from repro.core import RouterGraph
+        graph = RouterGraph()
+        a = graph.add(Probe("A"))
+        b = graph.add(Probe("B"))
+        graph.connect("A.down", "B.up")
+        graph.boot()
+        path_create(a, Attrs())
+        assert seen["A"] == -1
+        assert seen["B"] == b.service("up").index
+
+    def test_refusing_first_router_is_an_error(self):
+        class Refuser(Router):
+            SERVICES = ("up:net",)
+
+            def create_stage(self, enter_service, attrs):
+                return None, None
+
+        with pytest.raises(PathCreationError, match="refused"):
+            path_create(Refuser("R"), Attrs())
+
+    def test_router_without_path_support_is_an_error(self):
+        class NoPaths(Router):
+            SERVICES = ("up:net",)
+
+        with pytest.raises(PathCreationError):
+            path_create(NoPaths("N"), Attrs())
+
+    def test_mid_chain_refusal_truncates_path(self):
+        """A router may decline to extend the path; creation ends there."""
+        class Decliner(ChainRouter):
+            def create_stage(self, enter_service, attrs):
+                return None, None
+
+        from repro.core import RouterGraph
+        graph = RouterGraph()
+        a = graph.add(ChainRouter("A"))
+        d = graph.add(Decliner("D"))
+        graph.connect("A.down", "D.up")
+        graph.boot()
+        path = path_create(a, Attrs())
+        assert path.routers() == ["A"]
+
+    def test_routing_loop_detected(self):
+        class Loop(Router):
+            SERVICES = ("up:net", "down:net")
+
+            def create_stage(self, enter_service, attrs):
+                stage = TraceStage(self)
+                return stage, NextHop(self, self.service("up"), attrs)
+
+        with pytest.raises(PathCreationError, match="routing loop"):
+            path_create(Loop("L"), Attrs())
+
+    def test_max_path_length_is_sane(self):
+        assert MAX_PATH_LENGTH >= 6  # the paper's UDP path has 6 stages
+
+
+class TestAttributeThreading:
+    def test_attrs_modified_by_hops_propagate(self):
+        """TCP-style: a router resets PA_PROTID for the next router."""
+        seen = {}
+
+        class Rewriter(ChainRouter):
+            def create_stage(self, enter_service, attrs):
+                seen[self.name] = attrs.get("proto")
+                stage, hop = super().create_stage(enter_service, attrs)
+                if hop is not None:
+                    hop.attrs = attrs.extended(proto=self.name)
+                return stage, hop
+
+        from repro.core import RouterGraph
+        graph = RouterGraph()
+        a = graph.add(Rewriter("A"))
+        b = graph.add(Rewriter("B"))
+        c = graph.add(Rewriter("C"))
+        graph.connect("A.down", "B.up")
+        graph.connect("B.down", "C.up")
+        graph.boot()
+        path_create(a, Attrs(proto="user"))
+        assert seen == {"A": "user", "B": "A", "C": "B"}
+
+    def test_queue_lengths_from_attrs(self):
+        _, routers = make_chain("A", "B")
+        path = path_create(routers[0], Attrs({PA_INQ_LEN: 7, PA_OUTQ_LEN: 3}))
+        assert path.input_queue(0).capacity == 7
+        assert path.input_queue(1).capacity == 7
+        assert path.output_queue(0).capacity == 3
+        assert path.output_queue(1).capacity == 3
+
+    def test_invariants_recorded_on_path(self):
+        _, routers = make_chain("A")
+        path = path_create(routers[0], Attrs(video="neptune"))
+        assert path.attrs["video"] == "neptune"
+
+
+class TestEstablishPhase:
+    def test_establish_runs_after_linking(self):
+        """Establish hooks may depend on the existence of the entire path."""
+        lengths = []
+
+        class Measurer(TraceStage):
+            def establish(self, attrs):
+                super().establish(attrs)
+                lengths.append(len(self.path.stages))
+
+        class MeasuringRouter(ChainRouter):
+            def create_stage(self, enter_service, attrs):
+                stage, hop = super().create_stage(enter_service, attrs)
+                new = Measurer(self, stage.enter_service, stage.exit_service)
+                return new, hop
+
+        from repro.core import RouterGraph
+        graph = RouterGraph()
+        a = graph.add(MeasuringRouter("A"))
+        b = graph.add(MeasuringRouter("B"))
+        graph.connect("A.down", "B.up")
+        graph.boot()
+        path_create(a, Attrs())
+        assert lengths == [2, 2]  # every hook saw the *complete* path
+
+    def test_establish_failure_aborts_and_destroys(self):
+        destroyed = []
+
+        class Fragile(TraceStage):
+            def establish(self, attrs):
+                raise RuntimeError("no resources")
+
+            def destroy(self):
+                destroyed.append(self.router.name)
+
+        class FragileRouter(ChainRouter):
+            def create_stage(self, enter_service, attrs):
+                stage, hop = super().create_stage(enter_service, attrs)
+                return Fragile(self), hop
+
+        from repro.core import RouterGraph
+        graph = RouterGraph()
+        a = graph.add(FragileRouter("A"))
+        graph.boot()
+        with pytest.raises(PathCreationError, match="establish failed"):
+            path_create(a, Attrs())
+        assert destroyed == ["A"]
+
+
+class TestTransformPhase:
+    def test_transforms_applied_and_recorded(self):
+        registry = TransformRegistry()
+
+        @registry.rule("mark", guard=lambda p: True)
+        def mark(path):
+            path.attrs["marked"] = True
+
+        _, routers = make_chain("A", "B")
+        path = path_create(routers[0], Attrs(), transforms=registry)
+        assert path.attrs["marked"]
+        assert path.attrs["_transforms_applied"] == ("mark",)
+
+    def test_no_transforms_by_default(self):
+        _, routers = make_chain("A")
+        path = path_create(routers[0], Attrs())
+        assert "_transforms_applied" not in path.attrs
+
+
+class TestAdmissionHook:
+    def test_admission_denial_aborts_creation(self):
+        def deny(path):
+            if len(path.stages) >= 2:
+                raise AdmissionError("memory budget exceeded")
+
+        _, routers = make_chain("A", "B", "C")
+        with pytest.raises(AdmissionError):
+            path_create(routers[0], Attrs(), admission=deny)
+
+    def test_admission_consulted_per_stage(self):
+        observed = []
+        _, routers = make_chain("A", "B", "C")
+        path_create(routers[0], Attrs(),
+                    admission=lambda p: observed.append(len(p.stages)))
+        assert observed == [1, 2, 3]

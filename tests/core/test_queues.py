@@ -1,0 +1,165 @@
+"""Unit and property tests for path queues."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    DeadlineOrderedQueue,
+    LifoPathQueue,
+    PathQueue,
+    QueueFullError,
+)
+
+
+class TestPathQueueBasics:
+    def test_fifo_order(self):
+        q = PathQueue(maxlen=4)
+        for item in "abc":
+            q.enqueue(item)
+        assert [q.dequeue() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_length_and_capacity(self):
+        q = PathQueue(maxlen=2)
+        assert (len(q), q.capacity) == (0, 2)
+        q.enqueue(1)
+        assert len(q) == 1
+        assert q.free_slots == 1
+
+    def test_full_and_empty_predicates(self):
+        q = PathQueue(maxlen=1)
+        assert q.is_empty() and not q.is_full()
+        q.enqueue(1)
+        assert q.is_full() and not q.is_empty()
+
+    def test_try_enqueue_when_full_counts_drop(self):
+        q = PathQueue(maxlen=1)
+        assert q.try_enqueue("a")
+        assert not q.try_enqueue("b")
+        assert q.dropped == 1
+        assert len(q) == 1
+
+    def test_strict_enqueue_raises_when_full(self):
+        q = PathQueue(maxlen=0)
+        with pytest.raises(QueueFullError):
+            q.enqueue("a")
+
+    def test_unbounded_queue(self):
+        q = PathQueue(maxlen=None)
+        for i in range(1000):
+            q.enqueue(i)
+        assert len(q) == 1000
+        assert q.free_slots is None
+        assert not q.is_full()
+
+    def test_negative_maxlen_rejected(self):
+        with pytest.raises(ValueError):
+            PathQueue(maxlen=-1)
+
+    def test_try_dequeue_empty_returns_none(self):
+        assert PathQueue().try_dequeue() is None
+
+    def test_dequeue_empty_raises(self):
+        with pytest.raises(IndexError):
+            PathQueue().dequeue()
+
+    def test_peek_leaves_item(self):
+        q = PathQueue()
+        q.enqueue("a")
+        assert q.peek() == "a"
+        assert len(q) == 1
+
+    def test_clear_counts_drops(self):
+        q = PathQueue()
+        for i in range(5):
+            q.enqueue(i)
+        assert q.clear() == 5
+        assert q.is_empty()
+        assert q.dropped == 5
+
+
+class TestStatistics:
+    def test_counts_and_high_watermark(self):
+        q = PathQueue(maxlen=8)
+        for i in range(5):
+            q.enqueue(i)
+        for _ in range(3):
+            q.dequeue()
+        q.enqueue(9)
+        assert q.enqueued == 6
+        assert q.dequeued == 3
+        assert q.high_watermark == 5
+
+    def test_listeners_fire_on_transitions(self):
+        events = []
+        q = PathQueue(maxlen=2, name="t")
+        q.on_enqueue(lambda queue: events.append(("enq", len(queue))))
+        q.on_dequeue(lambda queue: events.append(("deq", len(queue))))
+        q.enqueue("a")
+        q.enqueue("b")
+        q.dequeue()
+        assert events == [("enq", 1), ("enq", 2), ("deq", 1)]
+
+    def test_listener_not_fired_on_rejected_enqueue(self):
+        events = []
+        q = PathQueue(maxlen=1)
+        q.on_enqueue(lambda queue: events.append("enq"))
+        q.try_enqueue("a")
+        q.try_enqueue("b")  # dropped
+        assert events == ["enq"]
+
+
+class TestDisciplines:
+    def test_lifo(self):
+        q = LifoPathQueue(maxlen=4)
+        for item in "abc":
+            q.enqueue(item)
+        assert [q.dequeue() for _ in range(3)] == ["c", "b", "a"]
+
+    def test_deadline_ordered_tuples(self):
+        q = DeadlineOrderedQueue(maxlen=8)
+        q.enqueue((30.0, "late"))
+        q.enqueue((10.0, "early"))
+        q.enqueue((20.0, "middle"))
+        assert q.dequeue() == (10.0, "early")
+        assert q.dequeue() == (20.0, "middle")
+        assert q.dequeue() == (30.0, "late")
+
+    def test_deadline_ordered_objects(self):
+        class Item:
+            def __init__(self, deadline):
+                self.deadline = deadline
+
+        q = DeadlineOrderedQueue()
+        a, b = Item(5.0), Item(1.0)
+        q.enqueue(a)
+        q.enqueue(b)
+        assert q.dequeue() is b
+        assert q.dequeue() is a
+
+
+# -- property-based -----------------------------------------------------------
+
+@given(st.lists(st.integers(), max_size=50), st.integers(min_value=0, max_value=10))
+def test_bounded_queue_never_exceeds_capacity(items, maxlen):
+    q = PathQueue(maxlen=maxlen)
+    accepted = sum(1 for item in items if q.try_enqueue(item))
+    assert len(q) <= maxlen
+    assert accepted == min(len(items), maxlen)
+    assert q.dropped == len(items) - accepted
+
+
+@given(st.lists(st.integers(), max_size=50))
+def test_fifo_preserves_order(items):
+    q = PathQueue(maxlen=None)
+    for item in items:
+        q.enqueue(item)
+    assert [q.dequeue() for _ in items] == items
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=30))
+def test_deadline_queue_dequeues_in_deadline_order(deadlines):
+    q = DeadlineOrderedQueue(maxlen=None)
+    for index, when in enumerate(deadlines):
+        q.enqueue((when, index))
+    out = [q.dequeue()[0] for _ in deadlines]
+    assert out == sorted(out)

@@ -1,0 +1,137 @@
+"""Unit tests for routers, services, and graph edges."""
+
+import pytest
+
+from repro.core import (
+    Attrs,
+    ConfigurationError,
+    Msg,
+    Router,
+    ServiceDecl,
+    ServiceTypeError,
+    connect,
+)
+
+
+class TwoServiceRouter(Router):
+    SERVICES = ("up:net", "<down:net")
+
+
+class ResolverRouter(Router):
+    SERVICES = ("resolver:nsProvider", "<down:net")
+
+
+class ClientRouter(Router):
+    SERVICES = ("up:net", "<down:net", "res:nsClient")
+
+
+class TestServiceDecl:
+    def test_parse_plain(self):
+        decl = ServiceDecl.parse("up:net")
+        assert (decl.name, decl.type_name, decl.init_before) == ("up", "net", False)
+
+    def test_parse_init_before_marker(self):
+        decl = ServiceDecl.parse("<down:net")
+        assert decl.init_before
+        assert decl.name == "down"
+
+    def test_parse_tolerates_whitespace(self):
+        decl = ServiceDecl.parse("  < down : net  ")
+        assert decl.init_before
+        assert (decl.name, decl.type_name) == ("down", "net")
+
+    @pytest.mark.parametrize("bad", ["", "noname", ":net", "up:", "up"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ConfigurationError):
+            ServiceDecl.parse(bad)
+
+
+class TestRouterConstruction:
+    def test_services_built_from_declarations(self):
+        router = TwoServiceRouter("IP")
+        assert [s.name for s in router.services] == ["up", "down"]
+        assert router.service("down").init_before
+        assert not router.service("up").init_before
+
+    def test_service_lookup_by_name_and_index(self):
+        router = TwoServiceRouter("IP")
+        assert router.service(0) is router.service("up")
+        assert router.service(1).name == "down"
+
+    def test_service_lookup_errors(self):
+        router = TwoServiceRouter("IP")
+        with pytest.raises(ConfigurationError):
+            router.service("nope")
+        with pytest.raises(ConfigurationError):
+            router.service(5)
+
+    def test_duplicate_service_names_rejected(self):
+        class Dup(Router):
+            SERVICES = ("up:net", "up:net")
+
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            Dup("X")
+
+    def test_base_router_has_no_paths(self):
+        router = TwoServiceRouter("IP")
+        with pytest.raises(NotImplementedError):
+            router.create_stage(-1, Attrs())
+
+    def test_default_demux_drops(self):
+        router = TwoServiceRouter("IP")
+        result = router.demux(Msg(b"x"), router.service("up"))
+        assert result.path is None and result.forward is None
+        assert "classifier" in result.reason
+
+
+class TestConnect:
+    def test_connect_compatible_services(self):
+        ip = TwoServiceRouter("IP")
+        eth = TwoServiceRouter("ETH")
+        link = connect(ip.service("down"), eth.service("up"))
+        assert ip.service("down").connection_count == 1
+        assert link.peer_of(ip.service("down"))[0] is eth
+        assert link.peer_of(eth.service("up"))[0] is ip
+        assert link.peer_of(ip)[1] is eth.service("up")
+
+    def test_connect_incompatible_types_rejected(self):
+        arp = ResolverRouter("ARP")
+        eth = TwoServiceRouter("ETH")
+        with pytest.raises(ServiceTypeError):
+            connect(arp.service("resolver"), eth.service("up"))
+
+    def test_ns_client_to_provider_allowed(self):
+        ip = ClientRouter("IP")
+        arp = ResolverRouter("ARP")
+        connect(ip.service("res"), arp.service("resolver"))
+        assert ip.service("res").peers() == [(arp, arp.service("resolver"))]
+
+    def test_sole_link_requires_exactly_one(self):
+        ip = TwoServiceRouter("IP")
+        eth = TwoServiceRouter("ETH")
+        fddi = TwoServiceRouter("FDDI")
+        with pytest.raises(ConfigurationError, match="0 links"):
+            ip.service("down").sole_link()
+        connect(ip.service("down"), eth.service("up"))
+        assert ip.service("down").sole_link().peer_of(ip)[0] is eth
+        connect(ip.service("down"), fddi.service("up"))
+        with pytest.raises(ConfigurationError, match="2 links"):
+            ip.service("down").sole_link()
+
+    def test_multiple_connections_on_one_service(self):
+        # IP over both ATM and FDDI, as in Figure 3.
+        ip = TwoServiceRouter("IP")
+        atm = TwoServiceRouter("ATM")
+        fddi = TwoServiceRouter("FDDI")
+        connect(ip.service("down"), atm.service("up"))
+        connect(ip.service("down"), fddi.service("up"))
+        peers = [router.name for router, _ in ip.service("down").peers()]
+        assert peers == ["ATM", "FDDI"]
+
+    def test_peer_of_rejects_stranger(self):
+        ip = TwoServiceRouter("IP")
+        eth = TwoServiceRouter("ETH")
+        other = TwoServiceRouter("OTHER")
+        link = connect(ip.service("down"), eth.service("up"))
+        with pytest.raises(ValueError):
+            link.peer_of(other)

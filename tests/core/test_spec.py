@@ -1,0 +1,110 @@
+"""Unit tests for the spec-file language."""
+
+import pytest
+
+from repro.core import SpecSyntaxError, format_spec, parse_spec
+
+PAPER_EXAMPLE = """
+# The Figure 6 fragment: IP over ETH with ARP resolution.
+router IP {
+    files = {ip.c, ip_input.c, "ip output.c"};
+    service = {up:net, <down:net, <res:nsClient};
+}
+router ARP {
+    files = {arp.c};
+    service = {resolver:nsProvider, <down:net};
+}
+router ETH {
+    files = {eth.c};
+    service = {up:net};
+    params = {mtu: 1500, promiscuous: false, name: "eth0"};
+}
+connect IP.down ETH.up;
+connect IP.res ARP.resolver;
+connect ARP.down ETH.up;
+"""
+
+
+class TestParseRouters:
+    def test_parses_all_blocks(self):
+        spec = parse_spec(PAPER_EXAMPLE)
+        assert [r.name for r in spec.routers] == ["IP", "ARP", "ETH"]
+
+    def test_files_including_quoted(self):
+        spec = parse_spec(PAPER_EXAMPLE)
+        assert spec.router("IP").files == ["ip.c", "ip_input.c", "ip output.c"]
+
+    def test_services_with_markers(self):
+        spec = parse_spec(PAPER_EXAMPLE)
+        assert spec.router("IP").services == ["up:net", "<down:net", "<res:nsClient"]
+
+    def test_params_typed_values(self):
+        params = parse_spec(PAPER_EXAMPLE).router("ETH").params
+        assert params == {"mtu": 1500, "promiscuous": False, "name": "eth0"}
+
+    def test_class_clause_defaults_to_name(self):
+        spec = parse_spec("router IP { service = {up:net}; }")
+        assert spec.router("IP").class_name == "IP"
+
+    def test_class_clause_override(self):
+        spec = parse_spec(
+            "router IP2 { class = IpRouter; service = {up:net}; }")
+        assert spec.router("IP2").class_name == "IpRouter"
+
+    def test_comments_both_styles(self):
+        spec = parse_spec("# hash comment\n// slash comment\nrouter A { }")
+        assert spec.routers[0].name == "A"
+
+    def test_numeric_params(self):
+        spec = parse_spec("router A { params = {x: -3, y: 2.5}; }")
+        assert spec.router("A").params == {"x": -3, "y": 2.5}
+
+
+class TestParseConnections:
+    def test_connections(self):
+        spec = parse_spec(PAPER_EXAMPLE)
+        assert len(spec.connections) == 3
+        first = spec.connections[0]
+        assert (first.a_router, first.a_service) == ("IP", "down")
+        assert (first.b_router, first.b_service) == ("ETH", "up")
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("text,fragment", [
+        ("router { }", "expected"),                 # missing name
+        ("router A { files = ip.c; }", "expected"),  # missing braces
+        ("router A { service = {up}; }", "expected"),  # missing :type
+        ("router A { bogus = {x}; }", "unknown clause"),
+        ("connect A.x B;", "expected"),
+        ("router A { service = {up:net} }", "expected"),  # missing ;
+        ("widget A { }", "expected 'router' or 'connect'"),
+        ("router A { files = {a.c}; @", "unexpected character"),
+    ])
+    def test_rejected(self, text, fragment):
+        with pytest.raises(SpecSyntaxError, match=fragment):
+            parse_spec(text)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(SpecSyntaxError, match="line 3"):
+            parse_spec("router A {\n  service = {up:net};\n  bad = {x};\n}")
+
+    def test_unterminated_block(self):
+        with pytest.raises(SpecSyntaxError, match="end of spec"):
+            parse_spec("router A { service = {up:net};")
+
+
+class TestRoundTrip:
+    def test_format_then_parse_preserves_structure(self):
+        spec = parse_spec(PAPER_EXAMPLE)
+        text = format_spec(spec)
+        again = parse_spec(text)
+        assert [r.name for r in again.routers] == [r.name for r in spec.routers]
+        for name in ("IP", "ARP", "ETH"):
+            assert again.router(name).services == spec.router(name).services
+            assert again.router(name).params == spec.router(name).params
+            assert again.router(name).files == spec.router(name).files
+        assert again.connections == spec.connections
+
+    def test_format_escapes_strings(self):
+        spec = parse_spec('router A { params = {s: "a\\"b"}; }')
+        assert parse_spec(format_spec(spec)).router("A").params["s"] == 'a"b'

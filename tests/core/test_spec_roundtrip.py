@@ -1,0 +1,64 @@
+"""Property-based round-trip test for the spec-file language."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SpecFile, format_spec, parse_spec
+from repro.core.spec import Connection, RouterSpec
+
+_ident = st.from_regex(r"[A-Za-z_][A-Za-z0-9_-]{0,10}", fullmatch=True)
+_filename = st.one_of(
+    st.from_regex(r"[A-Za-z_][A-Za-z0-9_-]{0,8}(\.[A-Za-z_][A-Za-z0-9_-]{0,4}){0,2}",
+                  fullmatch=True),
+    st.text(min_size=1, max_size=12).filter(
+        lambda s: "\x00" not in s and s.isprintable()),
+)
+_value = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.booleans(),
+    # Printable range beyond ASCII: parse(format(x)) must not mojibake.
+    st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF),
+            max_size=12),
+)
+
+
+@st.composite
+def spec_files(draw):
+    spec = SpecFile()
+    names = draw(st.lists(_ident, min_size=1, max_size=4, unique=True))
+    service_names = {}
+    for name in names:
+        block = RouterSpec(name)
+        block.files = draw(st.lists(_filename, max_size=3))
+        n_services = draw(st.integers(min_value=1, max_value=3))
+        svc_names = draw(st.lists(_ident, min_size=n_services,
+                                  max_size=n_services, unique=True))
+        block.services = [
+            ("<" if draw(st.booleans()) else "") + f"{svc}:net"
+            for svc in svc_names
+        ]
+        keys = draw(st.lists(_ident, max_size=3, unique=True))
+        block.params = {key: draw(_value) for key in keys}
+        service_names[name] = svc_names
+        spec.routers.append(block)
+    n_conns = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(n_conns):
+        a = draw(st.sampled_from(names))
+        b = draw(st.sampled_from(names))
+        spec.connections.append(Connection(
+            a, draw(st.sampled_from(service_names[a])),
+            b, draw(st.sampled_from(service_names[b]))))
+    return spec
+
+
+@settings(max_examples=80, deadline=None)
+@given(spec_files())
+def test_format_parse_roundtrip(spec):
+    text = format_spec(spec)
+    again = parse_spec(text)
+    assert [r.name for r in again.routers] == [r.name for r in spec.routers]
+    for original, parsed in zip(spec.routers, again.routers):
+        assert parsed.class_name == original.class_name
+        assert parsed.files == original.files
+        assert parsed.services == original.services
+        assert parsed.params == original.params
+    assert again.connections == spec.connections

@@ -1,0 +1,147 @@
+"""Tests for guard/transformation rules and the fixpoint application."""
+
+import pytest
+
+from repro.core import (
+    Attrs,
+    TransformRegistry,
+    TransformRule,
+    all_of,
+    has_attr,
+    path_create,
+    traverses,
+)
+from ..helpers import make_chain
+
+
+def fresh_path(*names, attrs=None):
+    _, routers = make_chain(*names)
+    return path_create(routers[0], attrs or Attrs())
+
+
+class TestGuards:
+    def test_traverses_consecutive(self):
+        path = fresh_path("UDP", "IP", "ETH")
+        assert traverses("UDP", "IP")(path)
+        assert traverses("IP", "ETH")(path)
+        assert traverses("UDP", "IP", "ETH")(path)
+
+    def test_traverses_rejects_gaps_and_order(self):
+        path = fresh_path("UDP", "IP", "ETH")
+        assert not traverses("UDP", "ETH")(path)   # not consecutive
+        assert not traverses("ETH", "IP")(path)    # wrong order
+        assert not traverses("TCP")(path)          # absent
+
+    def test_traverses_single_router(self):
+        path = fresh_path("UDP", "IP")
+        assert traverses("IP")(path)
+
+    def test_has_attr(self):
+        path = fresh_path("A", attrs=Attrs(qos="rt"))
+        assert has_attr("qos")(path)
+        assert has_attr("qos", "rt")(path)
+        assert not has_attr("qos", "bulk")(path)
+        assert not has_attr("missing")(path)
+
+    def test_all_of(self):
+        path = fresh_path("A", "B", attrs=Attrs(qos="rt"))
+        assert all_of(traverses("A", "B"), has_attr("qos"))(path)
+        assert not all_of(traverses("A", "B"), has_attr("nope"))(path)
+
+
+class TestRuleApplication:
+    def test_rule_applies_once_by_default(self):
+        count = []
+        rule = TransformRule("probe", guard=lambda p: True,
+                             transformation=lambda p: count.append(1))
+        registry = TransformRegistry([rule])
+        path = fresh_path("A")
+        applied = registry.apply_all(path)
+        assert applied == ["probe"]
+        assert count == [1]
+        # Re-running finds the guard false (already applied).
+        assert registry.apply_all(path) == []
+
+    def test_rules_cascade(self):
+        """One rule's transformation can enable another's guard."""
+        registry = TransformRegistry()
+
+        @registry.rule("first", guard=lambda p: True)
+        def first(path):
+            path.attrs["stage1"] = True
+
+        @registry.rule("second", guard=has_attr("stage1"))
+        def second(path):
+            path.attrs["stage2"] = True
+
+        path = fresh_path("A")
+        assert registry.apply_all(path) == ["first", "second"]
+        assert path.attrs["stage2"]
+
+    def test_rule_order_determines_application_order(self):
+        order = []
+        registry = TransformRegistry([
+            TransformRule("b", lambda p: True, lambda p: order.append("b")),
+            TransformRule("a", lambda p: True, lambda p: order.append("a")),
+        ])
+        registry.apply_all(fresh_path("A"))
+        assert order == ["b", "a"]
+
+    def test_guard_false_rule_skipped(self):
+        registry = TransformRegistry()
+
+        @registry.rule("never", guard=lambda p: False)
+        def never(path):
+            raise AssertionError("must not run")
+
+        assert registry.apply_all(fresh_path("A")) == []
+
+    def test_non_quiescing_ruleset_fails_loudly(self):
+        rule = TransformRule("spin", guard=lambda p: True,
+                             transformation=lambda p: None, once=False)
+        registry = TransformRegistry([rule])
+        with pytest.raises(RuntimeError, match="did not quiesce"):
+            registry.apply_all(fresh_path("A"))
+
+    def test_repeating_rule_that_quiesces(self):
+        """once=False rules run until their own guard goes false."""
+        registry = TransformRegistry()
+        counter = {"n": 3}
+
+        def guard(path):
+            return counter["n"] > 0
+
+        def transformation(path):
+            counter["n"] -= 1
+
+        registry.add(TransformRule("drain", guard, transformation, once=False))
+        assert registry.apply_all(fresh_path("A")) == ["drain"] * 3
+
+
+class TestSemanticTransparency:
+    def test_deliver_pointer_rewrite(self):
+        """The paper's canonical transformation: overwrite interface
+        function pointers with optimized code; semantics unchanged."""
+        registry = TransformRegistry()
+
+        @registry.rule("fuse-A-B", guard=traverses("A", "B"))
+        def fuse(path):
+            stage_a = path.stage_of("A")
+            stage_b = path.stage_of("B")
+            original_b = stage_b.deliver_fn(0)
+
+            def fused(iface, msg, direction, **kwargs):
+                msg.meta.setdefault("trace", []).append(("A+B-fused", direction))
+                # Skip B's separate processing: jump straight past it.
+                return original_b(stage_b.end[0], msg, direction, **kwargs)
+
+            stage_a.set_deliver(0, fused)
+
+        from repro.core import Msg, FWD
+        path = fresh_path("A", "B", "C")
+        registry.apply_all(path)
+        msg = Msg(b"x")
+        path.deliver(msg, FWD)
+        assert msg.meta["trace"][0] == ("A+B-fused", FWD)
+        # Message still reaches the end of the path.
+        assert path.output_queue(FWD).dequeue() is msg

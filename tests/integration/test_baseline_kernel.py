@@ -1,0 +1,105 @@
+"""End-to-end tests of the Linux-like baseline kernel."""
+
+import pytest
+
+from repro.experiments import Testbed
+from repro.mpeg import CANYON, NEPTUNE, synthesize_clip
+
+
+def linux_testbed(nframes=60, profile=CANYON, seed=1, **video_kwargs):
+    testbed = Testbed(seed=seed)
+    clip = synthesize_clip(profile, seed=seed, nframes=nframes)
+    source = testbed.add_video_source(clip, dst_port=6100)
+    kernel = testbed.build_linux(rate_limited_display=False)
+    session = kernel.start_video(profile, (str(source.ip), 7200),
+                                 local_port=6100, **video_kwargs)
+    return testbed, kernel, source, session
+
+
+class TestVideoPlayback:
+    def test_all_frames_display(self):
+        testbed, kernel, source, session = linux_testbed(nframes=60)
+        testbed.start_all()
+        testbed.run_until_sources_done()
+        assert source.done
+        assert session.frames_presented == 60
+
+    def test_flow_control_works_through_userspace(self):
+        """The app's sendto()-based window advertisements reach the
+        source and keep the socket buffer from overflowing."""
+        testbed, kernel, source, session = linux_testbed(nframes=120)
+        testbed.start_all()
+        testbed.run_until_sources_done()
+        assert kernel.rx_socket_overflow == 0
+        assert source.avg_rtt_us() is not None
+
+    def test_kernel_work_happens_at_interrupt_level(self):
+        testbed, kernel, _source, _session = linux_testbed(nframes=60)
+        testbed.start_all()
+        testbed.run_until_sources_done()
+        # Protocol processing is interrupt time, not thread compute.
+        assert testbed.world.cpu.interrupt_us > 0
+
+    def test_slower_than_scout_on_the_same_clip(self):
+        """Table 1's structural gap: the baseline pays copies, syscalls
+        and the window-system handoff that paths avoid."""
+        testbed_l, _k, _s, session_l = linux_testbed(nframes=120,
+                                                     profile=NEPTUNE)
+        testbed_l.start_all()
+        testbed_l.run_until_sources_done()
+        testbed_s = Testbed(seed=1)
+        clip = synthesize_clip(NEPTUNE, seed=1, nframes=120)
+        source = testbed_s.add_video_source(clip, dst_port=6100)
+        scout = testbed_s.build_scout(rate_limited_display=False)
+        session_s = scout.start_video(NEPTUNE, (str(source.ip), 7200),
+                                      local_port=6100)
+        testbed_s.start_all()
+        testbed_s.run_until_sources_done()
+        assert session_s.achieved_fps() > 1.1 * session_l.achieved_fps()
+
+
+class TestIcmpAtInterruptLevel:
+    def test_echo_served_regardless_of_load(self):
+        testbed = Testbed(seed=2)
+        flooder = testbed.add_flooder()
+        kernel = testbed.build_linux()
+        testbed.start_all()
+        testbed.run_seconds(0.5)
+        assert kernel.icmp_served > 0
+        # Nearly every request was answered: no deprioritization exists.
+        assert flooder.replies_received >= 0.95 * flooder.requests_sent
+
+    def test_flood_steals_decode_cpu(self):
+        quiet = linux_testbed(nframes=100, profile=NEPTUNE, seed=3)
+        quiet[0].start_all()
+        quiet[0].run_until_sources_done()
+        quiet_fps = quiet[3].achieved_fps()
+
+        testbed = Testbed(seed=3)
+        clip = synthesize_clip(NEPTUNE, seed=3, nframes=100)
+        source = testbed.add_video_source(clip, dst_port=6100)
+        testbed.add_flooder()
+        kernel = testbed.build_linux(rate_limited_display=False)
+        session = kernel.start_video(NEPTUNE, (str(source.ip), 7200),
+                                     local_port=6100)
+        testbed.start_all()
+        testbed.run_until_sources_done(max_seconds=120)
+        assert session.achieved_fps() < 0.75 * quiet_fps
+
+
+class TestSockets:
+    def test_unbound_port_drops(self):
+        testbed = Testbed(seed=1)
+        clip = synthesize_clip(CANYON, seed=1, nframes=5)
+        source = testbed.add_video_source(clip, dst_port=9999)
+        kernel = testbed.build_linux()
+        testbed.start_all()
+        testbed.run_seconds(0.5)
+        assert kernel.rx_no_socket > 0
+
+    def test_duplicate_bind_rejected(self):
+        testbed = Testbed()
+        kernel = testbed.build_linux()
+        kernel.open_socket(6100)
+        with pytest.raises(ValueError, match="already bound"):
+            kernel.open_socket(6100)

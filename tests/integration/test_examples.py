@@ -1,0 +1,54 @@
+"""The examples must keep running: each is executed as a subprocess."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parents[2] / "examples"
+
+
+def run_example(name, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "TEST -> UDP -> IP -> ETH" in out
+        assert "TEST sink received: b'welcome back'" in out
+
+    def test_mpeg_player(self):
+        out = run_example("mpeg_player.py")
+        assert "SHELL replied: ['ok pid=" in out
+        assert "missed deadlines:  0" in out
+        assert "DISPLAY -> MPEG -> MFLOW -> UDP -> IP -> ETH" in out
+
+    def test_web_server(self):
+        out = run_example("web_server.py")
+        assert "HTTP/1.0 200 OK" in out
+        assert "HTTP/1.0 404 Not Found" in out
+        assert "VFS -> UFS -> SCSI" in out
+        assert "stops at IP" in out
+
+    @pytest.mark.slow
+    def test_admission_control(self):
+        out = run_example("admission_control.py", timeout=420)
+        assert "correlation" in out
+        assert "admitted at 1/3 quality" in out
+        assert "missed 0" in out
+
+    @pytest.mark.slow
+    def test_loaded_system(self):
+        out = run_example("loaded_system.py", timeout=420)
+        assert "scout" in out and "linux" in out
+
+    @pytest.mark.slow
+    def test_multi_stream_edf(self):
+        out = run_example("multi_stream_edf.py", timeout=420)
+        assert "EDF: " in out and "missed 0 deadlines" in out

@@ -1,0 +1,137 @@
+"""The Figure 3 web-server graph, serving documents end to end."""
+
+import pytest
+
+from repro.core import (
+    Attrs,
+    BWD,
+    Msg,
+    PA_NET_PARTICIPANTS,
+    PathCreationError,
+    RouterGraph,
+    path_create,
+)
+from repro.fs import ScsiRouter, UfsRouter, VfsRouter
+from repro.http import HttpRouter
+from repro.net import (
+    ArpRouter,
+    EthAddr,
+    EthRouter,
+    IpAddr,
+    IpHeader,
+    IpRouter,
+    TcpHeader,
+    TcpRouter,
+)
+from repro.net.common import PA_LOCAL_PORT
+from repro.net.headers import IPPROTO_TCP
+
+SERVER_IP, SERVER_MAC = "10.0.0.1", "02:00:00:00:00:01"
+CLIENT_IP, CLIENT_MAC = "10.0.0.9", "02:00:00:00:00:09"
+
+
+@pytest.fixture
+def web():
+    graph = RouterGraph()
+    graph.add(HttpRouter("HTTP"))
+    graph.add(TcpRouter("TCP"))
+    graph.add(IpRouter("IP", addr=SERVER_IP))
+    graph.add(ArpRouter("ARP"))
+    graph.add(EthRouter("ETH", mac=SERVER_MAC))
+    graph.add(VfsRouter("VFS"))
+    graph.add(UfsRouter("UFS"))
+    graph.add(ScsiRouter("SCSI", sectors=1024))
+    graph.connect("HTTP.net", "TCP.up")
+    graph.connect("HTTP.files", "VFS.up")
+    graph.connect("TCP.down", "IP.up")
+    graph.connect("IP.down", "ETH.up")
+    graph.connect("IP.res", "ARP.resolver")
+    graph.connect("ARP.down", "ETH.up")
+    graph.connect("VFS.mounts", "UFS.up")
+    graph.connect("UFS.disk", "SCSI.ops")
+    graph.boot()
+    graph.router("UFS").fs.write_file("index.html", b"<h1>paths</h1>")
+    graph.router("VFS").mount("/", "UFS")
+    graph.router("ARP").add_entry(CLIENT_IP, CLIENT_MAC)
+    wire = []
+    graph.router("ETH").transmit = lambda msg: wire.append(msg.to_bytes())
+    return graph, wire
+
+
+def open_connection(graph):
+    return path_create(graph.router("HTTP"),
+                       Attrs({PA_NET_PARTICIPANTS: (CLIENT_IP, 51000),
+                              PA_LOCAL_PORT: 80}))
+
+
+def segment(graph, seq, payload):
+    tcp = TcpHeader(51000, 80, seq=seq, flags=TcpHeader.FLAG_ACK).pack()
+    ip = IpHeader(20 + len(tcp) + len(payload), 7, IPPROTO_TCP,
+                  IpAddr(CLIENT_IP), graph.router("IP").addr).pack()
+    eth = (EthAddr(SERVER_MAC).to_bytes() + EthAddr(CLIENT_MAC).to_bytes()
+           + b"\x08\x00")
+    return Msg(eth + ip + tcp + payload)
+
+
+def get(graph, target):
+    conn = open_connection(graph)
+    request = f"GET {target} HTTP/1.0\r\n\r\n".encode()
+    conn.deliver(segment(graph, 0, request), BWD)
+    return conn
+
+
+class TestServing:
+    def test_200_with_document_body(self, web):
+        graph, wire = web
+        get(graph, "/index.html")
+        response = wire[-1][14 + 20 + TcpHeader.SIZE:]
+        assert response.startswith(b"HTTP/1.0 200 OK")
+        assert response.endswith(b"<h1>paths</h1>")
+
+    def test_404_for_missing_document(self, web):
+        graph, wire = web
+        get(graph, "/nope.html")
+        assert b"404" in wire[-1]
+        assert graph.router("HTTP").not_found == 1
+
+    def test_501_for_non_get(self, web):
+        graph, wire = web
+        conn = open_connection(graph)
+        conn.deliver(segment(graph, 0, b"POST / HTTP/1.0\r\n\r\n"), BWD)
+        assert b"501" in wire[-1]
+
+    def test_400_for_garbage(self, web):
+        graph, wire = web
+        conn = open_connection(graph)
+        conn.deliver(segment(graph, 0, b"\xff\xfe\x00"), BWD)
+        assert b"400" in wire[-1]
+
+    def test_file_path_created_once_per_document(self, web):
+        graph, _wire = web
+        http = graph.router("HTTP")
+        get(graph, "/index.html")
+        first = http._file_paths["/index.html"]
+        get(graph, "/index.html")
+        assert http._file_paths["/index.html"] is first
+        assert first.routers() == ["VFS", "UFS", "SCSI"]
+
+    def test_connection_path_shape(self, web):
+        graph, _wire = web
+        conn = open_connection(graph)
+        assert conn.routers() == ["HTTP", "TCP", "IP", "ETH"]
+
+    def test_response_addressed_to_client(self, web):
+        graph, wire = web
+        get(graph, "/index.html")
+        from repro.net import parse_frame
+        parsed = parse_frame(wire[-1])
+        assert parsed.eth.dst == EthAddr(CLIENT_MAC)
+        assert str(parsed.ip.dst) == CLIENT_IP
+
+
+class TestOffNetTruncation:
+    def test_path_to_remote_network_stops_at_ip(self, web):
+        graph, _wire = web
+        path = path_create(graph.router("HTTP"),
+                           Attrs({PA_NET_PARTICIPANTS: ("192.168.1.1", 80)}))
+        assert path.routers() == ["HTTP", "TCP", "IP"]

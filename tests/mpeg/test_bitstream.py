@@ -1,0 +1,95 @@
+"""Unit and property tests for bit-level I/O."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpeg import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_single_bits(self):
+        w = BitWriter()
+        for bit in (1, 0, 1, 1):
+            w.write(bit, 1)
+        assert w.getvalue() == bytes([0b10110000])
+        assert w.bit_length == 4
+
+    def test_multibyte_field(self):
+        w = BitWriter()
+        w.write(0xABC, 12)
+        assert w.bit_length == 12
+        assert w.getvalue() == bytes([0xAB, 0xC0])
+
+    def test_align_pads_with_zeros(self):
+        w = BitWriter()
+        w.write(0b1, 1)
+        w.align()
+        assert w.bit_length == 8
+        assert w.getvalue() == bytes([0b10000000])
+
+    def test_align_on_boundary_is_noop(self):
+        w = BitWriter()
+        w.write(0xFF, 8)
+        w.align()
+        assert w.bit_length == 8
+
+    def test_write_bytes(self):
+        w = BitWriter()
+        w.write_bytes(b"\x12\x34")
+        assert w.getvalue() == b"\x12\x34"
+
+    def test_value_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(4, 2)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(-1, 4)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(0, 65)
+
+
+class TestBitReader:
+    def test_reads_back_fields(self):
+        r = BitReader(bytes([0xAB, 0xCD]))
+        assert r.read(4) == 0xA
+        assert r.read(8) == 0xBC
+        assert r.read(4) == 0xD
+
+    def test_eof_raises(self):
+        r = BitReader(b"\xff")
+        r.read(8)
+        with pytest.raises(EOFError):
+            r.read(1)
+
+    def test_skip_and_align(self):
+        r = BitReader(bytes([0b10100000, 0xCC]))
+        r.read(3)
+        r.align()
+        assert r.read(8) == 0xCC
+
+    def test_bits_remaining(self):
+        r = BitReader(b"\x00\x00")
+        assert r.bits_remaining == 16
+        r.read(5)
+        assert r.bits_remaining == 11
+
+    def test_skip_past_end_raises(self):
+        with pytest.raises(EOFError):
+            BitReader(b"\x00").skip(9)
+
+
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=32),
+                          st.integers(min_value=0)),
+                min_size=1, max_size=30))
+def test_write_read_roundtrip(fields):
+    """Any sequence of (width, value) fields round-trips exactly."""
+    fields = [(width, value % (1 << width)) for width, value in fields]
+    w = BitWriter()
+    for width, value in fields:
+        w.write(value, width)
+    r = BitReader(w.getvalue())
+    for width, value in fields:
+        assert r.read(width) == value

@@ -1,0 +1,112 @@
+"""Shared fixture: a full protocol stack on a simulated segment.
+
+Builds the Figure 6/7 configuration — TEST over UDP over IP over ETH with
+ARP resolution — plus a remote host agent that records every frame it
+receives and can synthesize traffic toward the stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import pytest
+
+from repro.core import Attrs, PA_NET_PARTICIPANTS, RouterGraph, classify, path_create
+from repro.net import (
+    ArpRouter,
+    EthAddr,
+    EthRouter,
+    EtherSegment,
+    HostAgent,
+    IcmpRouter,
+    IpAddr,
+    IpRouter,
+    MflowRouter,
+    NetDevice,
+    TcpRouter,
+    TestRouter,
+    UdpRouter,
+)
+from repro.sim import CPU, Engine
+
+LOCAL_MAC = "02:00:00:00:00:01"
+LOCAL_IP = "10.0.0.1"
+REMOTE_MAC = "02:00:00:00:00:02"
+REMOTE_IP = "10.0.0.2"
+OFFNET_IP = "192.168.9.9"
+
+
+class RecordingRemote(HostAgent):
+    """A remote host that just records the frames it receives."""
+
+    def __init__(self, engine, mac=REMOTE_MAC, ip=REMOTE_IP, service_us=0.0):
+        super().__init__(engine, EthAddr(mac), IpAddr(ip),
+                         service_us=service_us)
+        self.frames: List[bytes] = []
+
+    def handle_frame(self, frame: bytes) -> None:
+        self.frames.append(frame)
+
+
+class Stack:
+    """The assembled local protocol stack plus the wire and one remote."""
+
+    def __init__(self, with_mflow: bool = False, with_icmp: bool = False,
+                 with_tcp: bool = False, local_ip: str = LOCAL_IP):
+        self.engine = Engine()
+        self.cpu = CPU(self.engine)
+        self.segment = EtherSegment(self.engine, latency_us=50.0)
+        self.device = NetDevice(EthAddr(LOCAL_MAC), self.cpu)
+        self.segment.attach(self.device)
+        self.remote = RecordingRemote(self.engine)
+        self.segment.attach(self.remote)
+
+        self.graph = RouterGraph()
+        self.eth = self.graph.add(EthRouter("ETH", mac=LOCAL_MAC))
+        self.arp = self.graph.add(ArpRouter("ARP"))
+        self.ip = self.graph.add(IpRouter("IP", addr=local_ip))
+        self.udp = self.graph.add(UdpRouter("UDP"))
+        self.test = self.graph.add(TestRouter("TEST"))
+        self.graph.connect("IP.down", "ETH.up")
+        self.graph.connect("IP.res", "ARP.resolver")
+        self.graph.connect("ARP.down", "ETH.up")
+        self.graph.connect("UDP.down", "IP.up")
+        self.graph.connect("TEST.down", "UDP.up")
+        self.mflow: Optional[MflowRouter] = None
+        self.icmp: Optional[IcmpRouter] = None
+        self.tcp: Optional[TcpRouter] = None
+        if with_mflow:
+            self.mflow = self.graph.add(MflowRouter("MFLOW"))
+            self.graph.connect("MFLOW.down", "UDP.up")
+        if with_icmp:
+            self.icmp = self.graph.add(IcmpRouter("ICMP"))
+            self.graph.connect("ICMP.down", "IP.up")
+        if with_tcp:
+            self.tcp = self.graph.add(TcpRouter("TCP"))
+            self.graph.connect("TCP.down", "IP.up")
+        self.eth.attach_device(self.device)
+        self.arp.add_entry(REMOTE_IP, REMOTE_MAC)
+        self.graph.boot()
+
+    def make_test_path(self, remote_ip: str = REMOTE_IP,
+                       remote_port: int = 7000, **extra_attrs):
+        """Create a TEST->UDP->IP->ETH path to the remote."""
+        attrs = Attrs({PA_NET_PARTICIPANTS: (remote_ip, remote_port)},
+                      **extra_attrs)
+        return path_create(self.test, attrs)
+
+    def classify(self, msg):
+        return classify(self.eth, msg)
+
+    def run(self):
+        self.engine.run()
+
+
+@pytest.fixture
+def stack():
+    return Stack()
+
+
+@pytest.fixture
+def stack_full():
+    return Stack(with_mflow=True, with_icmp=True, with_tcp=True)

@@ -1,0 +1,90 @@
+"""Unit tests for Ethernet and IPv4 address types."""
+
+import pytest
+
+from repro.net import EthAddr, IpAddr
+
+
+class TestEthAddr:
+    def test_parse_and_format(self):
+        mac = EthAddr("02:00:00:AA:bb:cc")
+        assert str(mac) == "02:00:00:aa:bb:cc"
+        assert mac.to_bytes() == bytes([2, 0, 0, 0xAA, 0xBB, 0xCC])
+
+    def test_from_bytes_roundtrip(self):
+        raw = bytes(range(6))
+        assert EthAddr(raw).to_bytes() == raw
+
+    def test_copy_constructor(self):
+        mac = EthAddr("02:00:00:00:00:01")
+        assert EthAddr(mac) == mac
+
+    def test_broadcast(self):
+        assert EthAddr.BROADCAST.is_broadcast
+        assert str(EthAddr.BROADCAST) == "ff:ff:ff:ff:ff:ff"
+        assert not EthAddr("02:00:00:00:00:01").is_broadcast
+
+    def test_equality_and_hash(self):
+        a = EthAddr("02:00:00:00:00:01")
+        b = EthAddr(b"\x02\x00\x00\x00\x00\x01")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != EthAddr("02:00:00:00:00:02")
+
+    @pytest.mark.parametrize("bad", ["02:00:00:00:00", "0g:00:00:00:00:01",
+                                     "020000000001", ""])
+    def test_rejects_malformed_strings(self, bad):
+        with pytest.raises(ValueError):
+            EthAddr(bad)
+
+    def test_rejects_wrong_byte_length(self):
+        with pytest.raises(ValueError):
+            EthAddr(b"\x01\x02")
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            EthAddr(123)  # type: ignore[arg-type]
+
+
+class TestIpAddr:
+    def test_parse_and_format(self):
+        ip = IpAddr("10.0.0.1")
+        assert str(ip) == "10.0.0.1"
+        assert ip.to_bytes() == b"\x0a\x00\x00\x01"
+        assert ip.to_int() == 0x0A000001
+
+    def test_int_and_bytes_constructors(self):
+        assert IpAddr(0x0A000001) == IpAddr("10.0.0.1")
+        assert IpAddr(b"\x0a\x00\x00\x01") == IpAddr("10.0.0.1")
+
+    @pytest.mark.parametrize("bad", ["10.0.0", "10.0.0.256", "a.b.c.d",
+                                     "1.2.3.4.5", ""])
+    def test_rejects_malformed_strings(self, bad):
+        with pytest.raises(ValueError):
+            IpAddr(bad)
+
+    def test_rejects_out_of_range_int(self):
+        with pytest.raises(ValueError):
+            IpAddr(1 << 32)
+        with pytest.raises(ValueError):
+            IpAddr(-1)
+
+    def test_same_network_default_prefix(self):
+        """The local-knowledge test IP uses to freeze its routing decision."""
+        local = IpAddr("10.0.0.1")
+        assert local.same_network(IpAddr("10.0.0.99"))
+        assert not local.same_network(IpAddr("10.0.1.1"))
+
+    def test_same_network_prefixes(self):
+        a, b = IpAddr("10.0.0.1"), IpAddr("10.0.255.1")
+        assert a.same_network(b, prefix_len=16)
+        assert not a.same_network(b, prefix_len=24)
+        assert a.same_network(IpAddr("192.168.0.1"), prefix_len=0)
+
+    def test_same_network_bad_prefix(self):
+        with pytest.raises(ValueError):
+            IpAddr("10.0.0.1").same_network(IpAddr("10.0.0.2"), prefix_len=33)
+
+    def test_hashable(self):
+        table = {IpAddr("10.0.0.1"): "here"}
+        assert table[IpAddr("10.0.0.1")] == "here"

@@ -1,0 +1,46 @@
+"""ARP resolver tests (the nsProvider service of Figure 6)."""
+
+import pytest
+
+from repro.core import PathCreationError
+from repro.net import ArpRouter, EthAddr, EtherSegment, IpAddr
+from repro.sim import Engine
+from .conftest import RecordingRemote
+
+
+class TestResolver:
+    def test_static_entries_resolve(self):
+        arp = ArpRouter("ARP")
+        arp.add_entry("10.0.0.2", "02:00:00:00:00:02")
+        assert arp.resolve("10.0.0.2") == EthAddr("02:00:00:00:00:02")
+        assert arp.hits == 1
+
+    def test_resolution_failure_aborts_path_creation(self):
+        arp = ArpRouter("ARP")
+        with pytest.raises(PathCreationError, match="cannot resolve"):
+            arp.resolve("10.0.0.99")
+        assert arp.misses == 1
+
+    def test_accepts_typed_addresses(self):
+        arp = ArpRouter("ARP")
+        arp.add_entry(IpAddr("10.0.0.2"), EthAddr("02:00:00:00:00:02"))
+        assert arp.resolve(IpAddr("10.0.0.2")) == \
+            EthAddr("02:00:00:00:00:02")
+
+    def test_learn_from_segment(self):
+        engine = Engine()
+        segment = EtherSegment(engine)
+        segment.attach(RecordingRemote(engine))
+        segment.attach(RecordingRemote(engine, mac="02:00:00:00:00:05",
+                                       ip="10.0.0.5"))
+        arp = ArpRouter("ARP")
+        arp.learn_from_segment(segment)
+        assert len(arp.entries()) == 2
+        assert arp.resolve("10.0.0.5") == EthAddr("02:00:00:00:00:05")
+
+    def test_entries_returns_a_copy(self):
+        arp = ArpRouter("ARP")
+        arp.add_entry("10.0.0.2", "02:00:00:00:00:02")
+        snapshot = arp.entries()
+        snapshot.clear()
+        assert arp.resolve("10.0.0.2") is not None

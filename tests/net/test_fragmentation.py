@@ -1,0 +1,219 @@
+"""IP fragmentation and reassembly, including the catch-all path and the
+reclassify-after-reassembly flow of Section 3.5."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Attrs, BWD, FWD, Msg, path_create
+from repro.net import (
+    IpHeader,
+    PA_IP_CATCHALL,
+    PA_LOCAL_PORT,
+    build_udp_frame,
+    parse_frame,
+)
+from .conftest import REMOTE_IP, Stack
+
+
+def big_payload(n=4000):
+    return bytes(i % 251 for i in range(n))
+
+
+class TestSendFragmentation:
+    def test_large_datagram_fragments_on_the_wire(self, stack):
+        path = stack.make_test_path()
+        path.deliver(Msg(big_payload(4000)), FWD)
+        stack.run()
+        frames = [parse_frame(f) for f in stack.remote.frames]
+        assert len(frames) >= 3
+        assert all(f.ip.is_fragment for f in frames)
+        assert frames[-1].ip.more_fragments is False
+        assert all(f.ip.more_fragments for f in frames[:-1])
+
+    def test_fragments_respect_mtu(self, stack):
+        path = stack.make_test_path()
+        path.deliver(Msg(big_payload(5000)), FWD)
+        stack.run()
+        for frame in stack.remote.frames:
+            assert len(frame) <= 14 + stack.eth.mtu
+
+    def test_fragment_offsets_are_8_byte_aligned(self, stack):
+        path = stack.make_test_path()
+        path.deliver(Msg(big_payload(4000)), FWD)
+        stack.run()
+        for frame in stack.remote.frames:
+            parsed = parse_frame(frame)
+            assert (parsed.ip.frag_offset * 8) % 8 == 0
+
+    def test_small_datagram_not_fragmented(self, stack):
+        path = stack.make_test_path()
+        path.deliver(Msg(b"small"), FWD)
+        stack.run()
+        assert len(stack.remote.frames) == 1
+        assert not parse_frame(stack.remote.frames[0]).ip.is_fragment
+
+
+class TestInPathReassembly:
+    """A path whose IP stage sees its own fragments reassembles in place."""
+
+    def loopback_fragments(self, stack, path, payload):
+        """Send FWD, capture wire fragments, rewrite them as if a remote
+        had sent the same datagram to us."""
+        path.deliver(Msg(payload), FWD)
+        stack.run()
+        inbound = []
+        for frame in stack.remote.frames:
+            parsed = parse_frame(frame)
+            header = IpHeader(
+                parsed.ip.total_length, parsed.ip.ident, parsed.ip.proto,
+                stack.remote.ip, stack.ip.addr,
+                flags=parsed.ip.flags, frag_offset=parsed.ip.frag_offset)
+            eth = stack.remote.mac.to_bytes() + stack.device.mac.to_bytes()
+            raw = frame[34:]  # strip original eth(14)+ip(20), keep payload
+            inbound.append(stack.device.mac.to_bytes()
+                           + stack.remote.mac.to_bytes() + b"\x08\x00"
+                           + header.pack() + raw)
+            assert eth  # silence linters; eth construction shown above
+        return inbound
+
+    def test_fragments_absorbed_until_complete(self, stack):
+        payload = big_payload(3000)
+        path = stack.make_test_path(**{PA_LOCAL_PORT: 6100})
+        frames = self.loopback_fragments(stack, path, payload)
+        # swap ports so the UDP stage accepts the loopback
+        for i, frame in enumerate(frames):
+            body = bytearray(frame)
+            if i == 0:  # UDP header lives in the first fragment
+                sport = body[34:36]
+                body[34:36] = body[36:38]
+                body[36:38] = sport
+            frames[i] = bytes(body)
+        for frame in frames[:-1]:
+            path.deliver(Msg(frame), BWD)
+            assert stack.test.received == []  # absorbed
+        path.deliver(Msg(frames[-1]), BWD)
+        assert len(stack.test.received) == 1
+        assert stack.test.received[0].to_bytes() == payload
+
+    def test_out_of_order_fragments_reassemble(self, stack):
+        payload = big_payload(3000)
+        path = stack.make_test_path(**{PA_LOCAL_PORT: 6100})
+        frames = self.loopback_fragments(stack, path, payload)
+        for i, frame in enumerate(frames):
+            body = bytearray(frame)
+            if i == 0:
+                sport = body[34:36]
+                body[34:36] = body[36:38]
+                body[36:38] = sport
+            frames[i] = bytes(body)
+        # deliver last-first, then the rest in order
+        path.deliver(Msg(frames[-1]), BWD)
+        for frame in frames[:-1]:
+            path.deliver(Msg(frame), BWD)
+        assert len(stack.test.received) == 1
+        assert stack.test.received[0].to_bytes() == payload
+
+
+class TestCatchAllPath:
+    def make_catchall(self, stack):
+        path = path_create(stack.ip, Attrs({PA_IP_CATCHALL: True}))
+        stack.ip.frag_path = path
+        return path
+
+    def test_catchall_path_shape(self, stack):
+        path = self.make_catchall(stack)
+        assert path.routers() == ["IP", "ETH"]
+
+    def test_fragments_classify_to_catchall(self, stack):
+        self.make_catchall(stack)
+        stack.make_test_path(**{PA_LOCAL_PORT: 6100})
+        # Build a fragment by hand: first half of a UDP datagram.
+        whole = build_udp_frame(stack.remote.mac, stack.device.mac,
+                                stack.remote.ip, stack.ip.addr,
+                                7000, 6100, big_payload(1000))
+        ip_payload = whole[34:]  # beyond eth+ip headers: udp hdr + payload
+        first = IpHeader(20 + 512, 99, 17, stack.remote.ip, stack.ip.addr,
+                         flags=1, frag_offset=0)
+        frame = whole[:14] + first.pack() + ip_payload[:512]
+        msg = Msg(frame)
+        assert stack.classify(msg) is stack.ip.frag_path
+
+    def test_fragment_without_catchall_dropped(self, stack):
+        stack.make_test_path(**{PA_LOCAL_PORT: 6100})
+        first = IpHeader(100, 99, 17, stack.remote.ip, stack.ip.addr,
+                         flags=1, frag_offset=0)
+        frame = (stack.device.mac.to_bytes() + stack.remote.mac.to_bytes()
+                 + b"\x08\x00" + first.pack() + b"x" * 80)
+        msg = Msg(frame)
+        assert stack.classify(msg) is None
+        assert "no reassembly path" in msg.meta["drop_reason"]
+
+    def test_reassembled_datagram_reaches_reclassify_hook(self, stack):
+        catchall = self.make_catchall(stack)
+        handed = []
+        stack.ip.reclassify_hook = lambda msg, hdr: handed.append(
+            (msg.to_bytes(), hdr))
+        payload = big_payload(600)
+        udp_part = build_udp_frame(stack.remote.mac, stack.device.mac,
+                                   stack.remote.ip, stack.ip.addr,
+                                   7000, 6100, payload)[34:]
+        half = len(udp_part) // 2
+        half -= half % 8
+        pieces = [(0, udp_part[:half], True), (half, udp_part[half:], False)]
+        for offset, body, more in pieces:
+            header = IpHeader(20 + len(body), 123, 17,
+                              stack.remote.ip, stack.ip.addr,
+                              flags=1 if more else 0, frag_offset=offset // 8)
+            frame = (stack.device.mac.to_bytes()
+                     + stack.remote.mac.to_bytes() + b"\x08\x00"
+                     + header.pack() + body)
+            catchall.deliver(Msg(frame), BWD)
+        assert len(handed) == 1
+        data, header = handed[0]
+        assert data == udp_part
+        assert not header.is_fragment
+
+    def test_reassembly_eviction_caps_memory(self, stack):
+        from repro.net.ip import IpStage
+        path = self.make_catchall(stack)
+        stage = path.stage_of("IP")
+        for ident in range(IpStage.MAX_REASSEMBLY + 5):
+            header = IpHeader(28, ident, 17, stack.remote.ip, stack.ip.addr,
+                              flags=1, frag_offset=0)
+            frame = (stack.device.mac.to_bytes()
+                     + stack.remote.mac.to_bytes() + b"\x08\x00"
+                     + header.pack() + b"12345678")
+            path.deliver(Msg(frame), BWD)
+        assert len(stage._buffers) <= IpStage.MAX_REASSEMBLY
+        assert stack.ip.reassembly_evictions == 5
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=6000))
+def test_fragmentation_roundtrip_property(nbytes):
+    """Any datagram size survives fragment -> wire -> reassemble."""
+    stack = Stack()
+    payload = bytes(i % 256 for i in range(nbytes))
+    path = stack.make_test_path(**{PA_LOCAL_PORT: 6100})
+    path.deliver(Msg(payload), FWD)
+    stack.run()
+    frames = stack.remote.frames
+    assert frames
+    # Feed the fragments back with src/dst + ports swapped.
+    for frame in frames:
+        parsed = parse_frame(frame)
+        header = IpHeader(parsed.ip.total_length, parsed.ip.ident,
+                          parsed.ip.proto, stack.remote.ip, stack.ip.addr,
+                          flags=parsed.ip.flags,
+                          frag_offset=parsed.ip.frag_offset)
+        body = bytearray(frame[34:])
+        if parsed.ip.frag_offset == 0:
+            sport = body[0:2]
+            body[0:2] = body[2:4]
+            body[2:4] = sport
+        inbound = (stack.device.mac.to_bytes()
+                   + stack.remote.mac.to_bytes() + b"\x08\x00"
+                   + header.pack() + bytes(body))
+        path.deliver(Msg(inbound), BWD)
+    assert len(stack.test.received) == 1
+    assert stack.test.received[0].to_bytes() == payload

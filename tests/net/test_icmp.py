@@ -1,0 +1,97 @@
+"""ICMP echo path: the Table 2 load target."""
+
+import pytest
+
+from repro.core import Attrs, BWD, Msg, path_create
+from repro.net import build_icmp_echo, parse_frame, IcmpHeader
+from .conftest import Stack
+
+
+@pytest.fixture
+def icmp_stack():
+    stack = Stack(with_icmp=True)
+    path = path_create(stack.icmp, Attrs())
+    stack.icmp.echo_path = path
+    return stack, path
+
+
+def echo_request(stack, ident=42, seq=1, payload=b"ping-data"):
+    return build_icmp_echo(stack.remote.mac, stack.device.mac,
+                           stack.remote.ip, stack.ip.addr,
+                           ident, seq, payload=payload)
+
+
+class TestEchoPathCreation:
+    def test_path_shape(self, icmp_stack):
+        _stack, path = icmp_stack
+        assert path.routers() == ["ICMP", "IP", "ETH"]
+
+    def test_path_is_wide(self, icmp_stack):
+        """The echo path is a catch-all: no frozen remote participant."""
+        _stack, path = icmp_stack
+        assert path.stage_of("IP").remote_ip is None
+
+
+class TestClassification:
+    def test_echo_request_classifies_to_echo_path(self, icmp_stack):
+        stack, path = icmp_stack
+        msg = Msg(echo_request(stack))
+        assert stack.classify(msg) is path
+
+    def test_echo_reply_is_dropped(self, icmp_stack):
+        stack, _path = icmp_stack
+        frame = build_icmp_echo(stack.remote.mac, stack.device.mac,
+                                stack.remote.ip, stack.ip.addr,
+                                1, 1, reply=True)
+        msg = Msg(frame)
+        assert stack.classify(msg) is None
+
+    def test_no_path_bound_drops(self):
+        stack = Stack(with_icmp=True)
+        msg = Msg(echo_request(stack))
+        assert stack.classify(msg) is None
+        assert "no echo path" in msg.meta["drop_reason"]
+
+
+class TestEchoReply:
+    def test_request_generates_reply_to_requester(self, icmp_stack):
+        stack, path = icmp_stack
+        msg = Msg(echo_request(stack, ident=7, seq=99))
+        classified = stack.classify(msg)
+        classified.deliver(msg, BWD)
+        stack.run()
+        assert len(stack.remote.frames) == 1
+        parsed = parse_frame(stack.remote.frames[0])
+        assert parsed.icmp.icmp_type == IcmpHeader.ECHO_REPLY
+        assert parsed.icmp.ident == 7
+        assert parsed.icmp.seq == 99
+        assert str(parsed.ip.dst) == str(stack.remote.ip)
+        assert parsed.eth.dst == stack.remote.mac
+
+    def test_reply_carries_request_payload(self, icmp_stack):
+        stack, path = icmp_stack
+        msg = Msg(echo_request(stack, payload=b"0123456789"))
+        stack.classify(msg)
+        path.deliver(msg, BWD)
+        stack.run()
+        assert parse_frame(stack.remote.frames[0]).payload == b"0123456789"
+
+    def test_counters(self, icmp_stack):
+        stack, path = icmp_stack
+        for seq in range(3):
+            msg = Msg(echo_request(stack, seq=seq))
+            stack.classify(msg)
+            path.deliver(msg, BWD)
+        assert stack.icmp.echo_requests == 3
+        assert stack.icmp.echo_replies == 3
+
+    def test_non_echo_type_absorbed(self, icmp_stack):
+        stack, path = icmp_stack
+        # type 3 = destination unreachable; our ICMP ignores it
+        frame = bytearray(echo_request(stack))
+        frame[34] = 3
+        msg = Msg(bytes(frame))
+        path.deliver(msg, BWD)
+        stack.run()
+        assert stack.remote.frames == []
+        assert "unhandled ICMP type" in msg.meta["drop_reason"]

@@ -1,0 +1,153 @@
+"""Tests for the segment, NIC interrupts, and host agents."""
+
+import pytest
+
+from repro.net import EthAddr, EtherSegment, NetDevice
+from repro.sim import CPU, Engine
+from .conftest import RecordingRemote, LOCAL_MAC, REMOTE_MAC
+
+
+def frame_to(dst_mac, payload=b"", src_mac=LOCAL_MAC):
+    return EthAddr(dst_mac).to_bytes() + EthAddr(src_mac).to_bytes() + \
+        b"\x08\x00" + payload
+
+
+class TestSegmentDelivery:
+    def setup_method(self):
+        self.engine = Engine()
+        self.segment = EtherSegment(self.engine, bandwidth_mbps=10,
+                                    latency_us=50)
+        self.remote = RecordingRemote(self.engine)
+        self.segment.attach(self.remote)
+
+    def test_unicast_delivery_with_latency_and_serialization(self):
+        frame = frame_to(REMOTE_MAC, b"x" * 111)  # 125 bytes total
+        arrival = self.segment.transmit(frame, EthAddr(LOCAL_MAC))
+        # 125 bytes at 10 Mb/s = 100us serialization + 50us latency
+        assert arrival == pytest.approx(150.0)
+        self.engine.run()
+        assert self.remote.frames == [frame]
+
+    def test_serialization_busy_wire(self):
+        """Back-to-back frames serialize one after the other."""
+        frame = frame_to(REMOTE_MAC, b"x" * 111)
+        first = self.segment.transmit(frame, EthAddr(LOCAL_MAC))
+        second = self.segment.transmit(frame, EthAddr(LOCAL_MAC))
+        assert second - first == pytest.approx(100.0)  # one wire time apart
+
+    def test_unknown_destination_vanishes(self):
+        self.segment.transmit(frame_to("02:00:00:00:00:99"),
+                              EthAddr(LOCAL_MAC))
+        self.engine.run()
+        assert self.remote.frames == []
+
+    def test_broadcast_reaches_everyone_but_sender(self):
+        other = RecordingRemote(self.engine, mac="02:00:00:00:00:03",
+                                ip="10.0.0.3")
+        self.segment.attach(other)
+        self.segment.transmit(frame_to("ff:ff:ff:ff:ff:ff"),
+                              EthAddr(REMOTE_MAC))
+        self.engine.run()
+        assert len(other.frames) == 1
+        assert self.remote.frames == []  # sender doesn't hear itself
+
+    def test_runt_frame_rejected(self):
+        with pytest.raises(ValueError, match="runt"):
+            self.segment.transmit(b"tiny", EthAddr(LOCAL_MAC))
+
+    def test_duplicate_mac_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            self.segment.attach(RecordingRemote(self.engine))
+
+    def test_statistics(self):
+        frame = frame_to(REMOTE_MAC, b"abc")
+        self.segment.transmit(frame, EthAddr(LOCAL_MAC))
+        assert self.segment.frames_carried == 1
+        assert self.segment.bytes_carried == len(frame)
+
+    def test_jitter_bounded(self):
+        import numpy as np
+        segment = EtherSegment(self.engine, latency_us=50, jitter_us=20,
+                               rng=np.random.default_rng(7))
+        segment.attach(RecordingRemote(self.engine, mac="02:00:00:00:00:07",
+                                       ip="10.0.0.7"))
+        base = segment.serialization_us(64) + 50
+        for _ in range(50):
+            arrival = segment.transmit(frame_to("02:00:00:00:00:07",
+                                                b"x" * 50),
+                                       EthAddr(LOCAL_MAC))
+            wire_free_component = arrival  # monotone; just bound the jitter
+            assert arrival >= base - 1e-9
+        assert wire_free_component > 0
+
+
+class TestNetDevice:
+    def test_rx_raises_interrupt_and_runs_handler(self):
+        engine = Engine()
+        cpu = CPU(engine)
+        segment = EtherSegment(engine, latency_us=10)
+        device = NetDevice(EthAddr(LOCAL_MAC), cpu, irq_us=2.0)
+        segment.attach(device)
+        got = []
+        device.rx_handler = got.append
+        remote = RecordingRemote(engine)
+        segment.attach(remote)
+        frame = frame_to(LOCAL_MAC, b"payload", src_mac=REMOTE_MAC)
+        segment.transmit(frame, EthAddr(REMOTE_MAC))
+        engine.run()
+        assert got == [frame]
+        assert cpu.interrupt_us == 2.0
+        assert device.rx_frames == 1
+
+    def test_rx_without_handler_counts_missed(self):
+        engine = Engine()
+        device = NetDevice(EthAddr(LOCAL_MAC), CPU(engine))
+        device.receive(b"\x00" * 20)
+        assert device.rx_missed == 1
+
+    def test_interrupt_during_compute_steals_time(self):
+        """The receive-livelock ingredient: frame arrival inflates the
+        running thread's compute."""
+        engine = Engine()
+        cpu = CPU(engine)
+        segment = EtherSegment(engine, latency_us=10)
+        device = NetDevice(EthAddr(LOCAL_MAC), cpu, irq_us=5.0)
+        segment.attach(device)
+        device.rx_handler = lambda frame: None
+        remote = RecordingRemote(engine)
+        segment.attach(remote)
+        finished = []
+        cpu.start_compute(1000, lambda: finished.append(engine.now))
+        segment.transmit(frame_to(LOCAL_MAC, src_mac=REMOTE_MAC),
+                         EthAddr(REMOTE_MAC))
+        engine.run()
+        assert finished == [1005.0]
+
+
+class TestHostAgent:
+    def test_filters_foreign_unicast(self):
+        engine = Engine()
+        segment = EtherSegment(engine, latency_us=1)
+        remote = RecordingRemote(engine)
+        segment.attach(remote)
+        bystander = RecordingRemote(engine, mac="02:00:00:00:00:05",
+                                    ip="10.0.0.5")
+        segment.attach(bystander)
+        segment.transmit(frame_to(REMOTE_MAC), EthAddr(LOCAL_MAC))
+        engine.run()
+        assert len(remote.frames) == 1
+        assert bystander.frames == []
+
+    def test_service_delay(self):
+        engine = Engine()
+        segment = EtherSegment(engine, latency_us=0)
+        slow = RecordingRemote(engine, service_us=40.0)
+        segment.attach(slow)
+        times = []
+        original = slow.handle_frame
+        slow.handle_frame = lambda f: (times.append(engine.now), original(f))
+        segment.transmit(frame_to(REMOTE_MAC, b"x" * 100),
+                         EthAddr("02:00:00:00:00:09"))
+        engine.run()
+        wire = segment.serialization_us(114)
+        assert times == [pytest.approx(wire + 40.0)]

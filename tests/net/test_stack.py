@@ -1,0 +1,154 @@
+"""Integration tests: paths through the full TEST/UDP/IP/ETH stack."""
+
+import pytest
+
+from repro.core import Attrs, Msg, PA_NET_PARTICIPANTS, BWD, FWD, path_create
+from repro.net import (
+    IpAddr,
+    PA_LOCAL_PORT,
+    PA_UDP_CHECKSUM,
+    build_udp_frame,
+    parse_frame,
+    peek_cost,
+)
+from .conftest import LOCAL_IP, LOCAL_MAC, OFFNET_IP, REMOTE_IP, REMOTE_MAC, Stack
+
+
+class TestPathCreation:
+    def test_path_traverses_whole_stack(self, stack):
+        path = stack.make_test_path()
+        assert path.routers() == ["TEST", "UDP", "IP", "ETH"]
+
+    def test_arp_resolution_froze_eth_destination(self, stack):
+        path = stack.make_test_path()
+        from repro.net import PA_ETH_DST
+        assert str(path.attrs[PA_ETH_DST]) == REMOTE_MAC
+
+    def test_offnet_peer_truncates_path_at_ip(self, stack):
+        """The paper's local-knowledge rule: a peer beyond the local
+        network means IP cannot freeze the routing decision."""
+        path = stack.make_test_path(remote_ip=OFFNET_IP)
+        assert path.routers() == ["TEST", "UDP", "IP"]
+
+    def test_missing_participants_ends_before_udp(self, stack):
+        path = path_create(stack.test, Attrs())
+        assert path.routers() == ["TEST"]
+
+    def test_local_port_honored(self, stack):
+        path = stack.make_test_path(**{PA_LOCAL_PORT: 6100})
+        stage = path.stage_of("UDP")
+        assert stage.local_port == 6100
+
+    def test_ephemeral_ports_unique(self, stack):
+        p1 = stack.make_test_path()
+        p2 = stack.make_test_path()
+        assert p1.stage_of("UDP").local_port != p2.stage_of("UDP").local_port
+
+
+class TestSendSide:
+    def test_send_reaches_remote_with_full_header_stack(self, stack):
+        path = stack.make_test_path(remote_port=7000,
+                                    **{PA_LOCAL_PORT: 6100})
+        path.deliver(Msg(b"hello, scout"), FWD)
+        stack.run()
+        assert len(stack.remote.frames) == 1
+        parsed = parse_frame(stack.remote.frames[0])
+        assert str(parsed.eth.src) == LOCAL_MAC
+        assert str(parsed.ip.src) == LOCAL_IP
+        assert str(parsed.ip.dst) == REMOTE_IP
+        assert (parsed.udp.sport, parsed.udp.dport) == (6100, 7000)
+        assert parsed.payload == b"hello, scout"
+
+    def test_send_accumulates_layer_costs(self, stack):
+        path = stack.make_test_path()
+        msg = Msg(b"x" * 100)
+        path.deliver(msg, FWD)
+        # TEST(1) + UDP(4) + IP(6) + ETH(3) microseconds
+        assert peek_cost(msg) == pytest.approx(14.0)
+
+    def test_udp_checksum_costs_per_byte(self, stack):
+        path = stack.make_test_path(**{PA_UDP_CHECKSUM: True})
+        msg = Msg(b"x" * 1000)
+        path.deliver(msg, FWD)
+        base_path = stack.make_test_path()
+        base_msg = Msg(b"x" * 1000)
+        base_path.deliver(base_msg, FWD)
+        assert peek_cost(msg) > peek_cost(base_msg)
+
+
+class TestReceiveSide:
+    def frame_for(self, stack, dport, payload=b"data", sport=7000,
+                  src_ip=REMOTE_IP):
+        return build_udp_frame(
+            stack.remote.mac, stack.device.mac,
+            stack.remote.ip, stack.ip.addr,
+            sport, dport, payload)
+
+    def test_classify_finds_the_bound_path(self, stack):
+        path = stack.make_test_path(**{PA_LOCAL_PORT: 6100})
+        msg = Msg(self.frame_for(stack, dport=6100))
+        assert stack.classify(msg) is path
+
+    def test_classification_is_nondestructive(self, stack):
+        stack.make_test_path(**{PA_LOCAL_PORT: 6100})
+        frame = self.frame_for(stack, dport=6100)
+        msg = Msg(frame)
+        stack.classify(msg)
+        assert msg.to_bytes() == frame
+
+    def test_deliver_bwd_strips_headers_to_payload(self, stack):
+        path = stack.make_test_path(**{PA_LOCAL_PORT: 6100})
+        msg = Msg(self.frame_for(stack, dport=6100, payload=b"payload!"))
+        path.deliver(msg, BWD)
+        assert len(stack.test.received) == 1
+        assert stack.test.received[0].to_bytes() == b"payload!"
+        assert path.output_queue(BWD).dequeue().to_bytes() == b"payload!"
+
+    def test_unknown_port_is_dropped(self, stack):
+        stack.make_test_path(**{PA_LOCAL_PORT: 6100})
+        msg = Msg(self.frame_for(stack, dport=9999))
+        assert stack.classify(msg) is None
+        assert "no listener" in msg.meta["drop_reason"]
+
+    def test_foreign_ip_is_dropped(self, stack):
+        stack.make_test_path(**{PA_LOCAL_PORT: 6100})
+        frame = build_udp_frame(stack.remote.mac, stack.device.mac,
+                                stack.remote.ip, IpAddr(OFFNET_IP),
+                                7000, 6100, b"x")
+        msg = Msg(frame)
+        assert stack.classify(msg) is None
+        assert "not our address" in msg.meta["drop_reason"]
+
+    def test_foreign_mac_is_dropped(self, stack):
+        stack.make_test_path(**{PA_LOCAL_PORT: 6100})
+        frame = bytearray(self.frame_for(stack, dport=6100))
+        frame[0:6] = b"\x02\x00\x00\x00\x00\x77"
+        msg = Msg(bytes(frame))
+        assert stack.classify(msg) is None
+        assert "not our MAC" in msg.meta["drop_reason"]
+
+    def test_wrong_port_in_path_dropped_at_udp_stage(self, stack):
+        """Delivering a mismatched packet into a path drops it at UDP."""
+        path = stack.make_test_path(**{PA_LOCAL_PORT: 6100})
+        msg = Msg(self.frame_for(stack, dport=6200))
+        path.deliver(msg, BWD)
+        assert stack.test.received == []
+        assert "does not match path port" in msg.meta["drop_reason"]
+
+
+class TestRoundTrip:
+    def test_echo_through_two_stacks_worth_of_headers(self, stack):
+        """Send out, rebuild the frame as if the remote echoed it, and
+        receive it back through the same path."""
+        path = stack.make_test_path(remote_port=7000, **{PA_LOCAL_PORT: 6100})
+        path.deliver(Msg(b"ping"), FWD)
+        stack.run()
+        outbound = parse_frame(stack.remote.frames[0])
+        echo = build_udp_frame(stack.remote.mac, stack.device.mac,
+                               stack.remote.ip, stack.ip.addr,
+                               outbound.udp.dport, outbound.udp.sport,
+                               outbound.payload)
+        msg = Msg(echo)
+        assert stack.classify(msg) is path
+        path.deliver(msg, BWD)
+        assert stack.test.received[0].to_bytes() == b"ping"

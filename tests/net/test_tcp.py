@@ -1,0 +1,117 @@
+"""Simplified TCP: ordering, ACK turn-around, attribute rewrite."""
+
+import pytest
+
+from repro.core import Attrs, BWD, FWD, Msg, PA_NET_PARTICIPANTS, PA_PROTID, path_create
+from repro.net import PA_LOCAL_PORT, TcpHeader, parse_frame
+from repro.net.headers import IPPROTO_TCP
+from .conftest import REMOTE_IP, Stack
+
+
+@pytest.fixture
+def tstack():
+    return Stack(with_tcp=True)
+
+
+def make_tcp_path(stack, local_port=8000, remote_port=80):
+    attrs = Attrs({PA_NET_PARTICIPANTS: (REMOTE_IP, remote_port),
+                   PA_LOCAL_PORT: local_port})
+    return path_create(stack.tcp, attrs)
+
+
+def tcp_frame(stack, seq, payload, local_port=8000, sport=80, ack=0):
+    header = TcpHeader(sport, local_port, seq=seq, ack=ack,
+                       flags=TcpHeader.FLAG_ACK)
+    from repro.net.headers import IpHeader
+    body = header.pack() + payload
+    ip = IpHeader(20 + len(body), 500 + seq, IPPROTO_TCP,
+                  stack.remote.ip, stack.ip.addr).pack()
+    return (stack.device.mac.to_bytes() + stack.remote.mac.to_bytes()
+            + b"\x08\x00" + ip + body)
+
+
+class TestPathCreation:
+    def test_path_shape(self, tstack):
+        path = make_tcp_path(tstack)
+        assert path.routers() == ["TCP", "IP", "ETH"]
+
+    def test_protid_rewritten_to_six(self, tstack):
+        """'If TCP decides to forward path creation to IP, it resets the
+        value of PA_PROTID to 6.'"""
+        seen = {}
+        original = tstack.ip.create_stage
+
+        def spy(enter_service, attrs):
+            seen["protid"] = attrs.get(PA_PROTID)
+            return original(enter_service, attrs)
+
+        tstack.ip.create_stage = spy
+        make_tcp_path(tstack)
+        assert seen["protid"] == IPPROTO_TCP
+
+    def test_ftp_style_upper_protid_not_leaked(self, tstack):
+        """Even if the layer above set PA_PROTID=21 (FTP), IP sees 6."""
+        seen = {}
+        original = tstack.ip.create_stage
+
+        def spy(enter_service, attrs):
+            seen["protid"] = attrs.get(PA_PROTID)
+            return original(enter_service, attrs)
+
+        tstack.ip.create_stage = spy
+        attrs = Attrs({PA_NET_PARTICIPANTS: (REMOTE_IP, 21),
+                       PA_PROTID: 21, PA_LOCAL_PORT: 8001})
+        path_create(tstack.tcp, attrs)
+        assert seen["protid"] == IPPROTO_TCP
+
+
+class TestSend:
+    def test_send_carries_sequence_numbers(self, tstack):
+        path = make_tcp_path(tstack)
+        path.deliver(Msg(b"AAAA"), FWD)
+        path.deliver(Msg(b"BBBBBB"), FWD)
+        tstack.run()
+        frames = [parse_frame(f) for f in tstack.remote.frames]
+        headers = [TcpHeader.unpack(f.payload) for f in frames]
+        assert headers[0].seq == 0
+        assert headers[1].seq == 4  # advanced by the first payload
+
+
+class TestReceive:
+    def test_in_order_delivery_and_ack(self, tstack):
+        path = make_tcp_path(tstack)
+        stage = path.stage_of("TCP")
+        msg = Msg(tcp_frame(tstack, seq=0, payload=b"hello"))
+        path.deliver(msg, BWD)
+        tstack.run()
+        assert stage.recv_next == 5
+        assert stage.acks_sent == 1
+        # The ACK went back out on the wire.
+        parsed = parse_frame(tstack.remote.frames[0])
+        ack_header = TcpHeader.unpack(parsed.payload)
+        assert ack_header.ack == 5
+
+    def test_duplicate_dropped(self, tstack):
+        path = make_tcp_path(tstack)
+        stage = path.stage_of("TCP")
+        path.deliver(Msg(tcp_frame(tstack, seq=0, payload=b"hello")), BWD)
+        msg = Msg(tcp_frame(tstack, seq=0, payload=b"hello"))
+        path.deliver(msg, BWD)
+        assert stage.dup_drops == 1
+        assert stage.recv_next == 5
+
+    def test_out_of_order_dropped(self, tstack):
+        path = make_tcp_path(tstack)
+        msg = Msg(tcp_frame(tstack, seq=100, payload=b"later"))
+        path.deliver(msg, BWD)
+        assert "out-of-order" in msg.meta["drop_reason"]
+
+    def test_classification_by_port(self, tstack):
+        path = make_tcp_path(tstack, local_port=8080)
+        msg = Msg(tcp_frame(tstack, seq=0, payload=b"x", local_port=8080))
+        assert tstack.classify(msg) is path
+
+    def test_unknown_port_dropped(self, tstack):
+        make_tcp_path(tstack, local_port=8080)
+        msg = Msg(tcp_frame(tstack, seq=0, payload=b"x", local_port=9))
+        assert tstack.classify(msg) is None

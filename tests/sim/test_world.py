@@ -1,0 +1,80 @@
+"""SimWorld convenience-layer tests."""
+
+import pytest
+
+from repro.sim import Compute, SimWorld, Sleep
+
+
+class TestSimWorld:
+    def test_default_policies_registered(self):
+        world = SimWorld()
+        assert world.scheduler.policy("rr") is not None
+        assert world.scheduler.policy("edf") is not None
+
+    def test_run_for_advances_clock(self):
+        world = SimWorld()
+        world.run_for(1234.5)
+        assert world.now == 1234.5
+        world.run_for(100)
+        assert world.now == 1334.5
+
+    def test_seeded_rng_is_deterministic(self):
+        a = SimWorld(seed=77).rng.random(5)
+        b = SimWorld(seed=77).rng.random(5)
+        assert (a == b).all()
+
+    def test_spawn_runs_on_default_policy(self):
+        world = SimWorld()
+        done = []
+
+        def body():
+            yield Compute(10)
+            done.append(world.now)
+
+        world.spawn(body())
+        world.run_until_idle()
+        assert done == [10.0]
+
+    def test_run_until_idle_honors_event_cap(self):
+        world = SimWorld()
+
+        def forever():
+            while True:
+                yield Sleep(1)
+
+        world.spawn(forever())
+        processed = world.run_until_idle(max_events=50)
+        assert processed == 50
+
+    def test_unknown_policy_rejected(self):
+        world = SimWorld()
+        with pytest.raises(KeyError):
+            world.spawn(iter(()), policy="gang")
+
+    def test_cpu_clock_matches_paper_default(self):
+        assert SimWorld().cpu.mhz == 300.0
+
+    def test_arbitrary_number_of_policies(self):
+        """'Scout supports an arbitrary number of scheduling policies, and
+        allocates a percentage of CPU time to each.'"""
+        from repro.sim import FixedPriorityRR
+
+        world = SimWorld()
+        world.scheduler.add_policy("batch", FixedPriorityRR(levels=2),
+                                   share=0.25)
+        done = []
+
+        def body():
+            yield Compute(5)
+            done.append("batch-ran")
+
+        world.spawn(body(), policy="batch")
+        world.run_until_idle()
+        assert done == ["batch-ran"]
+
+    def test_policy_share_must_be_positive(self):
+        from repro.sim import FixedPriorityRR
+
+        world = SimWorld()
+        with pytest.raises(ValueError):
+            world.scheduler.add_policy("bad", FixedPriorityRR(), share=0)

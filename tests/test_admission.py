@@ -1,0 +1,148 @@
+"""Admission control unit tests (memory and CPU)."""
+
+import pytest
+
+from repro.admission import (
+    CpuAdmission,
+    FrameCostModel,
+    MemoryAdmission,
+    path_memory_footprint,
+    theoretical_frame_us,
+)
+from repro.core import AdmissionError, Attrs, path_create
+from repro.mpeg import CANYON, FLOWER, NEPTUNE, PAPER_CLIPS, REDS_NIGHTMARE
+from .helpers import make_chain
+
+
+def small_path():
+    _, routers = make_chain("A", "B")
+    return path_create(routers[0], Attrs())
+
+
+class TestMemoryAdmission:
+    def test_admits_within_budget(self):
+        control = MemoryAdmission(system_budget=10_000_000,
+                                  per_path_grant=1_000_000)
+        path = small_path()
+        control(path)
+        assert control.committed == path_memory_footprint(path)
+
+    def test_per_path_grant_enforced(self):
+        control = MemoryAdmission(system_budget=10_000_000,
+                                  per_path_grant=100)
+        with pytest.raises(AdmissionError, match="grant"):
+            control(small_path())
+        assert control.denials == 1
+
+    def test_system_budget_enforced(self):
+        path1, path2 = small_path(), small_path()
+        footprint = path_memory_footprint(path1)
+        control = MemoryAdmission(system_budget=int(footprint * 1.5),
+                                  per_path_grant=footprint * 2)
+        control(path1)
+        with pytest.raises(AdmissionError, match="budget"):
+            control(path2)
+
+    def test_incremental_charging_during_creation(self):
+        """The hook runs per stage; re-charging the same path must not
+        double-count."""
+        control = MemoryAdmission(system_budget=10_000_000,
+                                  per_path_grant=1_000_000)
+        path = small_path()
+        control(path)
+        first = control.committed
+        control(path)  # same footprint again
+        assert control.committed == first
+
+    def test_release_returns_grant(self):
+        control = MemoryAdmission(system_budget=10_000_000,
+                                  per_path_grant=1_000_000)
+        path = small_path()
+        control(path)
+        control.release(path)
+        assert control.committed == 0
+        assert control.available == 10_000_000
+
+    def test_creation_time_denial_via_path_create(self):
+        control = MemoryAdmission(system_budget=10_000_000,
+                                  per_path_grant=100)
+        _, routers = make_chain("A", "B", "C")
+        with pytest.raises(AdmissionError):
+            path_create(routers[0], Attrs(), admission=control)
+
+    def test_bad_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAdmission(0, 100)
+        with pytest.raises(ValueError):
+            MemoryAdmission(100, -1)
+
+
+def fitted_model():
+    model = FrameCostModel()
+    for profile in PAPER_CLIPS:
+        bits = profile.avg_frame_bits + 24 * profile.macroblocks
+        model.add_sample(bits, profile.pixels,
+                         theoretical_frame_us(profile))
+    model.fit()
+    return model
+
+
+class TestFrameCostModel:
+    def test_fit_recovers_ground_truth(self):
+        model = fitted_model()
+        for profile in PAPER_CLIPS:
+            bits = profile.avg_frame_bits + 24 * profile.macroblocks
+            predicted = model.predict_frame_us(bits, profile.pixels)
+            assert predicted == pytest.approx(theoretical_frame_us(profile),
+                                              rel=0.05)
+
+    def test_correlation_is_strong(self):
+        assert fitted_model().correlation() > 0.95
+
+    def test_needs_enough_samples(self):
+        model = FrameCostModel()
+        model.add_sample(1000, 10_000, 500.0)
+        with pytest.raises(ValueError):
+            model.fit()
+        with pytest.raises(ValueError):
+            FrameCostModel().correlation()
+
+
+class TestCpuAdmission:
+    def test_admit_until_full(self):
+        control = CpuAdmission(fitted_model(), headroom=0.95)
+        control.admit(NEPTUNE, 30.0)       # ~60%
+        control.admit(REDS_NIGHTMARE, 15.0)  # ~22%
+        with pytest.raises(AdmissionError):
+            control.admit(FLOWER, 30.0)    # ~68%: over the top
+        assert control.denials == 1
+
+    def test_release_frees_capacity(self):
+        control = CpuAdmission(fitted_model(), headroom=0.95)
+        key = control.admit(NEPTUNE, 30.0)
+        control.release(key)
+        control.admit(NEPTUNE, 30.0)  # fits again
+
+    def test_skip_reduces_prediction_proportionally(self):
+        control = CpuAdmission(fitted_model())
+        full = control.predicted_utilization(NEPTUNE, 30.0)
+        third = control.predicted_utilization(NEPTUNE, 30.0, skip=3)
+        assert third == pytest.approx(full / 3)
+
+    def test_suggest_skip_finds_smallest_fit(self):
+        control = CpuAdmission(fitted_model(), headroom=0.95)
+        control.admit(NEPTUNE, 30.0)
+        control.admit(CANYON, 10.0)
+        skip = control.suggest_skip(FLOWER, 30.0)
+        assert skip is not None and skip > 1
+        control.admit(FLOWER, 30.0, skip=skip)  # and it really fits
+
+    def test_suggest_skip_none_when_hopeless(self):
+        control = CpuAdmission(fitted_model(), headroom=0.95)
+        control.admit(NEPTUNE, 30.0)
+        control.admit(FLOWER, 15.0)
+        assert control.suggest_skip(NEPTUNE, 300.0, max_skip=2) is None
+
+    def test_bad_headroom_rejected(self):
+        with pytest.raises(ValueError):
+            CpuAdmission(fitted_model(), headroom=0.0)

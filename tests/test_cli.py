@@ -1,0 +1,30 @@
+"""The `python -m repro.experiments` entry point."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, timeout=300):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.experiments", *args],
+        capture_output=True, text=True, timeout=timeout)
+
+
+class TestCli:
+    def test_unknown_experiment_rejected(self):
+        result = run_cli("nonsense")
+        assert result.returncode == 2
+        assert "unknown experiment" in result.stdout
+
+    def test_e4_prints_micro_report(self):
+        result = run_cli("e4")
+        assert result.returncode == 0
+        assert "UDP path stages:       6" in result.stdout
+
+    @pytest.mark.slow
+    def test_e7_prints_early_discard(self):
+        result = run_cli("e7", timeout=420)
+        assert result.returncode == 0
+        assert "early drop at adapter" in result.stdout

@@ -1,0 +1,174 @@
+"""Framebuffer and VideoSink tests: vsync draining, deadlines, modes."""
+
+import pytest
+
+from repro.core import PathQueue
+from repro.display import Framebuffer, VideoSink
+from repro.sim import CPU, Engine
+
+
+def make_fb(rate_limited=True, vsync_hz=60.0):
+    engine = Engine()
+    cpu = CPU(engine)
+    fb = Framebuffer(engine, cpu, vsync_hz=vsync_hz,
+                     rate_limited=rate_limited)
+    return engine, cpu, fb
+
+
+class TestVsync:
+    def test_vsync_fires_at_refresh_rate(self):
+        engine, _cpu, fb = make_fb()
+        fb.start()
+        engine.run_until(1_000_000)
+        assert fb.vsyncs == 60
+
+    def test_vsync_consumes_cpu_as_interrupts(self):
+        engine, cpu, fb = make_fb()
+        fb.start()
+        engine.run_until(1_000_000)
+        assert cpu.interrupt_us > 0
+        assert cpu.interrupts_taken == 60
+
+    def test_stop_halts_vsync(self):
+        engine, _cpu, fb = make_fb()
+        fb.start()
+        engine.run_until(100_000)
+        fb.stop()
+        engine.run_until(1_000_000)
+        assert fb.vsyncs == pytest.approx(6, abs=1)
+
+    def test_start_twice_does_not_double(self):
+        engine, _cpu, fb = make_fb()
+        fb.start()
+        fb.start()
+        engine.run_until(1_000_000)
+        assert fb.vsyncs == 60
+
+
+class TestMaxRateMode:
+    def test_drains_everything_each_vsync(self):
+        engine, _cpu, fb = make_fb(rate_limited=False)
+        queue = PathQueue(maxlen=64)
+        sink = fb.add_sink("s", queue, fps=30.0)
+        for i in range(10):
+            queue.enqueue(f"frame{i}")
+        fb.start()
+        engine.run_until(20_000)  # one vsync at 60Hz
+        assert queue.is_empty()
+        assert sink.presented == 10
+        assert sink.missed_deadlines == 0
+
+
+class TestRealtimeMode:
+    def test_presents_at_sink_rate(self):
+        engine, _cpu, fb = make_fb(rate_limited=True)
+        queue = PathQueue(maxlen=64)
+        sink = fb.add_sink("s", queue, fps=30.0)
+        sink.expected_frames = 30
+        fb.start()
+        # Feed a frame every 1/30s, slightly ahead of the schedule.
+        for i in range(30):
+            engine.schedule(i * 33_333.0, queue.enqueue, i)
+        engine.run_until(1_100_000)
+        assert sink.presented == 30
+        assert sink.missed_deadlines == 0
+
+    def test_schedule_starts_with_first_frame(self):
+        """Instants before the stream produces anything are not missed
+        deadlines."""
+        engine, _cpu, fb = make_fb()
+        queue = PathQueue(maxlen=8)
+        sink = fb.add_sink("s", queue, fps=30.0)
+        sink.expected_frames = 1
+        fb.start()
+        engine.schedule(500_000, queue.enqueue, "late-start")
+        engine.run_until(600_000)
+        assert sink.missed_deadlines == 0
+        assert sink.presented == 1
+
+    def test_starved_sink_counts_misses(self):
+        engine, _cpu, fb = make_fb()
+        queue = PathQueue(maxlen=8)
+        sink = fb.add_sink("s", queue, fps=30.0)
+        fb.start()
+        queue.enqueue("only-frame")
+        engine.run_until(1_000_000)
+        assert sink.presented == 1
+        # ~29 instants came due afterwards with nothing to show.
+        assert sink.missed_deadlines == pytest.approx(29, abs=2)
+
+    def test_prebuffer_delays_schedule(self):
+        engine, _cpu, fb = make_fb()
+        queue = PathQueue(maxlen=8)
+        sink = fb.add_sink("s", queue, fps=30.0, prebuffer=4)
+        sink.expected_frames = 4
+        fb.start()
+        queue.enqueue("one")
+        engine.run_until(300_000)
+        assert sink.presented == 0  # waiting for the prebuffer
+        for item in ("two", "three", "four"):
+            queue.enqueue(item)
+        engine.run_until(500_000)
+        assert sink.presented == 4
+        assert sink.missed_deadlines == 0
+
+    def test_expected_frames_ends_the_schedule(self):
+        engine, _cpu, fb = make_fb()
+        queue = PathQueue(maxlen=8)
+        sink = fb.add_sink("s", queue, fps=30.0)
+        sink.expected_frames = 3
+        fb.start()
+        for i in range(3):
+            queue.enqueue(i)
+        engine.run_until(2_000_000)
+        assert sink.presented == 3
+        assert sink.missed_deadlines == 0  # no deadlines after the clip
+
+
+class TestDeadlines:
+    def test_next_frame_deadline_accounts_for_queue_depth(self):
+        """'If the output queue drains at 30 frames/second and the queue
+        is half full, it is trivial to compute the deadline by which the
+        next frame has to be produced.'"""
+        engine, _cpu, fb = make_fb()
+        queue = PathQueue(maxlen=64)
+        sink = fb.add_sink("s", queue, fps=30.0)
+        empty_deadline = sink.next_frame_deadline()
+        for i in range(6):
+            queue.enqueue(i)
+        deeper_deadline = sink.next_frame_deadline()
+        assert deeper_deadline == pytest.approx(
+            empty_deadline + 6 * 1_000_000 / 30.0)
+
+    def test_achieved_fps(self):
+        engine, _cpu, fb = make_fb(rate_limited=False)
+        queue = PathQueue(maxlen=256)
+        sink = fb.add_sink("s", queue, fps=30.0)
+        fb.start()
+        for i in range(61):
+            engine.schedule(i * 33_333.0, queue.enqueue, i)
+        engine.run_until(2_100_000)
+        assert sink.achieved_fps() == pytest.approx(30.0, rel=0.1)
+
+    def test_achieved_fps_needs_two_presentations(self):
+        _engine, _cpu, fb = make_fb()
+        sink = fb.add_sink("s", PathQueue(), fps=30.0)
+        assert sink.achieved_fps() == 0.0
+
+
+class TestSinkManagement:
+    def test_duplicate_sink_rejected(self):
+        _engine, _cpu, fb = make_fb()
+        fb.add_sink("s", PathQueue(), fps=30.0)
+        with pytest.raises(ValueError):
+            fb.add_sink("s", PathQueue(), fps=30.0)
+
+    def test_remove_sink(self):
+        _engine, _cpu, fb = make_fb()
+        fb.add_sink("s", PathQueue(), fps=30.0)
+        fb.remove_sink("s")
+        assert fb.sinks == {}
+
+    def test_bad_fps_rejected(self):
+        with pytest.raises(ValueError):
+            VideoSink("s", PathQueue(), fps=0.0, started_at=0.0)

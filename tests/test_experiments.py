@@ -1,0 +1,96 @@
+"""Unit tests for the experiment harness plumbing (formatters, budgets,
+testbed wiring) — the heavy runs live in benchmarks/."""
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    EdfRrResult,
+    QueueSizingPoint,
+    Table1Row,
+    Table2Row,
+    Testbed,
+    format_edf_rr,
+    format_queue_sizing,
+    format_table1,
+    format_table2,
+    frames_budget,
+)
+from repro.mpeg import CANYON, NEPTUNE
+
+
+class TestFramesBudget:
+    def test_caps_long_clips(self):
+        os.environ.pop("REPRO_FULL", None)
+        assert frames_budget(NEPTUNE, default_cap=400) == 400
+
+    def test_short_clips_uncapped(self):
+        from repro.mpeg import FLOWER
+
+        assert frames_budget(FLOWER, default_cap=400) == FLOWER.nframes
+
+    def test_repro_full_lifts_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert frames_budget(NEPTUNE, default_cap=400) == NEPTUNE.nframes
+
+
+class TestTestbed:
+    def test_address_allocation_unique(self):
+        testbed = Testbed()
+        s1 = testbed.add_video_source(CANYON, dst_port=6100, nframes=1)
+        s2 = testbed.add_video_source(CANYON, dst_port=6200, nframes=1)
+        assert s1.mac != s2.mac and s1.ip != s2.ip
+
+    def test_arp_learns_hosts_added_after_kernel(self):
+        testbed = Testbed()
+        kernel = testbed.build_scout()
+        source = testbed.add_video_source(CANYON, dst_port=6100, nframes=1)
+        assert kernel.arp.resolve(source.ip) == source.mac
+
+    def test_run_until_sources_done_times_out(self):
+        testbed = Testbed()
+        source = testbed.add_video_source(CANYON, dst_port=6100, nframes=5)
+        # Never started: the loop must give up at max_seconds.
+        testbed.run_until_sources_done(slack_seconds=0.0, max_seconds=1.0)
+        assert not source.done
+
+
+class TestFormatters:
+    def test_table1_formatter(self):
+        rows = [Table1Row("Neptune", 400, 49.5, 40.7, 49.9, 39.2)]
+        text = format_table1(rows)
+        assert "Neptune" in text and "49.5" in text and "39.2" in text
+        assert "speedup" in text
+
+    def test_table1_row_speedups(self):
+        row = Table1Row("X", 10, 50.0, 40.0, 49.9, 39.2)
+        assert row.speedup == pytest.approx(1.25)
+        assert row.paper_speedup == pytest.approx(49.9 / 39.2)
+
+    def test_table2_formatter_and_delta(self):
+        row = Table2Row("Scout", 50.0, 49.0, 49.9, 49.8, 1500.0)
+        assert row.delta_pct == pytest.approx(-2.0)
+        text = format_table2([row])
+        assert "Scout" in text and "-2.0%" in text
+
+    def test_edf_rr_formatter(self):
+        results = [EdfRrResult("edf", 128, 600, 0, 600, 0),
+                   EdfRrResult("rr", 128, 464, 136, 600, 0)]
+        text = format_edf_rr(results)
+        assert "edf" in text and "22.7%" in text
+
+    def test_edf_rr_miss_fraction_guards_zero(self):
+        result = EdfRrResult("edf", 16, 0, 0, 0, 0)
+        assert result.miss_fraction == 0.0
+
+    def test_queue_sizing_formatter_marks_sufficient(self):
+        point = QueueSizingPoint(10_000.0, 16, 48.8, 21_000.0, 3_000.0, 12)
+        assert point.predicted_sufficient_inq == 14
+        text = format_queue_sizing([point])
+        assert "*" in text
+
+    def test_queue_sizing_fast_rtt_floor(self):
+        point = QueueSizingPoint(100.0, 2, 49.6, 2_000.0, 3_000.0, 0)
+        # RTT below processing time: "two packets is sufficient".
+        assert point.predicted_sufficient_inq == 2

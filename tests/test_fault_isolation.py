@@ -1,0 +1,91 @@
+"""Per-router fault domains (the Section 3.6 SFI direction)."""
+
+import pytest
+
+from repro.core import Attrs, BWD, FWD, Msg, path_create
+from repro.kernel import PA_FAULT_ISOLATION, default_transforms
+from .helpers import ChainRouter, TraceStage, make_chain
+
+
+class PoisonedStage(TraceStage):
+    """A stage whose deliver blows up after N good deliveries."""
+
+    def __init__(self, router, enter_service=None, exit_service=None,
+                 fuse_after=0):
+        super().__init__(router, enter_service, exit_service)
+        self.good_left = fuse_after
+        original = self.deliver_fn(0)
+
+        def deliver(iface, msg, d, **kwargs):
+            if self.good_left <= 0:
+                raise RuntimeError("router bug: corrupted state")
+            self.good_left -= 1
+            return original(iface, msg, d, **kwargs)
+
+        self.set_deliver(0, deliver)
+
+
+class PoisonedRouter(ChainRouter):
+    def __init__(self, name, fuse_after=0):
+        super().__init__(name)
+        self.fuse_after = fuse_after
+
+    def create_stage(self, enter_service, attrs):
+        stage, hop = super().create_stage(enter_service, attrs)
+        poisoned = PoisonedStage(self, stage.enter_service,
+                                 stage.exit_service,
+                                 fuse_after=self.fuse_after)
+        return poisoned, hop
+
+
+def build_path(fuse_after=0, isolated=True):
+    from repro.core import RouterGraph
+
+    graph = RouterGraph()
+    a = graph.add(ChainRouter("A"))
+    bad = graph.add(PoisonedRouter("BAD", fuse_after=fuse_after))
+    c = graph.add(ChainRouter("C"))
+    graph.connect("A.down", "BAD.up")
+    graph.connect("BAD.down", "C.up")
+    graph.boot()
+    attrs = Attrs({PA_FAULT_ISOLATION: True} if isolated else {})
+    return path_create(a, attrs, transforms=default_transforms()), graph
+
+
+class TestFaultIsolation:
+    def test_fault_is_contained_to_the_delivery(self):
+        path, _graph = build_path(isolated=True)
+        msg = Msg(b"doomed")
+        path.deliver(msg, FWD)  # must not raise
+        assert "fault in BAD" in msg.meta["drop_reason"]
+        faults = path.attrs["_router_faults"]
+        assert faults == [("BAD", "RuntimeError: router bug: corrupted state")]
+
+    def test_without_isolation_the_fault_escapes(self):
+        path, _graph = build_path(isolated=False)
+        with pytest.raises(RuntimeError, match="router bug"):
+            path.deliver(Msg(b"doomed"), FWD)
+
+    def test_path_keeps_working_after_a_contained_fault(self):
+        path, _graph = build_path(fuse_after=1, isolated=True)
+        good = Msg(b"ok")
+        path.deliver(good, FWD)
+        assert path.output_queue(FWD).dequeue() is good
+        bad = Msg(b"boom")
+        path.deliver(bad, FWD)  # contained
+        assert "fault in BAD" in bad.meta["drop_reason"]
+        # Other directions/stages are unaffected.
+        back = Msg(b"reverse")
+        path.deliver(back, BWD)
+        assert path.output_queue(BWD).dequeue() is back
+
+    def test_rule_recorded_on_the_path(self):
+        path, _graph = build_path(isolated=True)
+        assert "isolate-router-faults" in path.attrs["_transforms_applied"]
+
+    def test_rule_skipped_without_the_invariant(self):
+        _, routers = make_chain("X", "Y")
+        path = path_create(routers[0], Attrs(),
+                           transforms=default_transforms())
+        assert "isolate-router-faults" not in path.attrs.get(
+            "_transforms_applied", ())

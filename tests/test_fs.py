@@ -1,0 +1,290 @@
+"""Filesystem substrate tests: UFS on a RAM disk, fs routers, file paths."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Attrs, BWD, FWD, PathCreationError, RouterGraph, path_create
+from repro.core.queues import BWD_OUT
+from repro.fs import (
+    DIRECT_BLOCKS,
+    FsError,
+    FsReply,
+    FsRequest,
+    PA_FILE,
+    PA_FILE_SEQUENTIAL,
+    RamDisk,
+    ScsiRouter,
+    Ufs,
+    UfsRouter,
+    VfsRouter,
+)
+
+
+class TestRamDisk:
+    def test_read_back_what_was_written(self):
+        disk = RamDisk(sectors=8, sector_size=64)
+        disk.write_sector(3, b"hello")
+        assert disk.read_sector(3)[:5] == b"hello"
+        assert disk.read_sector(3)[5:] == b"\x00" * 59
+
+    def test_out_of_range_sector(self):
+        disk = RamDisk(sectors=4)
+        with pytest.raises(IndexError):
+            disk.read_sector(4)
+        with pytest.raises(IndexError):
+            disk.write_sector(-1, b"")
+
+    def test_oversized_write_rejected(self):
+        disk = RamDisk(sector_size=16)
+        with pytest.raises(ValueError):
+            disk.write_sector(0, b"x" * 17)
+
+    def test_statistics(self):
+        disk = RamDisk()
+        disk.write_sector(0, b"a")
+        disk.read_sector(0)
+        assert (disk.reads, disk.writes) == (1, 1)
+
+
+class TestUfs:
+    def make_fs(self):
+        return Ufs(RamDisk(sectors=256, sector_size=128), n_inodes=16).mkfs()
+
+    def test_mkfs_and_mount(self):
+        fs = self.make_fs()
+        again = Ufs(fs.disk).mount()
+        assert again.listdir() == []
+
+    def test_mount_blank_disk_fails(self):
+        with pytest.raises(FsError, match="magic"):
+            Ufs(RamDisk()).mount()
+
+    def test_write_read_roundtrip(self):
+        fs = self.make_fs()
+        fs.write_file("a.txt", b"contents")
+        assert fs.read_file("a.txt") == b"contents"
+
+    def test_multi_block_file(self):
+        fs = self.make_fs()
+        blob = bytes(range(256)) * 2  # 4 sectors at 128B
+        fs.write_file("big", blob)
+        assert fs.read_file("big") == blob
+
+    def test_partial_reads(self):
+        fs = self.make_fs()
+        fs.write_file("f", b"0123456789" * 30)
+        assert fs.read_file("f", offset=5, length=7) == b"5678901"
+        assert fs.read_file("f", offset=295) == b"56789"
+
+    def test_overwrite_replaces(self):
+        fs = self.make_fs()
+        fs.write_file("f", b"x" * 300)
+        fs.write_file("f", b"short")
+        assert fs.read_file("f") == b"short"
+
+    def test_overwrite_frees_blocks(self):
+        fs = self.make_fs()
+        before = fs.blocks_free()
+        fs.write_file("f", b"x" * 500)
+        fs.write_file("f", b"y")
+        fs.unlink("f")
+        assert fs.blocks_free() == before
+
+    def test_unlink(self):
+        fs = self.make_fs()
+        fs.write_file("a", b"1")
+        fs.write_file("b", b"2")
+        fs.unlink("a")
+        assert fs.listdir() == ["b"]
+        with pytest.raises(FsError):
+            fs.read_file("a")
+
+    def test_persistence_across_mounts(self):
+        fs = self.make_fs()
+        fs.write_file("keep", b"durable")
+        remounted = Ufs(fs.disk).mount()
+        assert remounted.read_file("keep") == b"durable"
+
+    def test_file_too_large(self):
+        fs = self.make_fs()
+        limit = DIRECT_BLOCKS * fs.sector_size
+        with pytest.raises(FsError, match="too large"):
+            fs.write_file("huge", b"x" * (limit + 1))
+
+    def test_name_validation(self):
+        fs = self.make_fs()
+        with pytest.raises(FsError):
+            fs.create("")
+        with pytest.raises(FsError):
+            fs.create("a" * 40)
+        with pytest.raises(FsError):
+            fs.create("dir/file")
+
+    def test_duplicate_create_rejected(self):
+        fs = self.make_fs()
+        fs.create("f")
+        with pytest.raises(FsError, match="exists"):
+            fs.create("f")
+
+    def test_out_of_inodes(self):
+        fs = Ufs(RamDisk(sectors=256, sector_size=128), n_inodes=3).mkfs()
+        fs.create("a")
+        fs.create("b")
+        with pytest.raises(FsError, match="inodes"):
+            fs.create("c")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.dictionaries(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=8),
+        st.binary(max_size=400), max_size=5))
+    def test_many_files_roundtrip(self, files):
+        fs = self.make_fs()
+        for name, data in files.items():
+            fs.write_file(name, data)
+        assert fs.listdir() == sorted(files)
+        for name, data in files.items():
+            assert fs.read_file(name) == data
+
+
+class FsStack:
+    """VFS over UFS over SCSI, with some content."""
+
+    def __init__(self):
+        self.graph = RouterGraph()
+        self.vfs = self.graph.add(VfsRouter("VFS"))
+        self.ufs = self.graph.add(UfsRouter("UFS"))
+        self.scsi = self.graph.add(ScsiRouter("SCSI", sectors=512))
+        self.graph.connect("VFS.mounts", "UFS.up")
+        self.graph.connect("UFS.disk", "SCSI.ops")
+        self.graph.boot()
+        self.vfs.mount("/", "UFS")
+        self.ufs.fs.write_file("doc.html", b"0123456789" * 200)  # 2000 B
+
+    def open(self, filename, **attrs):
+        return path_create(self.vfs, Attrs({PA_FILE: filename}, **attrs))
+
+
+class TestFilePaths:
+    def test_path_shape(self):
+        stack = FsStack()
+        path = stack.open("/doc.html")
+        assert path.routers() == ["VFS", "UFS", "SCSI"]
+
+    def test_missing_file_aborts_creation(self):
+        """The inode lookup is frozen at establish; a missing file means
+        the path's invariants cannot hold."""
+        stack = FsStack()
+        with pytest.raises(PathCreationError, match="cannot open"):
+            stack.open("/nope.html")
+
+    def test_unmounted_prefix_refuses_the_path(self):
+        stack = FsStack()
+        stack.vfs._mount_table.clear()
+        with pytest.raises(PathCreationError, match="refused"):
+            stack.open("/doc.html")
+
+    def test_read_through_path(self):
+        stack = FsStack()
+        path = stack.open("/doc.html")
+        path.deliver(FsRequest(FsRequest.READ, 0, None), FWD)
+        reply = path.q[BWD_OUT].dequeue()
+        assert isinstance(reply, FsReply) and reply.ok
+        assert reply.data == b"0123456789" * 200
+
+    def test_ranged_read(self):
+        stack = FsStack()
+        path = stack.open("/doc.html")
+        path.deliver(FsRequest(FsRequest.READ, 995, 10), FWD)
+        reply = path.q[BWD_OUT].dequeue()
+        assert reply.data == b"5678901234"
+
+    def test_stat(self):
+        stack = FsStack()
+        path = stack.open("/doc.html")
+        path.deliver(FsRequest(FsRequest.STAT), FWD)
+        reply = path.q[BWD_OUT].dequeue()
+        assert reply.size == 2000
+
+    def test_sequential_invariant_disables_cache(self):
+        """Section 2.2: sequential access means skip caching in UFS."""
+        stack = FsStack()
+        path = stack.open("/doc.html", **{PA_FILE_SEQUENTIAL: True})
+        stage = path.stage_of("UFS")
+        for _ in range(3):
+            path.deliver(FsRequest(FsRequest.READ, 0, 100), FWD)
+        assert stage.cache_hits == 0
+        assert stack.scsi.ops_executed >= 3
+
+    def test_default_caching_serves_repeats(self):
+        stack = FsStack()
+        path = stack.open("/doc.html")
+        stage = path.stage_of("UFS")
+        path.deliver(FsRequest(FsRequest.READ, 0, 100), FWD)
+        ops_after_first = stack.scsi.ops_executed
+        path.deliver(FsRequest(FsRequest.READ, 0, 100), FWD)
+        assert stage.cache_hits > 0
+        assert stack.scsi.ops_executed == ops_after_first
+        replies = [path.q[BWD_OUT].dequeue() for _ in range(2)]
+        assert replies[0].data == replies[1].data
+
+    def test_mount_resolution_longest_prefix(self):
+        vfs = VfsRouter("V")
+        vfs.mount("/", "ROOTFS")
+        vfs.mount("/www", "WEBFS")
+        assert vfs.resolve_mount("/www/index.html") == ("WEBFS", "index.html")
+        assert vfs.resolve_mount("/etc/passwd") == ("ROOTFS", "etc/passwd")
+
+    def test_mount_requires_absolute_prefix(self):
+        with pytest.raises(ValueError):
+            VfsRouter("V").mount("relative", "FS")
+
+
+class TestMultiMount:
+    """VFS routing across two different filesystem implementations."""
+
+    def build(self):
+        from repro.core import RouterGraph
+        from repro.fs import MemFsRouter
+
+        graph = RouterGraph()
+        vfs = graph.add(VfsRouter("VFS"))
+        ufs = graph.add(UfsRouter("UFS"))
+        scsi = graph.add(ScsiRouter("SCSI", sectors=256))
+        tmp = graph.add(MemFsRouter("TMPFS"))
+        graph.connect("VFS.mounts", "UFS.up")
+        graph.connect("VFS.mounts", "TMPFS.up")
+        graph.connect("UFS.disk", "SCSI.ops")
+        graph.boot()
+        vfs.mount("/", "UFS")
+        vfs.mount("/tmp", "TMPFS")
+        ufs.fs.write_file("persistent.txt", b"on disk")
+        tmp.write_file("scratch.txt", b"in ram")
+        return graph, vfs
+
+    def read_via_path(self, vfs, filename):
+        path = path_create(vfs, Attrs({PA_FILE: filename}))
+        path.deliver(FsRequest(FsRequest.READ, 0, None), FWD)
+        return path, path.q[BWD_OUT].dequeue()
+
+    def test_paths_route_to_the_right_filesystem(self):
+        _graph, vfs = self.build()
+        disk_path, disk_reply = self.read_via_path(vfs, "/persistent.txt")
+        tmp_path, tmp_reply = self.read_via_path(vfs, "/tmp/scratch.txt")
+        assert disk_path.routers() == ["VFS", "UFS", "SCSI"]
+        assert tmp_path.routers() == ["VFS", "TMPFS"]
+        assert disk_reply.data == b"on disk"
+        assert tmp_reply.data == b"in ram"
+
+    def test_memfs_write_through_path(self):
+        _graph, vfs = self.build()
+        path = path_create(vfs, Attrs({PA_FILE: "/tmp/scratch.txt"}))
+        path.deliver(FsRequest(FsRequest.WRITE, 3, data=b"RAM"), FWD)
+        reply = path.q[BWD_OUT].dequeue()
+        assert reply.ok
+        _path2, read_back = self.read_via_path(vfs, "/tmp/scratch.txt")
+        assert read_back.data == b"in RAM"
+
+    def test_missing_memfs_file_aborts_creation(self):
+        _graph, vfs = self.build()
+        with pytest.raises(PathCreationError, match="no such file"):
+            path_create(vfs, Attrs({PA_FILE: "/tmp/ghost"}))

@@ -1,0 +1,164 @@
+"""Remote host agent tests: video source flow control, ping -f dynamics."""
+
+import pytest
+
+from repro.experiments import Testbed
+from repro.kernel import PingFlooderHost, VideoSourceHost
+from repro.mpeg import CANYON, synthesize_clip
+from repro.net import EtherSegment, EthAddr, IpAddr, parse_frame
+from repro.sim import Engine
+
+
+class WireTap:
+    """Records frames addressed to a MAC without any kernel behind it."""
+
+    def __init__(self, engine, segment, mac="02:00:00:00:00:01",
+                 ip="10.0.0.1"):
+        from repro.net.segment import Endpoint
+
+        class _Tap(Endpoint):
+            def __init__(tap_self):
+                super().__init__(EthAddr(mac))
+                tap_self.frames = []
+
+            def receive(tap_self, frame):
+                tap_self.frames.append(frame)
+
+        self.tap = _Tap()
+        segment.attach(self.tap)
+
+    @property
+    def frames(self):
+        return self.tap.frames
+
+
+class TestVideoSource:
+    def make(self, nframes=10, **kwargs):
+        engine = Engine()
+        segment = EtherSegment(engine)
+        tap = WireTap(engine, segment)
+        clip = synthesize_clip(CANYON, seed=1, nframes=nframes)
+        source = VideoSourceHost(engine, "02:00:00:00:00:02", "10.0.0.2",
+                                 clip, "02:00:00:00:00:01", "10.0.0.1",
+                                 dst_port=6100, **kwargs)
+        segment.attach(source)
+        return engine, source, tap
+
+    def test_respects_initial_window(self):
+        engine, source, tap = self.make(nframes=30, initial_window=5)
+        source.start()
+        engine.run()
+        assert source.packets_sent == 5
+        assert source.window_stalls > 0
+        assert not source.done
+
+    def test_window_advertisement_opens_the_window(self):
+        from repro.net import build_mflow_frame, MflowHeader
+
+        engine, source, tap = self.make(nframes=30, initial_window=5)
+        source.start()
+        engine.run()
+        adv = build_mflow_frame(EthAddr("02:00:00:00:00:01"),
+                                source.mac, IpAddr("10.0.0.1"), source.ip,
+                                6100, source.src_port, 12, 1000, b"",
+                                window=7,
+                                flags=MflowHeader.FLAG_WINDOW_ADV)
+        source.receive(adv)
+        engine.run()
+        assert source.packets_sent == 12
+
+    def test_frames_carry_increasing_sequence_numbers(self):
+        engine, source, tap = self.make(nframes=5, initial_window=100)
+        source.start()
+        engine.run()
+        seqs = [parse_frame(f, expect_mflow=True).mflow.seq
+                for f in tap.frames]
+        assert seqs == list(range(len(seqs)))
+
+    def test_frame_start_flag_on_first_packet_of_each_frame(self):
+        engine, source, tap = self.make(nframes=5, initial_window=100)
+        source.start()
+        engine.run()
+        parsed = [parse_frame(f, expect_mflow=True).mflow
+                  for f in tap.frames]
+        starts = sum(1 for m in parsed if m.is_frame_start)
+        assert starts == 5
+
+    def test_pacing_holds_packets_until_due(self):
+        engine, source, tap = self.make(nframes=30, initial_window=1000,
+                                        pace_fps=30.0, lead_frames=2)
+        source.start()
+        engine.run_until(100_000)  # 0.1 s: only ~3 frames + lead eligible
+        sent_early = source.packets_sent
+        engine.run_until(2_000_000)
+        assert sent_early < source.packets_sent
+        assert source.done
+
+    def test_done_and_finished_at(self):
+        engine, source, _tap = self.make(nframes=3, initial_window=1000)
+        source.start()
+        engine.run()
+        assert source.done
+        assert source.finished_at is not None
+
+
+class TestPingFlooder:
+    def test_self_clocking_sends_on_reply(self):
+        engine = Engine()
+        segment = EtherSegment(engine)
+        flooder = PingFlooderHost(engine, "02:00:00:00:00:03", "10.0.0.3",
+                                  "02:00:00:00:00:01", "10.0.0.1")
+        segment.attach(flooder)
+
+        # An echo-replying tap.
+        from repro.net.segment import Endpoint
+        from repro.net import build_icmp_echo
+
+        class Replier(Endpoint):
+            def __init__(self):
+                super().__init__(EthAddr("02:00:00:00:00:01"))
+                self.seen = 0
+
+            def receive(self, frame):
+                parsed = parse_frame(frame)
+                if parsed.icmp is not None and parsed.icmp.icmp_type == 8:
+                    self.seen += 1
+                    reply = build_icmp_echo(
+                        self.mac, parsed.eth.src, IpAddr("10.0.0.1"),
+                        parsed.ip.src, parsed.icmp.ident, parsed.icmp.seq,
+                        reply=True)
+                    engine.schedule(10, self.send, reply)
+
+        replier = Replier()
+        segment.attach(replier)
+        flooder.start()
+        engine.run_until(100_000)
+        flooder.stop()
+        # Self-clocked: thousands per second, not the 100/s floor.
+        assert flooder.requests_sent > 50
+        assert flooder.replies_received > 45
+
+    def test_fallback_rate_without_replies(self):
+        engine = Engine()
+        segment = EtherSegment(engine)
+        flooder = PingFlooderHost(engine, "02:00:00:00:00:03", "10.0.0.3",
+                                  "02:00:00:00:00:01", "10.0.0.1",
+                                  fallback_us=10_000)
+        segment.attach(flooder)
+        flooder.start()
+        engine.run_until(1_000_000)
+        flooder.stop()
+        # ~100/s floor (the classic ping -f minimum).
+        assert flooder.requests_sent == pytest.approx(100, abs=5)
+
+    def test_fixed_rate_mode(self):
+        engine = Engine()
+        segment = EtherSegment(engine)
+        flooder = PingFlooderHost(engine, "02:00:00:00:00:03", "10.0.0.3",
+                                  "02:00:00:00:00:01", "10.0.0.1",
+                                  self_clocked=False, fallback_us=500)
+        segment.attach(flooder)
+        flooder.start()
+        engine.run_until(100_000)
+        flooder.stop()
+        assert flooder.requests_sent == pytest.approx(200, abs=5)

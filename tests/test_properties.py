@@ -1,0 +1,152 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Attrs, BWD, FWD, Msg, path_create
+from repro.core.queues import FWD_OUT
+from repro.sim import Compute, Dequeue, SimWorld
+from repro.core import PathQueue
+from .helpers import make_chain
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=12))
+def test_path_linking_invariants_any_length(n):
+    """For any path length: FWD chain and BWD chain are mutual reverses,
+    and back pointers always point one stage toward the message's origin
+    in the opposite direction."""
+    names = [f"R{i}" for i in range(n)]
+    _, routers = make_chain(*names)
+    path = path_create(routers[0], Attrs())
+    stages = path.stages
+    assert len(stages) == n
+    for i, stage in enumerate(stages):
+        fwd, bwd = stage.end[FWD], stage.end[BWD]
+        assert fwd.next is (stages[i + 1].end[FWD] if i + 1 < n else None)
+        assert bwd.next is (stages[i - 1].end[BWD] if i > 0 else None)
+        assert fwd.back is (stages[i - 1].end[BWD] if i > 0 else None)
+        assert bwd.back is (stages[i + 1].end[FWD] if i + 1 < n else None)
+        assert fwd.stage is stage and bwd.stage is stage
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=10))
+def test_traversal_visits_every_stage_exactly_once(n):
+    names = [f"R{i}" for i in range(n)]
+    _, routers = make_chain(*names)
+    path = path_create(routers[0], Attrs())
+    msg = Msg(b"probe")
+    path.deliver(msg, FWD)
+    assert [name for name, _d in msg.meta["trace"]] == names
+    back = Msg(b"probe")
+    path.deliver(back, BWD)
+    assert [name for name, _d in back.meta["trace"]] == names[::-1]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(min_value=1, max_value=1e6),
+                min_size=2, max_size=10, unique=True))
+def test_edf_runs_strictly_in_deadline_order(deadlines):
+    """When N EDF threads become ready together, they execute in exact
+    deadline order regardless of spawn order."""
+    world = SimWorld(seed=0)
+    gate = PathQueue(maxlen=len(deadlines))
+    order = []
+
+    def body(tag):
+        yield Dequeue(gate)
+        yield Compute(1.0)
+        order.append(tag)
+
+    from repro.core import Path
+
+    for index, deadline in enumerate(deadlines):
+        path = Path()
+        path.wakeup = (lambda d: lambda p, t: setattr(t, "deadline", d))(deadline)
+        world.spawn(body(index), policy="edf", path=path)
+    for _ in deadlines:
+        world.engine.schedule(10, gate.enqueue, "go")
+    world.run_until_idle()
+    expected = [i for i, _d in sorted(enumerate(deadlines),
+                                      key=lambda pair: pair[1])]
+    assert order == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=7),
+                min_size=2, max_size=12))
+def test_rr_respects_priorities_for_simultaneous_arrivals(priorities):
+    world = SimWorld(seed=0)
+    order = []
+
+    def body(tag):
+        yield Compute(1.0)
+        order.append(tag)
+
+    for index, priority in enumerate(priorities):
+        world.spawn(body(index), priority=priority)
+    world.run_until_idle()
+    # Stable by arrival within a priority level, sorted across levels.
+    expected = sorted(range(len(priorities)),
+                      key=lambda i: (priorities[i], i))
+    assert order == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=50),
+                min_size=1, max_size=8))
+def test_nonpreemption_computes_never_interleave(bursts):
+    """Each thread's compute bursts are contiguous in virtual time until
+    it voluntarily yields: completion times never interleave mid-burst."""
+    world = SimWorld(seed=0)
+    spans = {}
+
+    def body(tag, burst):
+        start = world.now
+        for _ in range(burst):
+            yield Compute(5.0)
+        spans[tag] = (start, world.now)
+
+    for index, burst in enumerate(bursts):
+        world.spawn(body(index, burst), name=f"t{index}")
+    world.run_until_idle()
+    intervals = sorted(spans.values())
+    for (a_start, a_end), (b_start, b_end) in zip(intervals, intervals[1:]):
+        assert a_end <= b_start + 1e-9  # no overlap: strict serialization
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=6), st.data())
+def test_classifier_always_finds_the_right_flow(n_paths, data):
+    """Among several bound flows, classification maps each tag to its own
+    path and nothing else."""
+    from repro.core import DemuxResult, classify
+    from .helpers import ChainRouter
+
+    class MultiFlow(ChainRouter):
+        def __init__(self, name):
+            super().__init__(name)
+            self.flows = {}
+
+        def demux(self, msg, service, offset=0):
+            tag = msg.peek(1, at=offset)
+            path = self.flows.get(tag)
+            if path is None:
+                return DemuxResult.drop("no such flow")
+            return DemuxResult.found(path)
+
+    from repro.core import RouterGraph
+
+    graph = RouterGraph()
+    top = graph.add(MultiFlow("TOP"))
+    graph.boot()
+    paths = {}
+    for i in range(n_paths):
+        tag = bytes([i])
+        path = path_create(top, Attrs(flow=i))
+        top.flows[tag] = path
+        paths[tag] = path
+    probe = data.draw(st.integers(min_value=0, max_value=n_paths - 1))
+    tag = bytes([probe])
+    assert classify(top, Msg(tag + b"payload")) is paths[tag]
+    assert classify(top, Msg(bytes([n_paths]) + b"x")) is None

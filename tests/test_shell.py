@@ -1,0 +1,71 @@
+"""SHELL router unit tests: command parsing and the command registry."""
+
+import pytest
+
+from repro.core import Attrs, Msg
+from repro.shell import ShellRouter, parse_command
+
+
+class TestParseCommand:
+    def test_name_and_args(self):
+        name, args = parse_command("mpeg_decode ip=10.0.0.2 port=7200")
+        assert name == "mpeg_decode"
+        assert args == {"ip": "10.0.0.2", "port": "7200"}
+
+    def test_no_args(self):
+        assert parse_command("status") == ("status", {})
+
+    def test_whitespace_tolerant(self):
+        name, args = parse_command("  cmd   a=1   b=2  ")
+        assert (name, args) == ("cmd", {"a": "1", "b": "2"})
+
+    def test_value_containing_equals(self):
+        _name, args = parse_command("cmd expr=a=b")
+        assert args["expr"] == "a=b"
+
+    @pytest.mark.parametrize("bad", ["", "   ", "cmd positional",
+                                     "cmd =value"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_command(bad)
+
+
+class TestCommandRegistry:
+    def make_shell(self):
+        from .helpers import make_chain
+
+        shell = ShellRouter("SHELL")
+        _graph, routers = make_chain("A", "B")
+        created = []
+
+        def build_attrs(args, meta):
+            return Attrs(tag=args.get("tag", "none"))
+
+        def post_create(path, args, msg):
+            created.append((path, args))
+
+        shell.register_command("mk", routers[0], build_attrs, post_create)
+        return shell, routers, created
+
+    def test_execute_creates_path_and_replies(self):
+        shell, routers, created = self.make_shell()
+        reply = shell.execute(Msg(b"mk tag=x"))
+        assert reply.startswith("ok pid=")
+        assert len(created) == 1
+        path, args = created[0]
+        assert path.routers() == ["A", "B"]
+        assert path.attrs["tag"] == "x"
+        assert shell.commands_run == 1
+        assert shell.created_paths[path.pid] is path
+
+    def test_unknown_command(self):
+        shell, _routers, _created = self.make_shell()
+        with pytest.raises(ValueError, match="unknown command"):
+            shell.execute(Msg(b"nope a=1"))
+
+    def test_each_invocation_creates_a_new_path(self):
+        shell, _routers, created = self.make_shell()
+        shell.execute(Msg(b"mk tag=1"))
+        shell.execute(Msg(b"mk tag=2"))
+        assert len(created) == 2
+        assert created[0][0] is not created[1][0]
