@@ -1,0 +1,51 @@
+"""Fault recovery: TCP goodput per fault profile + watchdog latency.
+
+Measures the two headline robustness numbers:
+
+* byte-stream goodput of a TCP path across each named fault profile
+  (the retransmission machinery must deliver everything regardless);
+* the watchdog's detection and recovery latency for a quietly stalled
+  video path (stall -> teardown -> rebuild -> playback resumed).
+"""
+
+from repro.experiments import (
+    format_tcp_recovery,
+    format_watchdog_recovery,
+    run_tcp_profiles,
+    run_watchdog_recovery,
+)
+
+
+def test_tcp_recovery_per_profile(benchmark, record_result):
+    results = benchmark.pedantic(run_tcp_profiles, rounds=1, iterations=1,
+                                 kwargs={"seed": 1,
+                                         "payload_bytes": 16_000})
+    record_result("fault_recovery_tcp", format_tcp_recovery(results))
+    by_name = {r.profile: r for r in results}
+    # Every profile's stream arrives complete and byte-identical.
+    for r in results:
+        assert r.complete, r
+    # The clean profile needed no retransmissions; the lossy ones did.
+    assert by_name["none"].retransmissions == 0
+    assert by_name["drop10"].retransmissions > 0
+    assert by_name["drop10"].link["dropped"] > 0
+    # Loss costs time: goodput under faults is below the clean run's.
+    assert by_name["drop10"].goodput_kbps < by_name["none"].goodput_kbps
+
+
+def test_watchdog_recovery_latency(benchmark, record_result):
+    result = benchmark.pedantic(run_watchdog_recovery, rounds=1,
+                                iterations=1,
+                                kwargs={"seed": 3, "nframes": 120,
+                                        "max_seconds": 30.0})
+    record_result("fault_recovery_watchdog",
+                  format_watchdog_recovery(result))
+    assert result.stalls_detected >= 1
+    assert result.rebuilds >= 1
+    # Detection within the stall budget plus two check intervals.
+    assert result.detection_latency_us is not None
+    assert result.detection_latency_us <= result.stall_budget_us + 100_000.0
+    # The rebuilt path actually played video, and the source finished.
+    assert result.recovery_latency_us is not None
+    assert result.frames_after_rebuild > 0
+    assert result.source_done

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Chaos playback: an MPEG path surviving a hostile wire and a hung stage.
+
+Boots the Figure 9 Scout configuration, streams a clip across a wire
+misbehaving per a seeded fault profile (drops, duplicates, reordering),
+and arms the full self-healing stack:
+
+* a :class:`~repro.faults.PathWatchdog` on the video path — mid-stream
+  the MFLOW stage is quietly stall-faulted, the watchdog notices the flat
+  progress signature, tears the path down and rebuilds it from its
+  attributes;
+* a :class:`~repro.faults.DegradationGovernor` — under queue pressure it
+  turns early discard up (reduced-quality playback, Section 4.4), back
+  down when the path is healthy again;
+* MFLOW's ordered-but-unreliable delivery plus the source's window probe
+  soak up the wire faults.
+
+Run:  python examples/chaos_mpeg.py
+"""
+
+from repro import params
+from repro.core import path_create
+from repro.experiments import Testbed
+from repro.faults import (
+    DegradationGovernor,
+    FaultyLink,
+    PathWatchdog,
+    StageFault,
+    StageFaultInjector,
+    profile,
+)
+from repro.mpeg import NEPTUNE, synthesize_clip
+
+SEED = 7
+STALL_AT_US = 2_000_000.0
+
+
+def main() -> None:
+    testbed = Testbed(seed=SEED)
+    clip = synthesize_clip(NEPTUNE, seed=SEED, nframes=240)
+    source = testbed.add_video_source(
+        clip, dst_port=6100, pace_fps=NEPTUNE.fps,
+        probe_timeout_us=params.MFLOW_PROBE_TIMEOUT_US)
+    kernel = testbed.build_scout(rate_limited_display=False)
+    remote = (str(source.ip), source.src_port)
+    session = kernel.start_video(NEPTUNE, remote, local_port=6100)
+    print(f"video path: {' -> '.join(session.path.routers())}")
+
+    # -- the chaos: a faulty wire and a stage that will hang ------------
+    plan = profile("drop10_reorder", seed=SEED)
+    link = FaultyLink(testbed.segment, plan).install()
+    injector = StageFaultInjector(testbed.world.engine)
+    injector.apply(session.path, StageFault(router="MFLOW", mode="stall",
+                                            start_us=STALL_AT_US))
+    print(f"wire faults: {plan.name} (seed {plan.seed}); "
+          f"MFLOW stalls at t={STALL_AT_US / 1e6:.0f}s")
+
+    # -- the healing: watchdog + degradation governor -------------------
+    sessions = [session]
+
+    def rebuild():
+        attrs = kernel.build_video_attrs(NEPTUNE, remote, local_port=6100)
+        path = path_create(kernel.display, attrs,
+                           transforms=kernel.transforms,
+                           admission=kernel.admission)
+        sessions.append(kernel._attach_video_path(path))
+        governor.path = path  # the governor follows the live path
+        return path
+
+    watchdog = PathWatchdog(testbed.world.engine, session.path,
+                            rebuild).start()
+    governor = DegradationGovernor(testbed.world.engine, kernel,
+                                   session.path).start()
+
+    testbed.start_all()
+    testbed.run_until_sources_done(max_seconds=60.0)
+    watchdog.stop()
+    governor.stop()
+    link.uninstall()
+
+    print(f"\nplayback finished at t={testbed.world.now / 1e6:.1f}s virtual")
+    print(f"  wire: {link.counters()}")
+    for event in watchdog.events:
+        kind = event["type"]
+        stamp = event["time_us"] / 1e6
+        extra = {k: v for k, v in event.items()
+                 if k not in ("type", "time_us")}
+        print(f"  t={stamp:6.2f}s  watchdog {kind}: {extra}")
+    for event in governor.events:
+        print(f"  t={event['time_us'] / 1e6:6.2f}s  governor "
+              f"{event['type']} -> skip {event['skip']}")
+    presented = sum(s.frames_presented for s in sessions)
+    print(f"  frames presented:  {presented} / {len(clip.frames)} "
+          f"(across {len(sessions)} path incarnation(s))")
+    print(f"  stalls detected:   {watchdog.stalls_detected}, "
+          f"rebuilds: {watchdog.rebuilds}")
+    if watchdog.last_recovery_latency_us is not None:
+        print(f"  recovery latency:  "
+              f"{watchdog.last_recovery_latency_us / 1000:.0f} ms")
+    print(f"  window probes:     {source.window_probes}")
+    print(f"  source finished:   {source.done}")
+
+
+if __name__ == "__main__":
+    main()

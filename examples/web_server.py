@@ -67,7 +67,8 @@ def build_figure3_graph() -> RouterGraph:
 
 def client_segment(graph: RouterGraph, seq: int, payload: bytes) -> Msg:
     """Forge the frame a client would put on the wire."""
-    tcp = TcpHeader(51000, 80, seq=seq, flags=TcpHeader.FLAG_ACK).pack()
+    tcp = TcpHeader(51000, 80, seq=seq,
+                    flags=TcpHeader.FLAG_ACK).pack(payload)
     ip = IpHeader(20 + len(tcp) + len(payload), 7, IPPROTO_TCP,
                   IpAddr(CLIENT_IP), graph.router("IP").addr).pack()
     eth = (EthAddr(SERVER_MAC).to_bytes() + EthAddr(CLIENT_MAC).to_bytes()

@@ -27,6 +27,7 @@ from . import (
     core,
     display,
     experiments,
+    faults,
     fs,
     http,
     kernel,
@@ -40,4 +41,5 @@ from . import (
 __version__ = "1.0.0"
 
 __all__ = ["core", "sim", "net", "mpeg", "display", "shell", "fs", "http",
-           "kernel", "admission", "experiments", "params", "__version__"]
+           "kernel", "admission", "experiments", "faults", "params",
+           "__version__"]

@@ -34,7 +34,8 @@ class PathStats:
     """
 
     __slots__ = ("cycles", "messages_fwd", "messages_bwd", "mem_bytes",
-                 "mem_high_watermark", "avg_proc_time_us", "_proc_samples")
+                 "mem_high_watermark", "avg_proc_time_us", "_proc_samples",
+                 "drops", "drop_reasons", "progress")
 
     def __init__(self) -> None:
         self.cycles = 0.0
@@ -44,6 +45,16 @@ class PathStats:
         self.mem_high_watermark = 0
         self.avg_proc_time_us = 0.0
         self._proc_samples = 0
+        #: Total messages discarded on behalf of this path, for any reason.
+        self.drops = 0
+        #: Discards broken down by category (e.g. "inq_overflow",
+        #: "fault_isolation", "early_discard", "fault_injection").
+        self.drop_reasons: Dict[str, int] = {}
+        #: Monotonic useful-work counter: bumped whenever the path delivers
+        #: something to the outside world that is not an output-queue
+        #: deposit (wire transmission, inline service).  The watchdog reads
+        #: this plus the output queues' enqueued counts as its heartbeat.
+        self.progress = 0
 
     def charge_cycles(self, cycles: float) -> None:
         self.cycles += cycles
@@ -55,6 +66,10 @@ class PathStats:
 
     def release_memory(self, nbytes: int) -> None:
         self.mem_bytes = max(0, self.mem_bytes - nbytes)
+
+    def record_drop(self, category: str) -> None:
+        self.drops += 1
+        self.drop_reasons[category] = self.drop_reasons.get(category, 0) + 1
 
     def record_proc_time(self, micros: float) -> None:
         """Exponentially weighted average packet processing time — what the
@@ -197,6 +212,41 @@ class Path:
             raise PathStateError(f"{stage!r} does not belong to path {self.pid}")
         iface = stage.end[direction]
         return iface.deliver(iface, msg, direction, **kwargs)
+
+    # -- drop / progress accounting ---------------------------------------------------------
+
+    def note_drop(self, msg: Any, reason: str, category: str = "drop") -> None:
+        """Record that *msg* was discarded on behalf of this path.
+
+        Every discard site — classification failure, queue overflow, fault
+        isolation, early discard, fault injection — funnels through here so
+        drop accounting is uniform: ``msg.meta["drop_reason"]`` explains the
+        individual message, :attr:`PathStats.drops` and
+        :attr:`PathStats.drop_reasons` aggregate per path.
+        """
+        meta = getattr(msg, "meta", None)
+        if meta is not None:
+            meta["drop_reason"] = reason
+        self.stats.record_drop(category)
+
+    def note_progress(self) -> None:
+        """Record useful work that does not land on an output queue (wire
+        transmission, inline service).  Feeds the watchdog heartbeat."""
+        self.stats.progress += 1
+
+    def progress_signature(self) -> int:
+        """Monotonic useful-output counter the watchdog samples: output
+        queue deposits plus explicit progress marks.  Dropped messages
+        deliberately do not count — a path shedding 100% of its input is
+        not making progress."""
+        return (self.q[FWD_OUT].enqueued + self.q[BWD_OUT].enqueued
+                + self.stats.progress)
+
+    def demand_signature(self) -> int:
+        """Monotonic offered-work counter: everything ever enqueued on the
+        input queues.  Demand advancing while the progress signature stays
+        flat is what the watchdog reads as a stall."""
+        return self.q[FWD_IN].enqueued + self.q[BWD_IN].enqueued
 
     # -- lifecycle --------------------------------------------------------------------------
 

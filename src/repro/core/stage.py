@@ -99,6 +99,17 @@ class Stage:
 
     # -- accounting -----------------------------------------------------------------
 
+    def note_drop(self, msg: Any, reason: str, category: str = "drop") -> None:
+        """Uniform discard bookkeeping for stage deliver functions: stamps
+        ``msg.meta["drop_reason"]`` and, when the stage belongs to a live
+        path, bumps the path's per-category drop counters."""
+        if self.path is not None:
+            self.path.note_drop(msg, reason, category)
+        else:
+            meta = getattr(msg, "meta", None)
+            if meta is not None:
+                meta["drop_reason"] = reason
+
     def modeled_size(self) -> int:
         """Modeled byte footprint of this stage including its interfaces."""
         total = self.MODELED_BYTES

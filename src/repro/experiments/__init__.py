@@ -23,6 +23,15 @@ from .admission_exp import (
     format_admission,
     measure_clip_cost,
 )
+from .chaos import (
+    TcpRecoveryResult,
+    WatchdogRecoveryResult,
+    format_tcp_recovery,
+    format_watchdog_recovery,
+    run_tcp_profiles,
+    run_tcp_recovery,
+    run_watchdog_recovery,
+)
 from .early_discard import (
     EarlyDiscardResult,
     format_early_discard,
@@ -56,4 +65,8 @@ __all__ = [
     "run_segregation_sweep", "measure_segregation", "format_segregation",
     "SegregationPoint",
     "run_alf_ablation", "measure_alf", "format_alf", "AlfResult",
+    "run_tcp_recovery", "run_tcp_profiles", "format_tcp_recovery",
+    "TcpRecoveryResult",
+    "run_watchdog_recovery", "format_watchdog_recovery",
+    "WatchdogRecoveryResult",
 ]

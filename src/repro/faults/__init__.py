@@ -1,0 +1,39 @@
+"""Fault injection and self-healing paths.
+
+The robustness subsystem has two halves:
+
+* **injection** — seeded, deterministic descriptions of what goes wrong
+  (:mod:`repro.faults.plan`) and the machinery that makes it happen: a
+  faulty wire (:mod:`repro.faults.link`), misbehaving router stages and
+  queue-pressure storms (:mod:`repro.faults.stagefault`);
+* **healing** — the per-path watchdog that detects stalled paths and
+  rebuilds them with backoff (:mod:`repro.faults.watchdog`), and the
+  degradation governor that trades video quality for survival under
+  pressure (:mod:`repro.faults.degrade`).  The protocol-level healing
+  (TCP retransmission, ARP request retries, IP reassembly timeouts) lives
+  with the protocols in :mod:`repro.net`.
+
+Everything injected is driven by a :class:`FaultPlan`'s own seeded
+generator: the same plan and workload replay byte-identically.
+"""
+
+from .degrade import DegradationGovernor
+from .link import FaultyLink
+from .plan import (
+    FaultPlan,
+    LinkFaults,
+    PROFILES,
+    QueueStorm,
+    StageFault,
+    profile,
+    profile_names,
+)
+from .stagefault import InjectedFault, QueueStormer, StageFaultInjector
+from .watchdog import PathWatchdog
+
+__all__ = [
+    "FaultPlan", "LinkFaults", "StageFault", "QueueStorm",
+    "PROFILES", "profile", "profile_names",
+    "FaultyLink", "StageFaultInjector", "QueueStormer", "InjectedFault",
+    "PathWatchdog", "DegradationGovernor",
+]

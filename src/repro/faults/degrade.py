@@ -1,0 +1,170 @@
+"""Graceful degradation: trade quality for survival under fault pressure.
+
+The paper's Section 4.4 knob — "the user may request that only every
+third image be displayed", enforced by dropping the skipped frames at the
+adapter before any CPU is spent on them — becomes a *feedback loop* here:
+a governor watches a video path's input-queue occupancy and drop counters
+and turns the kernel's early-discard modulus up under pressure, back down
+when the path is healthy again.
+
+The governor only ever touches :meth:`ScoutKernel.set_frame_skip`, i.e.
+the same adapter-level filter the static configuration uses; the path
+itself is untouched.  Optionally a :class:`~repro.admission.CpuAdmission`
+model supplies a floor: if admission already says the stream only fits at
+every-Nth quality, the governor never degrades below that N.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.path import DELETED, Path
+from ..core.stage import BWD
+
+
+class DegradationGovernor:
+    """Closed-loop early-discard control for one video path.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine for the sampling timer.
+    kernel:
+        The :class:`~repro.kernel.ScoutKernel` owning the early-discard
+        filters.
+    path:
+        The video path to govern.
+    check_interval_us:
+        Sampling period (virtual time).
+    high_occupancy / low_occupancy:
+        Input-queue fill fractions that trigger escalation / permit
+        de-escalation.
+    drop_threshold:
+        New drops per sampling period that count as pressure even when
+        occupancy looks fine.
+    max_skip:
+        Harshest degradation (keep every ``max_skip``-th frame).
+    healthy_checks:
+        Consecutive calm samples required before easing one step back.
+    """
+
+    def __init__(self, engine, kernel, path: Path,
+                 check_interval_us: float = 100_000.0,
+                 high_occupancy: float = 0.75,
+                 low_occupancy: float = 0.25,
+                 drop_threshold: int = 4,
+                 max_skip: int = 8,
+                 healthy_checks: int = 3,
+                 admission=None, profile=None, fps: Optional[float] = None):
+        self.engine = engine
+        self.kernel = kernel
+        self.path = path
+        self.check_interval_us = check_interval_us
+        self.high_occupancy = high_occupancy
+        self.low_occupancy = low_occupancy
+        self.drop_threshold = drop_threshold
+        self.max_skip = max_skip
+        self.healthy_checks = healthy_checks
+        self.admission = admission
+        self.profile = profile
+        self.fps = fps
+        self._timer = None
+        self._running = False
+        self._last_drops = self._pressure_drops()
+        self._calm_streak = 0
+        # accounting
+        self.escalations = 0
+        self.deescalations = 0
+        self.events: List[Dict[str, Any]] = []
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "DegradationGovernor":
+        if not self._running:
+            self._running = True
+            self._timer = self.engine.schedule(self.check_interval_us,
+                                               self._check)
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # -- the control loop ---------------------------------------------------------
+
+    @property
+    def skip(self) -> int:
+        return self.kernel.frame_skip(self.path)
+
+    def _pressure_drops(self) -> int:
+        """Drops that indicate pressure.  Early discards are excluded:
+        they are the governor's *own* medicine, and counting them would
+        lock the loop at maximum degradation (skip -> discard drops ->
+        "pressure" -> skip)."""
+        stats = self.path.stats
+        return stats.drops - stats.drop_reasons.get("early_discard", 0)
+
+    def _admission_floor(self) -> int:
+        """Quality level admission control already mandates (1 = none)."""
+        if self.admission is None or self.profile is None:
+            return 1
+        fps = self.fps if self.fps is not None else self.profile.fps
+        suggested = self.admission.suggest_skip(self.profile, fps,
+                                                max_skip=self.max_skip)
+        return suggested if suggested is not None else self.max_skip
+
+    def _check(self) -> None:
+        self._timer = None
+        if not self._running or self.path.state == DELETED:
+            return
+        inq = self.path.input_queue(BWD)
+        occupancy = 0.0 if not inq.maxlen else len(inq) / inq.maxlen
+        drops = self._pressure_drops()
+        new_drops = drops - self._last_drops
+        self._last_drops = drops
+        pressured = (occupancy >= self.high_occupancy
+                     or new_drops >= self.drop_threshold)
+        calm = occupancy <= self.low_occupancy and new_drops == 0
+        if pressured:
+            self._calm_streak = 0
+            self._escalate(occupancy, new_drops)
+        elif calm:
+            self._calm_streak += 1
+            if self._calm_streak >= self.healthy_checks:
+                self._calm_streak = 0
+                self._deescalate(occupancy)
+        else:
+            self._calm_streak = 0
+        self._timer = self.engine.schedule(self.check_interval_us,
+                                           self._check)
+
+    def _escalate(self, occupancy: float, new_drops: int) -> None:
+        current = self.skip
+        if current >= self.max_skip:
+            return
+        target = min(max(current * 2, self._admission_floor()),
+                     self.max_skip)
+        if target == current:
+            return
+        self.kernel.set_frame_skip(self.path, target)
+        self.escalations += 1
+        self.events.append({"type": "escalate", "time_us": self.engine.now,
+                            "skip": target, "occupancy": occupancy,
+                            "new_drops": new_drops})
+
+    def _deescalate(self, occupancy: float) -> None:
+        current = self.skip
+        floor = self._admission_floor()
+        if current <= floor:
+            return
+        target = max(current // 2, floor)
+        self.kernel.set_frame_skip(self.path, target)
+        self.deescalations += 1
+        self.events.append({"type": "deescalate", "time_us": self.engine.now,
+                            "skip": target, "occupancy": occupancy})
+
+    def __repr__(self) -> str:
+        return (f"<DegradationGovernor path#{self.path.pid} skip={self.skip} "
+                f"up={self.escalations} down={self.deescalations}>")

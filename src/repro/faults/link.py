@@ -1,0 +1,159 @@
+"""Link fault injection: a faulty wire, not a faulty stack.
+
+:class:`FaultyLink` interposes on an :class:`EtherSegment`'s ``transmit``
+so that frames are dropped, duplicated, corrupted, delayed, or reordered
+*on the wire*, exactly where a real lossy segment misbehaves.  The stack
+under test is untouched — its recovery machinery (TCP retransmission,
+MFLOW sequencing, the path watchdog) sees honest symptoms.
+
+All decisions come from the fault plan's seeded generator, so a given
+(plan, workload) pair replays byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .plan import FaultPlan, LinkFaults
+
+#: Header bytes never corrupted: ETH(14) + IP(20).  Corrupting addressing
+#: would turn a corruption fault into a misdelivery fault; flipping bytes
+#: from the transport header onward models checksum-detectable damage.
+_CORRUPT_OFFSET = 34
+
+
+class FaultyLink:
+    """Wraps one segment's ``transmit`` with seeded fault injection.
+
+    Use as a context manager or call :meth:`install` / :meth:`uninstall`::
+
+        with FaultyLink(segment, plan) as link:
+            ... run the experiment ...
+        print(link.dropped, link.reordered)
+    """
+
+    def __init__(self, segment, plan: FaultPlan,
+                 faults: Optional[LinkFaults] = None):
+        self.segment = segment
+        self.engine = segment.engine
+        self.faults = faults if faults is not None else plan.link
+        self.rng = plan.rng()
+        self._original = None
+        #: A frame held back for reordering: (frame, src, flush event).
+        self._held: Optional[Tuple[bytes, object, object]] = None
+        # statistics
+        self.frames_seen = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.corrupted = 0
+        self.delayed = 0
+        self.reordered = 0
+        self.flushed = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def install(self) -> "FaultyLink":
+        if self._original is not None:
+            raise RuntimeError("FaultyLink already installed")
+        self._original = self.segment.transmit
+        self.segment.transmit = self._transmit
+        return self
+
+    def uninstall(self) -> None:
+        if self._original is None:
+            return
+        self._flush_held()
+        self.segment.transmit = self._original
+        self._original = None
+
+    def __enter__(self) -> "FaultyLink":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    # -- the faulty wire ---------------------------------------------------------
+
+    def _transmit(self, frame: bytes, src) -> float:
+        self.frames_seen += 1
+        faults = self.faults
+        # A frame being transmitted overtakes any held frame: send the new
+        # one first, then release the held one — an adjacent swap.
+        release = self._take_held()
+
+        result = self.engine.now
+        if faults.drop_rate and self._roll(faults.drop_rate):
+            self.dropped += 1
+        else:
+            if faults.corrupt_rate and self._roll(faults.corrupt_rate):
+                frame = self._corrupt(frame)
+            if faults.reorder_rate and release is None \
+                    and self._roll(faults.reorder_rate):
+                self._hold(frame, src)
+            elif faults.delay_rate and self._roll(faults.delay_rate):
+                self.delayed += 1
+                self.engine.schedule(faults.delay_us, self._original,
+                                     frame, src)
+            else:
+                result = self._original(frame, src)
+                if faults.duplicate_rate and self._roll(faults.duplicate_rate):
+                    self.duplicated += 1
+                    self._original(frame, src)
+        if release is not None:
+            held_frame, held_src = release
+            self.reordered += 1
+            self._original(held_frame, held_src)
+        return result
+
+    def _roll(self, rate: float) -> bool:
+        return float(self.rng.random()) < rate
+
+    def _corrupt(self, frame: bytes) -> bytes:
+        if len(frame) <= _CORRUPT_OFFSET:
+            return frame  # nothing but headers: leave it alone
+        self.corrupted += 1
+        index = int(self.rng.integers(_CORRUPT_OFFSET, len(frame)))
+        flip = int(self.rng.integers(1, 256))
+        damaged = bytearray(frame)
+        damaged[index] ^= flip
+        return bytes(damaged)
+
+    # -- reorder hold/release ------------------------------------------------------
+
+    def _hold(self, frame: bytes, src) -> None:
+        event = self.engine.schedule(self.faults.reorder_flush_us,
+                                     self._flush_held)
+        self._held = (frame, src, event)
+
+    def _take_held(self):
+        if self._held is None:
+            return None
+        frame, src, event = self._held
+        self._held = None
+        event.cancel()
+        return frame, src
+
+    def _flush_held(self) -> None:
+        """Nothing overtook the held frame in time: send it anyway."""
+        release = self._take_held()
+        if release is not None:
+            self.flushed += 1
+            self._original(*release)
+
+    # -- introspection ---------------------------------------------------------------
+
+    def counters(self) -> dict:
+        return {
+            "frames_seen": self.frames_seen,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "corrupted": self.corrupted,
+            "delayed": self.delayed,
+            "reordered": self.reordered,
+            "flushed": self.flushed,
+        }
+
+    def __repr__(self) -> str:
+        state = "installed" if self._original is not None else "idle"
+        return (f"<FaultyLink {state} seen={self.frames_seen} "
+                f"dropped={self.dropped} reordered={self.reordered}>")

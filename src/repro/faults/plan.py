@@ -1,0 +1,146 @@
+"""Fault plans: seeded, named descriptions of what goes wrong.
+
+A :class:`FaultPlan` is pure data — which link faults to inject at what
+rates, which stages misbehave and when, which queues get pressure storms —
+plus its own seed.  Injectors (:mod:`repro.faults.link`,
+:mod:`repro.faults.stagefault`) consume the plan; because every random
+decision is drawn from the plan's own generator, two runs of the same
+experiment with the same plan are byte-identical, independent of any other
+randomness in the world.
+
+Named profiles (``profile("drop10_reorder")``) give experiments and
+benchmarks a shared vocabulary of failure conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinkFaults:
+    """Per-frame fault rates on the wire (each in [0, 1))."""
+
+    #: Fraction of frames silently discarded in transit.
+    drop_rate: float = 0.0
+    #: Fraction of frames delivered twice.
+    duplicate_rate: float = 0.0
+    #: Fraction of frames with payload bytes flipped in transit.
+    corrupt_rate: float = 0.0
+    #: Fraction of frames held back for ``delay_us`` before transmission.
+    delay_rate: float = 0.0
+    delay_us: float = 2_000.0
+    #: Fraction of frames held so the *following* frame overtakes them.
+    reorder_rate: float = 0.0
+    #: A held frame is force-flushed after this long even if nothing
+    #: overtakes it (so the stream's tail is never stuck).
+    reorder_flush_us: float = 5_000.0
+
+    @property
+    def any_active(self) -> bool:
+        return any((self.drop_rate, self.duplicate_rate, self.corrupt_rate,
+                    self.delay_rate, self.reorder_rate))
+
+
+@dataclass(frozen=True)
+class StageFault:
+    """One misbehaving router stage on a path.
+
+    ``mode`` is one of:
+
+    * ``"crash"`` — the deliver function raises (contained by the
+      PA_FAULT_ISOLATION transform when the path requested it);
+    * ``"stall"`` — the deliver function silently swallows messages
+      without any drop note: the failure mode the watchdog exists for;
+    * ``"slowdown"`` — delivery still works but charges ``extra_us`` of
+      additional CPU per message.
+    """
+
+    router: str
+    mode: str = "crash"
+    #: Virtual-time window during which the fault is active.
+    start_us: float = 0.0
+    duration_us: float = float("inf")
+    #: Extra per-message CPU for ``slowdown``.
+    extra_us: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("crash", "stall", "slowdown"):
+            raise ValueError(f"unknown stage fault mode {self.mode!r}")
+
+    def active_at(self, now_us: float) -> bool:
+        return self.start_us <= now_us < self.start_us + self.duration_us
+
+
+@dataclass(frozen=True)
+class QueueStorm:
+    """A queue-pressure storm: one path queue's capacity is clamped for a
+    window of virtual time, forcing overflow behaviour deterministically
+    (rather than hoping offered load happens to exceed service rate)."""
+
+    #: Queue role index into ``path.q`` (FWD_IN=0, FWD_OUT=1, BWD_IN=2,
+    #: BWD_OUT=3 — import the names from :mod:`repro.core.queues`).
+    queue_role: int
+    start_us: float
+    duration_us: float
+    #: Capacity during the storm (the pre-storm maxlen is restored after).
+    clamp_len: int = 1
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything an experiment injects, with its own seed."""
+
+    name: str = "none"
+    seed: int = 0
+    link: LinkFaults = field(default_factory=LinkFaults)
+    stage_faults: Tuple[StageFault, ...] = ()
+    storms: Tuple[QueueStorm, ...] = ()
+
+    def rng(self) -> np.random.Generator:
+        """A fresh generator over this plan's seed: injection decisions
+        replay identically run after run."""
+        return np.random.default_rng(self.seed)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Named profiles
+# ---------------------------------------------------------------------------
+
+PROFILES = {
+    "none": FaultPlan(name="none"),
+    "drop10": FaultPlan(name="drop10", link=LinkFaults(drop_rate=0.10)),
+    "reorder": FaultPlan(name="reorder", link=LinkFaults(reorder_rate=0.20)),
+    "drop10_reorder": FaultPlan(
+        name="drop10_reorder",
+        link=LinkFaults(drop_rate=0.10, reorder_rate=0.20)),
+    "lossy": FaultPlan(
+        name="lossy",
+        link=LinkFaults(drop_rate=0.15, duplicate_rate=0.05,
+                        corrupt_rate=0.05, delay_rate=0.10,
+                        reorder_rate=0.10)),
+    "dup5": FaultPlan(name="dup5", link=LinkFaults(duplicate_rate=0.05)),
+    "corrupt5": FaultPlan(name="corrupt5",
+                          link=LinkFaults(corrupt_rate=0.05)),
+}
+
+
+def profile(name: str, seed: Optional[int] = None) -> FaultPlan:
+    """Look up a named profile, optionally re-seeded."""
+    try:
+        plan = PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(f"unknown fault profile {name!r} (known: {known})") \
+            from None
+    return plan if seed is None else plan.with_seed(seed)
+
+
+def profile_names() -> List[str]:
+    return sorted(PROFILES)

@@ -1,0 +1,197 @@
+"""The path watchdog: detect stalled paths, tear down, rebuild, back off.
+
+Paths make Scout's failure unit explicit: when one path stops producing,
+everything needed to replace it — the invariants it was created with —
+is recorded in its attribute set, so recovery is "run ``path_create``
+again with the same attributes".  The watchdog automates exactly that
+loop:
+
+* **heartbeat** — every check interval it samples the path's
+  :meth:`~repro.core.path.Path.progress_signature` (output-queue deposits
+  plus explicit progress marks) and
+  :meth:`~repro.core.path.Path.demand_signature` (input-queue arrivals).
+  Work arriving while output stays flat for longer than the stall budget
+  is the signature of a hung stage — drops do not count as progress, so a
+  path shedding everything it receives is also flagged;
+* **repair** — the stalled path is deleted (freeing its queues and port
+  bindings) and the caller-supplied ``rebuild`` callback creates its
+  replacement, after an exponential backoff that doubles on every
+  consecutive repair that fails to restore progress;
+* **accounting** — every detection and repair is appended to
+  :attr:`events` with virtual timestamps, and the recovery latency
+  (detection to first post-rebuild progress) is measured per incident —
+  the number ``benchmarks/bench_fault_recovery.py`` reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .. import params
+from ..core.path import DELETED, Path
+
+
+class PathWatchdog:
+    """Virtual-time liveness monitor and repairer for one path.
+
+    Parameters
+    ----------
+    engine:
+        The simulation engine heartbeats run on.
+    path:
+        The path to watch initially.
+    rebuild:
+        Zero-argument callable returning a replacement :class:`Path`
+        (typically closing over ``path_create`` plus the original
+        attributes and whatever thread-spawning the kernel needs).  May
+        raise; a failed rebuild retries with further backoff.
+    """
+
+    def __init__(self, engine, path: Path,
+                 rebuild: Callable[[], Path],
+                 check_interval_us: float = params.WATCHDOG_CHECK_INTERVAL_US,
+                 stall_budget_us: float = params.WATCHDOG_STALL_BUDGET_US,
+                 backoff_base_us: float = params.WATCHDOG_BACKOFF_BASE_US,
+                 backoff_max_us: float = params.WATCHDOG_BACKOFF_MAX_US):
+        self.engine = engine
+        self.path = path
+        self.rebuild = rebuild
+        self.check_interval_us = check_interval_us
+        self.stall_budget_us = stall_budget_us
+        self.backoff_base_us = backoff_base_us
+        self.backoff_max_us = backoff_max_us
+        self._timer = None
+        self._running = False
+        # heartbeat state
+        self._last_progress = path.progress_signature()
+        self._demand_at_progress = path.demand_signature()
+        self._flat_since: Optional[float] = None
+        # repair state
+        self._consecutive_repairs = 0
+        self._stall_detected_at: Optional[float] = None
+        self._awaiting_recovery = False
+        # accounting
+        self.stalls_detected = 0
+        self.rebuilds = 0
+        self.rebuild_failures = 0
+        self.recovery_latencies_us: List[float] = []
+        #: Chronological record of everything the watchdog did.
+        self.events: List[Dict[str, Any]] = []
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "PathWatchdog":
+        if self._running:
+            return self
+        self._running = True
+        self._schedule_check(self.check_interval_us)
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # -- heartbeat -----------------------------------------------------------------
+
+    def _schedule_check(self, delay_us: float) -> None:
+        if self._running:
+            self._timer = self.engine.schedule(delay_us, self._check)
+
+    def _check(self) -> None:
+        self._timer = None
+        if not self._running:
+            return
+        path = self.path
+        if path.state == DELETED:
+            # Deleted behind our back (e.g. stop_video): go dormant until
+            # someone swaps in a new path via adopt().
+            self._schedule_check(self.check_interval_us)
+            return
+        progress = path.progress_signature()
+        demand = path.demand_signature()
+        if progress > self._last_progress:
+            self._note_progress(progress, demand)
+        elif demand > self._demand_at_progress:
+            # Demand advanced, progress flat: the stall clock runs.
+            if self._flat_since is None:
+                self._flat_since = self.engine.now
+            elif self.engine.now - self._flat_since >= self.stall_budget_us:
+                self._on_stall(progress, demand)
+                return  # _repair schedules the next check itself
+        self._schedule_check(self.check_interval_us)
+
+    def _note_progress(self, progress: int, demand: int) -> None:
+        self._last_progress = progress
+        self._demand_at_progress = demand
+        self._flat_since = None
+        if self._awaiting_recovery:
+            # First output since the rebuild: the path recovered.
+            self._awaiting_recovery = False
+            latency = self.engine.now - self._stall_detected_at
+            self.recovery_latencies_us.append(latency)
+            self._consecutive_repairs = 0
+            self.events.append({"type": "recovered",
+                                "time_us": self.engine.now,
+                                "latency_us": latency,
+                                "pid": self.path.pid})
+
+    # -- repair -------------------------------------------------------------------------
+
+    def _on_stall(self, progress: int, demand: int) -> None:
+        self.stalls_detected += 1
+        if not self._awaiting_recovery:
+            self._stall_detected_at = self.engine.now
+        self.events.append({"type": "stall_detected",
+                            "time_us": self.engine.now,
+                            "pid": self.path.pid,
+                            "progress": progress, "demand": demand})
+        backoff = min(self.backoff_base_us * (2 ** self._consecutive_repairs),
+                      self.backoff_max_us)
+        self._consecutive_repairs += 1
+        self.path.delete()
+        self.engine.schedule(backoff, self._repair)
+
+    def _repair(self) -> None:
+        if not self._running:
+            return
+        try:
+            replacement = self.rebuild()
+        except Exception as exc:
+            self.rebuild_failures += 1
+            self.events.append({"type": "rebuild_failed",
+                                "time_us": self.engine.now,
+                                "error": f"{type(exc).__name__}: {exc}"})
+            backoff = min(self.backoff_base_us
+                          * (2 ** self._consecutive_repairs),
+                          self.backoff_max_us)
+            self._consecutive_repairs += 1
+            self.engine.schedule(backoff, self._repair)
+            return
+        self.rebuilds += 1
+        self.events.append({"type": "rebuilt", "time_us": self.engine.now,
+                            "old_pid": self.path.pid,
+                            "new_pid": replacement.pid})
+        self.adopt(replacement, awaiting_recovery=True)
+        self._schedule_check(self.check_interval_us)
+
+    def adopt(self, path: Path, awaiting_recovery: bool = False) -> None:
+        """Point the watchdog at a (new) path and reset its heartbeat."""
+        self.path = path
+        self._last_progress = path.progress_signature()
+        self._demand_at_progress = path.demand_signature()
+        self._flat_since = None
+        self._awaiting_recovery = awaiting_recovery
+
+    # -- introspection ---------------------------------------------------------------------
+
+    @property
+    def last_recovery_latency_us(self) -> Optional[float]:
+        if not self.recovery_latencies_us:
+            return None
+        return self.recovery_latencies_us[-1]
+
+    def __repr__(self) -> str:
+        return (f"<PathWatchdog path#{self.path.pid} "
+                f"stalls={self.stalls_detected} rebuilds={self.rebuilds}>")

@@ -1,7 +1,12 @@
 """Kernels: the Scout system under test and the Linux-like baseline."""
 
 from .baseline import LinuxKernel, LinuxSocket, LinuxVideoSession
-from .hosts import CommandClientHost, PingFlooderHost, VideoSourceHost
+from .hosts import (
+    CommandClientHost,
+    PingFlooderHost,
+    TcpSinkHost,
+    VideoSourceHost,
+)
 from .scout import ScoutKernel, VideoSession
 from .specs import FIG3_SPEC, FIG9_SPEC
 from .transforms import (
@@ -17,6 +22,7 @@ __all__ = [
     "ScoutKernel", "VideoSession",
     "LinuxKernel", "LinuxSocket", "LinuxVideoSession",
     "VideoSourceHost", "PingFlooderHost", "CommandClientHost",
+    "TcpSinkHost",
     "default_transforms", "make_fuse_checksum_rule",
     "make_measure_proc_time_rule", "make_fault_isolation_rule",
     "PA_CHECKSUM_FUSED", "PA_FAULT_ISOLATION",

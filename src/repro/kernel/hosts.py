@@ -14,17 +14,27 @@ These stand in for the other machines on the testbed Ethernet:
   gets flooded fast.
 * :class:`CommandClientHost` — sends SHELL command packets and records
   the replies.
+* :class:`TcpSinkHost` — a TCP receiver: reassembles the byte stream in
+  order (buffering out-of-order segments) and sends cumulative ACKs, so
+  the local TCP path's retransmission machinery has a live peer to
+  converse with under injected faults.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .. import params
 from ..mpeg.clips import EncodedClip
 from ..net.addresses import EthAddr, IpAddr
 from ..net.headers import MflowHeader
-from ..net.packets import build_icmp_echo, build_mflow_frame, build_udp_frame, parse_frame
+from ..net.packets import (
+    build_icmp_echo,
+    build_mflow_frame,
+    build_tcp_frame,
+    build_udp_frame,
+    parse_frame,
+)
 from ..net.segment import HostAgent
 from ..sim.engine import Engine
 
@@ -38,6 +48,7 @@ class VideoSourceHost(HostAgent):
                  pace_fps: Optional[float] = None,
                  lead_frames: int = 4,
                  inter_packet_us: float = 20.0,
+                 probe_timeout_us: Optional[float] = None,
                  service_us: float = params.REMOTE_HOST_SERVICE_US):
         super().__init__(engine, EthAddr(mac), IpAddr(ip),
                          service_us=service_us)
@@ -60,9 +71,12 @@ class VideoSourceHost(HostAgent):
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self._pump_scheduled = False
+        self.probe_timeout_us = probe_timeout_us
+        self._probe_event = None
         # statistics
         self.packets_sent = 0
         self.window_stalls = 0
+        self.window_probes = 0
         self.rtt_samples: List[float] = []
 
     # -- lifecycle --------------------------------------------------------------
@@ -96,12 +110,19 @@ class VideoSourceHost(HostAgent):
             return
         if self.next_seq >= self.max_allowed:
             self.window_stalls += 1
-            return  # resumed by the next window advertisement
+            self._arm_probe()
+            return  # resumed by the next window advertisement (or a probe)
         frame_no, first, payload = self.packets[self.next_seq]
         eligible = self._eligible_time(frame_no)
         if eligible > self.engine.now:
             self._schedule_pump(eligible - self.engine.now)
             return
+        self._emit_next_packet()
+        if not self.done:
+            self._schedule_pump(self.inter_packet_us)
+
+    def _emit_next_packet(self) -> None:
+        frame_no, first, payload = self.packets[self.next_seq]
         flags = MflowHeader.FLAG_FRAME_START if first else 0
         frame = build_mflow_frame(self.mac, self.dst_mac, self.ip,
                                   self.dst_ip, self.src_port, self.dst_port,
@@ -112,8 +133,29 @@ class VideoSourceHost(HostAgent):
         self.packets_sent += 1
         if self.done:
             self.finished_at = self.engine.now
-        else:
-            self._schedule_pump(self.inter_packet_us)
+
+    # -- window probe (the persist-timer analogue) --------------------------------
+
+    def _arm_probe(self) -> None:
+        """While the window stays closed, periodically force one packet
+        through anyway.  Advertisements ride on delivered data, so a
+        closed window with all advertisements lost — or the receiving
+        path torn down and rebuilt by its watchdog — would otherwise
+        deadlock: no data means no advertisement means no data."""
+        if self._probe_event is None and self.probe_timeout_us:
+            self._probe_event = self.engine.schedule(self.probe_timeout_us,
+                                                     self._probe)
+
+    def _probe(self) -> None:
+        self._probe_event = None
+        if self.done:
+            return
+        if self.next_seq < self.max_allowed:
+            return  # window reopened; the normal pump owns sending again
+        self.window_probes += 1
+        self._emit_next_packet()
+        if not self.done:
+            self._arm_probe()
 
     def _eligible_time(self, frame_no: int) -> float:
         """Pacing: frame k's packets may go out ``lead_frames`` early."""
@@ -202,6 +244,70 @@ class PingFlooderHost(HostAgent):
             self.replies_received += 1
             if self.self_clocked:
                 self._send()  # flood: next request rides on each reply
+
+
+class TcpSinkHost(HostAgent):
+    """A remote TCP receiver that ACKs everything it can.
+
+    Listens on one port, delivers payload bytes in sequence order to
+    :attr:`received`, buffers out-of-order segments, and answers every
+    data segment with a cumulative ACK — the minimal well-behaved peer the
+    local TCP sender's retransmission loop needs to recover from loss.
+    """
+
+    def __init__(self, engine: Engine, mac, ip, dst_mac, dst_ip,
+                 port: int, src_port: int = 80,
+                 service_us: float = params.REMOTE_HOST_SERVICE_US):
+        super().__init__(engine, EthAddr(mac), IpAddr(ip),
+                         service_us=service_us)
+        self.dst_mac = EthAddr(dst_mac)
+        self.dst_ip = IpAddr(dst_ip)
+        self.port = port          # the local port the sender addresses
+        self.src_port = src_port  # port our ACKs claim to come from
+        self.recv_next = 0
+        self.received = bytearray()
+        self._pending: Dict[int, bytes] = {}  # seq -> out-of-order payload
+        # statistics
+        self.segments_received = 0
+        self.dup_segments = 0
+        self.ooo_segments = 0
+        self.checksum_failures = 0
+        self.acks_sent = 0
+
+    def handle_frame(self, frame: bytes) -> None:
+        parsed = parse_frame(frame)
+        if parsed.tcp is None or parsed.tcp.dport != self.port:
+            return
+        if not parsed.tcp.verify(parsed.payload):
+            # Corrupted in flight: drop without ACKing; the sender's
+            # retransmission timer resupplies the segment intact.
+            self.checksum_failures += 1
+            return
+        self.segments_received += 1
+        payload = parsed.payload
+        if len(payload) == 0:
+            return  # bare ACK from the sender's receive side
+        seq = parsed.tcp.seq
+        if seq < self.recv_next:
+            self.dup_segments += 1
+        elif seq == self.recv_next:
+            self.received += payload
+            self.recv_next = seq + len(payload)
+            while self.recv_next in self._pending:
+                buffered = self._pending.pop(self.recv_next)
+                self.received += buffered
+                self.recv_next += len(buffered)
+        else:
+            self.ooo_segments += 1
+            self._pending.setdefault(seq, payload)
+        self._ack(parsed.tcp.sport)
+
+    def _ack(self, sender_port: int) -> None:
+        ack = build_tcp_frame(self.mac, self.dst_mac, self.ip, self.dst_ip,
+                              self.src_port, sender_port,
+                              seq=0, ack=self.recv_next)
+        self.acks_sent += 1
+        self.send(ack)
 
 
 class CommandClientHost(HostAgent):

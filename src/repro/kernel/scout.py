@@ -140,6 +140,10 @@ class ScoutKernel:
         self.display.attach_framebuffer(self.framebuffer)
         self.arp.learn_from_segment(segment)
         self.graph.boot()
+        # Timer-driven protocol machinery (IP reassembly expiry, ARP
+        # request retries) runs on the world's virtual-time engine.
+        self.ip.use_engine(world.engine)
+        self.arp.use_engine(world.engine)
 
         # -- runtime state ---------------------------------------------------
         self.classifier_stats = ClassifierStats()
@@ -182,10 +186,13 @@ class ScoutKernel:
         self.world.cpu.extend_interrupt(hops * params.CLASSIFY_PER_HOP_US)
         if path is None:
             self.unclassified_drops += 1
+            msg.meta.setdefault("drop_reason", "no path wants this frame")
             self.world.cpu.extend_interrupt(params.EARLY_DROP_US)
             return
         if self._should_early_drop(path, msg):
             self.early_drops += 1
+            path.note_drop(msg, "early discard of skipped frame",
+                           "early_discard")
             self.world.cpu.extend_interrupt(params.EARLY_DROP_US)
             return
         self._note_arrival(path)
@@ -199,6 +206,7 @@ class ScoutKernel:
         queue = path.input_queue(BWD)
         if not queue.try_enqueue(msg):
             self.inq_overflow_drops += 1
+            path.note_drop(msg, "path input queue full", "inq_overflow")
             self.world.cpu.extend_interrupt(params.EARLY_DROP_US)
             return
         path.stats.charge_memory(msg.footprint())
@@ -296,6 +304,7 @@ class ScoutKernel:
         whole.meta["entry_router"] = "IP"
         if not path.input_queue(BWD).try_enqueue(whole):
             self.inq_overflow_drops += 1
+            path.note_drop(whole, "path input queue full", "inq_overflow")
 
     # ------------------------------------------------------------------
     # Video sessions
@@ -362,6 +371,20 @@ class ScoutKernel:
                                thread)
         self.sessions.append(session)
         return session
+
+    def set_frame_skip(self, path: Path, modulus: int) -> None:
+        """Adjust adapter-level early discard for *path* at runtime: keep
+        every *modulus*-th frame (1 restores full quality).  This is the
+        knob the degradation governor turns under fault pressure — shedding
+        load before any decode CPU is spent on it (Section 4.4)."""
+        if modulus <= 1:
+            self._skip_filters.pop(path.pid, None)
+        else:
+            self._skip_filters[path.pid] = int(modulus)
+
+    def frame_skip(self, path: Path) -> int:
+        """Current early-discard modulus for *path* (1 = keep everything)."""
+        return self._skip_filters.get(path.pid, 1)
 
     def stop_video(self, session: VideoSession) -> None:
         self._skip_filters.pop(session.path.pid, None)

@@ -119,10 +119,9 @@ def make_fault_isolation_rule() -> TransformRule:
                             faults = path.attrs["_router_faults"] = []
                         faults.append((_stage.router.name,
                                        f"{type(exc).__name__}: {exc}"))
-                        meta = getattr(msg, "meta", None)
-                        if meta is not None:
-                            meta["drop_reason"] = (
-                                f"fault in {_stage.router.name}: {exc}")
+                        path.note_drop(
+                            msg, f"fault in {_stage.router.name}: {exc}",
+                            "fault_isolation")
                         return None
 
                 stage.set_deliver(direction, contained)

@@ -67,7 +67,7 @@ class MpegStage(Stage):
             result = self.decoder.feed(msg.to_bytes())
         except MpegDecodeError as exc:
             self.decode_errors += 1
-            msg.meta["drop_reason"] = f"MPEG bitstream error: {exc}"
+            self.note_drop(msg, f"MPEG bitstream error: {exc}", "corrupt")
             return None
         charge(msg, result.cost_us)
         router.packets_decoded += 1
@@ -75,7 +75,8 @@ class MpegStage(Stage):
         if frame is None:
             return None  # mid-frame packet: absorbed
         if not frame.complete:
-            msg.meta["drop_reason"] = f"frame {frame.number} damaged by loss"
+            self.note_drop(msg, f"frame {frame.number} damaged by loss",
+                           "damaged_frame")
             return None
         if frame.number % self.skip_modulus != 0:
             # Reduced-quality playback without early discard: the decode

@@ -35,6 +35,7 @@ from .packets import (
     ParsedPacket,
     build_icmp_echo,
     build_mflow_frame,
+    build_tcp_frame,
     build_udp_frame,
     parse_frame,
 )
@@ -58,5 +59,6 @@ __all__ = [
     "PA_UDP_CHECKSUM", "COST_KEY",
     "charge", "take_cost", "peek_cost",
     "build_udp_frame", "build_mflow_frame", "build_icmp_echo",
+    "build_tcp_frame",
     "parse_frame", "ParsedPacket",
 ]

@@ -6,17 +6,23 @@ while establishing a path, freezing the Ethernet destination into the
 path's attributes.
 
 The cache can be preloaded (the common configuration for experiments) and
-learns from a host registry attached to the segment.  A full asynchronous
-request/reply exchange is deliberately out of scope: path creation in
-Scout is synchronous, and the paper treats address resolution as a solved
-sub-problem.  Unresolvable addresses raise, which aborts path creation —
-the right failure mode for a path whose invariants cannot be satisfied.
+learns from a host registry attached to the segment.  Synchronous
+:meth:`ArpRouter.resolve` serves path creation — path creation in Scout is
+synchronous, and an unresolvable address aborts it, the right failure mode
+for a path whose invariants cannot be satisfied.
+
+For robustness experiments there is additionally an asynchronous
+:meth:`ArpRouter.request` with a real retry schedule: each attempt
+re-consults the cache and the segment's host registry (so a host that
+attaches late is found by a later retry), backing off exponentially and
+giving up after ``params.ARP_MAX_RETRIES`` attempts.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict, Optional
 
+from .. import params
 from ..core.errors import PathCreationError
 from ..core.graph import register_router
 from ..core.router import Router
@@ -32,9 +38,20 @@ class ArpRouter(Router):
     def __init__(self, name: str):
         super().__init__(name)
         self._cache: Dict[IpAddr, EthAddr] = {}
+        #: Segment whose host registry retries re-learn from.
+        self._segment = None
+        #: Engine for retry timers (None disables async requests).
+        self.engine = None
         # statistics
         self.hits = 0
         self.misses = 0
+        self.requests_sent = 0
+        self.request_retries = 0
+        self.request_failures = 0
+
+    def use_engine(self, engine) -> None:
+        """Attach a virtual-time engine so async requests can retry."""
+        self.engine = engine
 
     # -- table management --------------------------------------------------------
 
@@ -45,6 +62,7 @@ class ArpRouter(Router):
     def learn_from_segment(self, segment) -> None:
         """Populate the cache from every host on an attached segment that
         exposes an ``ip`` attribute (our HostAgent remotes do)."""
+        self._segment = segment
         for endpoint in segment.endpoints():
             ip = getattr(endpoint, "ip", None)
             if ip is not None:
@@ -65,6 +83,57 @@ class ArpRouter(Router):
             raise PathCreationError(f"{self.name}: cannot resolve {ip}")
         self.hits += 1
         return mac
+
+    # -- asynchronous request with retries --------------------------------------
+
+    def request(self, ip,
+                on_resolved: Callable[[IpAddr, EthAddr], None],
+                on_failed: Optional[Callable[[IpAddr], None]] = None) -> None:
+        """Resolve *ip* asynchronously, retrying with exponential backoff.
+
+        Each attempt re-consults the cache and then the attached segment's
+        host registry, so an answer that appears between attempts (a host
+        attaching, a reply finally getting through) is picked up by the
+        next retry rather than being lost forever.  After
+        ``params.ARP_MAX_RETRIES`` fruitless attempts ``on_failed`` fires.
+        """
+        if self.engine is None:
+            raise RuntimeError(
+                f"{self.name}: async request needs use_engine() first")
+        ip = IpAddr(ip)
+        self.requests_sent += 1
+        self._attempt(ip, 0, params.ARP_REQUEST_TIMEOUT_US,
+                      on_resolved, on_failed)
+
+    def _attempt(self, ip: IpAddr, tries: int, timeout_us: float,
+                 on_resolved, on_failed) -> None:
+        mac = self._lookup(ip)
+        if mac is not None:
+            self.hits += 1
+            on_resolved(ip, mac)
+            return
+        self.misses += 1
+        if tries >= params.ARP_MAX_RETRIES:
+            self.request_failures += 1
+            if on_failed is not None:
+                on_failed(ip)
+            return
+        if tries > 0:
+            self.request_retries += 1
+        self.engine.schedule(timeout_us, self._attempt, ip, tries + 1,
+                             timeout_us * 2, on_resolved, on_failed)
+
+    def _lookup(self, ip: IpAddr) -> Optional[EthAddr]:
+        mac = self._cache.get(ip)
+        if mac is not None:
+            return mac
+        if self._segment is not None:
+            for endpoint in self._segment.endpoints():
+                endpoint_ip = getattr(endpoint, "ip", None)
+                if endpoint_ip is not None and IpAddr(endpoint_ip) == ip:
+                    self.add_entry(ip, endpoint.mac)
+                    return self._cache[ip]
+        return None
 
     def entries(self) -> Dict[IpAddr, EthAddr]:
         return dict(self._cache)

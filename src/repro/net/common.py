@@ -66,5 +66,5 @@ def forward_or_deposit(iface, msg: Msg, direction: int, **kwargs):
         return forward(iface, msg, direction, **kwargs)
     stage = iface.stage
     if not stage.path.output_queue(direction).try_enqueue(msg):
-        msg.meta["drop_reason"] = "path output queue full"
+        stage.path.note_drop(msg, "path output queue full", "outq_overflow")
     return None

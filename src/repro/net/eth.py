@@ -54,11 +54,15 @@ class EthStage(Stage):
             or EthAddr.BROADCAST
         msg.push(EthHeader(dst, router.mac, self.ethertype).pack())
         router.transmit(msg)
+        if self.path is not None:
+            # Wire transmission is useful output that never touches an
+            # output queue; mark it so the watchdog sees send paths live.
+            self.path.note_progress()
 
     def _receive(self, iface, msg: Msg, direction: int, **kwargs):
         charge(msg, params.ETH_PROC_US)
         if len(msg) < EthHeader.SIZE:
-            msg.meta["drop_reason"] = "runt frame"
+            self.note_drop(msg, "runt frame", "malformed")
             return None
         msg.meta["eth_header"] = EthHeader.unpack(msg.peek(EthHeader.SIZE))
         msg.pop(EthHeader.SIZE)

@@ -173,35 +173,55 @@ class IcmpHeader:
 
 
 class TcpHeader:
-    """Simplified TCP: sport(2) dport(2) seq(4) ack(4) flags(2) win(2)."""
+    """Simplified TCP: sport(2) dport(2) seq(4) ack(4) flags(2) win(2)
+    cksum(2).
 
-    FORMAT: ClassVar[str] = "!HHIIHH"
+    Unlike UDP's optional checksum, the TCP checksum is mandatory: it
+    covers the header and the segment payload, so in-flight corruption is
+    detected at the receiver and the damaged segment dies there — forcing
+    the sender's retransmission machinery to repair the stream.
+    """
+
+    FORMAT: ClassVar[str] = "!HHIIHHH"
     SIZE: ClassVar[int] = struct.calcsize(FORMAT)
 
     FLAG_SYN = 0x02
     FLAG_ACK = 0x10
     FLAG_FIN = 0x01
 
-    __slots__ = ("sport", "dport", "seq", "ack", "flags", "window")
+    __slots__ = ("sport", "dport", "seq", "ack", "flags", "window",
+                 "checksum")
 
     def __init__(self, sport: int, dport: int, seq: int, ack: int = 0,
-                 flags: int = 0, window: int = 8192):
+                 flags: int = 0, window: int = 8192, checksum: int = 0):
         self.sport = sport
         self.dport = dport
         self.seq = seq
         self.ack = ack
         self.flags = flags
         self.window = window
+        self.checksum = checksum
 
-    def pack(self) -> bytes:
+    def _pack_with(self, checksum: int) -> bytes:
         return struct.pack(self.FORMAT, self.sport, self.dport, self.seq,
-                           self.ack, self.flags, self.window)
+                           self.ack, self.flags, self.window, checksum)
+
+    def pack(self, payload: bytes = b"") -> bytes:
+        """Pack with the checksum computed over header + *payload*."""
+        self.checksum = internet_checksum(self._pack_with(0) + payload)
+        return self._pack_with(self.checksum)
+
+    def verify(self, payload: bytes = b"") -> bool:
+        """True when the embedded checksum matches header + *payload*."""
+        return internet_checksum(self._pack_with(0) + payload) \
+            == self.checksum
 
     @classmethod
     def unpack(cls, data: bytes) -> "TcpHeader":
-        sport, dport, seq, ack, flags, window = struct.unpack(
+        sport, dport, seq, ack, flags, window, checksum = struct.unpack(
             cls.FORMAT, data[:cls.SIZE])
-        return cls(sport, dport, seq, ack=ack, flags=flags, window=window)
+        return cls(sport, dport, seq, ack=ack, flags=flags, window=window,
+                   checksum=checksum)
 
     def __repr__(self) -> str:
         return f"Tcp({self.sport}->{self.dport} seq={self.seq} ack={self.ack})"

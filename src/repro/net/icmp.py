@@ -39,12 +39,13 @@ class IcmpStage(Stage):
         router: IcmpRouter = self.router  # type: ignore[assignment]
         charge(msg, params.ICMP_PROC_US)
         if len(msg) < IcmpHeader.SIZE:
-            msg.meta["drop_reason"] = "short ICMP packet"
+            self.note_drop(msg, "short ICMP packet", "malformed")
             return None
         header = IcmpHeader.unpack(msg.peek(IcmpHeader.SIZE))
         msg.pop(IcmpHeader.SIZE)
         if header.icmp_type != IcmpHeader.ECHO_REQUEST:
-            msg.meta["drop_reason"] = f"unhandled ICMP type {header.icmp_type}"
+            self.note_drop(msg, f"unhandled ICMP type {header.icmp_type}",
+                           "protocol")
             return None
         router.echo_requests += 1
         reply = Msg(IcmpHeader(IcmpHeader.ECHO_REPLY, header.ident,

@@ -38,11 +38,12 @@ def _next_ident16(counter=itertools.count(1)) -> int:
 class _ReassemblyBuffer:
     """Fragments of one datagram, keyed by (src, ident) at the stage."""
 
-    __slots__ = ("pieces", "total_end")
+    __slots__ = ("pieces", "total_end", "expiry")
 
     def __init__(self) -> None:
         self.pieces: Dict[int, bytes] = {}   # byte offset -> payload
         self.total_end: Optional[int] = None  # set when the MF=0 piece lands
+        self.expiry = None  # engine Event for the reassembly timeout
 
     def add(self, offset: int, payload: bytes, more_fragments: bool) -> None:
         self.pieces[offset] = payload
@@ -73,9 +74,14 @@ class IpStage(Stage):
     """IP's contribution to a path."""
 
     #: Cap on simultaneously reassembling datagrams per stage; oldest is
-    #: evicted first.  Stands in for the RFC's reassembly timeout (virtual
-    #: time makes a strict timer an unnecessary complication here).
+    #: evicted first.  This is the memory backstop behind the real
+    #: virtual-time reassembly timeout (see ``REASSEMBLY_TIMEOUT_US``).
     MAX_REASSEMBLY = 32
+
+    #: RFC-style reassembly timeout: a datagram whose fragments have not
+    #: all arrived within this window is freed (engine-scheduled expiry;
+    #: active whenever the router has an engine attached).
+    REASSEMBLY_TIMEOUT_US = params.IP_REASSEMBLY_TIMEOUT_US
 
     def __init__(self, router: "IpRouter", enter_service: Optional[Service],
                  exit_service: Optional[Service], proto: int,
@@ -109,7 +115,8 @@ class IpStage(Stage):
         dst = msg.meta.get("ip_dst_override") or self.remote_ip
         proto = msg.meta.get("ip_proto_override", self.proto)
         if dst is None:
-            msg.meta["drop_reason"] = "IP path has no remote participant"
+            self.note_drop(msg, "IP path has no remote participant",
+                           "misaddressed")
             return None
         payload_mtu = router.frame_payload_mtu() - IpHeader.SIZE
         if len(msg) <= payload_mtu:
@@ -149,12 +156,13 @@ class IpStage(Stage):
         router: IpRouter = self.router  # type: ignore[assignment]
         charge(msg, params.IP_PROC_US)
         if len(msg) < IpHeader.SIZE:
-            msg.meta["drop_reason"] = "short IP packet"
+            self.note_drop(msg, "short IP packet", "malformed")
             router.rx_dropped += 1
             return None
         header = IpHeader.unpack(msg.peek(IpHeader.SIZE))
         if header.dst != router.addr:
-            msg.meta["drop_reason"] = f"IP dst {header.dst} is not {router.addr}"
+            self.note_drop(msg, f"IP dst {header.dst} is not {router.addr}",
+                           "misaddressed")
             router.rx_dropped += 1
             return None
         msg.pop(IpHeader.SIZE)
@@ -179,14 +187,20 @@ class IpStage(Stage):
         if buffer is None:
             if len(self._buffers) >= self.MAX_REASSEMBLY:
                 oldest = next(iter(self._buffers))
-                del self._buffers[oldest]
+                self._free_buffer(oldest)
                 router.reassembly_evictions += 1
             buffer = self._buffers[key] = _ReassemblyBuffer()
+            if router.engine is not None:
+                # The real RFC reassembly timeout: an engine-scheduled
+                # expiry frees the partial datagram in virtual time; the
+                # LRU eviction above remains only as a memory backstop.
+                buffer.expiry = router.engine.schedule(
+                    self.REASSEMBLY_TIMEOUT_US, self._expire_buffer, key)
         buffer.add(header.frag_offset * 8, msg.to_bytes(),
                    header.more_fragments)
         if not buffer.complete():
             return None  # absorbed: most fragments produce no output
-        del self._buffers[key]
+        self._free_buffer(key)
         self.datagrams_reassembled += 1
         whole = Msg(buffer.assemble(), meta=msg.meta)
         rebuilt = IpHeader(IpHeader.SIZE + len(whole), header.ident,
@@ -197,6 +211,34 @@ class IpStage(Stage):
             # assembled datagram so it reaches the path that wants it.
             return router.reclassify(whole, rebuilt)
         return forward_or_deposit(iface, whole, direction, **kwargs)
+
+    def _free_buffer(self, key) -> None:
+        """Remove a reassembly buffer and cancel its pending expiry."""
+        buffer = self._buffers.pop(key, None)
+        if buffer is not None and buffer.expiry is not None:
+            buffer.expiry.cancel()
+            buffer.expiry = None
+
+    def _expire_buffer(self, key) -> None:
+        """Engine callback: the reassembly window for *key* elapsed without
+        the datagram completing; free the partial state and account the
+        loss against the path."""
+        router: IpRouter = self.router  # type: ignore[assignment]
+        buffer = self._buffers.pop(key, None)
+        if buffer is None:
+            return
+        buffer.expiry = None
+        router.reassembly_timeouts += 1
+        if self.path is not None:
+            placeholder = Msg(b"", meta={})
+            self.path.note_drop(
+                placeholder,
+                f"reassembly timeout for datagram {key[1]} from {key[0]}",
+                "reassembly_timeout")
+
+    def destroy(self) -> None:
+        for key in list(self._buffers):
+            self._free_buffer(key)
 
 
 @register_router("IpRouter")
@@ -216,9 +258,18 @@ class IpRouter(Router):
         #: Kernel hook receiving reassembled datagrams for reclassification
         #: (set by the Scout kernel; see ScoutKernel._reclassify).
         self.reclassify_hook: Optional[Callable[[Msg, IpHeader], None]] = None
+        #: Simulation engine for reassembly-timeout scheduling; ``None``
+        #: (the default) means no timers and eviction-only cleanup.
+        self.engine = None
         # statistics
         self.rx_dropped = 0
         self.reassembly_evictions = 0
+        self.reassembly_timeouts = 0
+
+    def use_engine(self, engine) -> None:
+        """Attach a virtual-time engine so reassembly buffers expire on the
+        RFC timeout rather than relying solely on LRU eviction."""
+        self.engine = engine
 
     # -- wiring ---------------------------------------------------------------------
 

@@ -71,18 +71,19 @@ class MflowStage(Stage):
         router: MflowRouter = self.router  # type: ignore[assignment]
         charge(msg, params.MFLOW_PROC_US)
         if len(msg) < MflowHeader.SIZE:
-            msg.meta["drop_reason"] = "short MFLOW packet"
+            self.note_drop(msg, "short MFLOW packet", "malformed")
             return None
         header = MflowHeader.unpack(msg.peek(MflowHeader.SIZE))
         msg.pop(MflowHeader.SIZE)
         if header.is_window_adv:
             # We are the sink; an advertisement addressed to us is noise.
-            msg.meta["drop_reason"] = "window advertisement at sink"
+            self.note_drop(msg, "window advertisement at sink", "protocol")
             return None
         if header.seq < self.next_expected:
             self.stale_drops += 1
-            msg.meta["drop_reason"] = (
-                f"stale seq {header.seq} < {self.next_expected}")
+            self.note_drop(
+                msg, f"stale seq {header.seq} < {self.next_expected}",
+                "stale_seq")
             return None
         if header.seq > self.next_expected:
             self.gaps += 1  # ordered but not reliable: tolerate the gap

@@ -18,8 +18,10 @@ from .headers import (
     IcmpHeader,
     IpHeader,
     IPPROTO_ICMP,
+    IPPROTO_TCP,
     IPPROTO_UDP,
     MflowHeader,
+    TcpHeader,
     UdpHeader,
 )
 
@@ -50,6 +52,19 @@ def build_mflow_frame(src_mac: EthAddr, dst_mac: EthAddr,
                            sport, dport, mflow + payload)
 
 
+def build_tcp_frame(src_mac: EthAddr, dst_mac: EthAddr,
+                    src_ip: IpAddr, dst_ip: IpAddr,
+                    sport: int, dport: int,
+                    seq: int, ack: int, payload: bytes = b"",
+                    flags: int = TcpHeader.FLAG_ACK) -> bytes:
+    """Build a complete ETH/IP/TCP frame."""
+    tcp = TcpHeader(sport, dport, seq=seq, ack=ack, flags=flags).pack(payload)
+    total = IpHeader.SIZE + len(tcp) + len(payload)
+    ip = IpHeader(total, _next_ident(), IPPROTO_TCP, src_ip, dst_ip).pack()
+    eth = EthHeader(dst_mac, src_mac, ETHERTYPE_IP).pack()
+    return eth + ip + tcp + payload
+
+
 def build_icmp_echo(src_mac: EthAddr, dst_mac: EthAddr,
                     src_ip: IpAddr, dst_ip: IpAddr,
                     ident: int, seq: int,
@@ -71,6 +86,7 @@ class ParsedPacket(NamedTuple):
     udp: Optional[UdpHeader]
     icmp: Optional[IcmpHeader]
     mflow: Optional[MflowHeader]
+    tcp: Optional[TcpHeader]
     payload: bytes
 
 
@@ -78,7 +94,7 @@ def parse_frame(frame: bytes, expect_mflow: bool = False) -> ParsedPacket:
     """Parse a frame's header stack as far as it goes."""
     eth = EthHeader.unpack(frame)
     rest = frame[EthHeader.SIZE:]
-    ip = udp = icmp = mflow = None
+    ip = udp = icmp = mflow = tcp = None
     if eth.ethertype == ETHERTYPE_IP and len(rest) >= IpHeader.SIZE:
         ip = IpHeader.unpack(rest)
         rest = rest[IpHeader.SIZE:]
@@ -91,4 +107,10 @@ def parse_frame(frame: bytes, expect_mflow: bool = False) -> ParsedPacket:
         elif ip.proto == IPPROTO_ICMP and len(rest) >= IcmpHeader.SIZE:
             icmp = IcmpHeader.unpack(rest)
             rest = rest[IcmpHeader.SIZE:]
-    return ParsedPacket(eth, ip, udp, icmp, mflow, rest)
+        elif ip.proto == IPPROTO_TCP and len(rest) >= TcpHeader.SIZE:
+            tcp = TcpHeader.unpack(rest)
+            # Trim link padding beyond the IP total length.
+            payload_len = max(0, ip.total_length - IpHeader.SIZE
+                              - TcpHeader.SIZE)
+            rest = rest[TcpHeader.SIZE:TcpHeader.SIZE + payload_len]
+    return ParsedPacket(eth, ip, udp, icmp, mflow, tcp, rest)

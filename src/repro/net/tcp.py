@@ -1,4 +1,4 @@
-"""A simplified TCP router.
+"""A simplified TCP router with real retransmission.
 
 TCP appears in the paper's Figure 3 web-server graph and in its examples
 of attribute rewriting ("when FTP forwards a path create operation to TCP,
@@ -10,15 +10,22 @@ full congestion-controlled implementation, which none of the paper's
 experiments exercise.
 
 Supported: per-path sequence numbers, in-order delivery with duplicate
-suppression, cumulative ACKs turned around through the path, and the
-PA_PROTID rewrite.  Not modeled: handshake, retransmission, congestion
-control (documented simplification; see DESIGN.md).
+suppression and out-of-order buffering, cumulative ACKs turned around
+through the path, timer-driven retransmission with Jacobson RTT
+estimation and Karn-style exponential backoff, and the PA_PROTID rewrite.
+Not modeled: handshake, congestion control, window-based flow control
+(documented simplification; see DESIGN.md).
+
+Retransmission is opt-in: ``TcpRouter.use_engine(engine)`` attaches a
+virtual-time engine; without one the router behaves exactly as the
+timer-less substrate earlier experiments used (out-of-order segments are
+still buffered, but lost segments stay lost).
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .. import params
 from ..core.attributes import PA_NET_PARTICIPANTS, PA_PROTID, Attrs
@@ -30,6 +37,24 @@ from .common import PA_LOCAL_PORT, charge, forward_or_deposit
 from .headers import IPPROTO_TCP, TcpHeader
 
 _ephemeral_ports = itertools.count(32768)
+
+
+class _UnackedSegment:
+    """One transmitted, not-yet-acknowledged segment."""
+
+    __slots__ = ("seq", "payload", "meta_overrides", "sent_at", "retries")
+
+    def __init__(self, seq: int, payload: bytes, meta_overrides: dict,
+                 sent_at: float) -> None:
+        self.seq = seq
+        self.payload = payload
+        self.meta_overrides = meta_overrides
+        self.sent_at = sent_at      # virtual send time of the *first* try
+        self.retries = 0
+
+    @property
+    def seq_end(self) -> int:
+        return self.seq + len(self.payload)
 
 
 class TcpStage(Stage):
@@ -44,6 +69,25 @@ class TcpStage(Stage):
         self.recv_next = 0
         self.acks_sent = 0
         self.dup_drops = 0
+        # -- retransmission state (active only with an engine attached) --
+        #: seq -> segment, insertion-ordered (seq is monotonic).
+        self._unacked: Dict[int, _UnackedSegment] = {}
+        self._rto_event = None
+        #: Jacobson estimator state; None until the first RTT sample.
+        self.srtt_us: Optional[float] = None
+        self.rttvar_us = 0.0
+        #: Current backed-off RTO (reset to the estimate on new ACKs).
+        self.rto_us = params.TCP_INITIAL_RTO_US
+        # -- receive-side reordering --
+        #: seq -> buffered out-of-order message, bounded.
+        self._reorder: Dict[int, Msg] = {}
+        # statistics
+        self.retransmissions = 0
+        self.retx_abandoned = 0
+        self.rtt_samples = 0
+        self.ooo_buffered = 0
+        self.ooo_delivered = 0
+        self.checksum_failures = 0
         self.set_deliver(FWD, self._send)
         self.set_deliver(BWD, self._receive)
 
@@ -54,40 +98,185 @@ class TcpStage(Stage):
     def destroy(self) -> None:
         router: TcpRouter = self.router  # type: ignore[assignment]
         router.release_port(self.local_port)
+        self._cancel_rto()
+        self._unacked.clear()
+        self._reorder.clear()
+
+    # -- send side -------------------------------------------------------------
 
     def _send(self, iface, msg: Msg, direction: int, **kwargs):
+        router: TcpRouter = self.router  # type: ignore[assignment]
         charge(msg, params.TCP_PROC_US)
         header = TcpHeader(self.local_port, self.remote_port,
                            seq=self.send_seq, ack=self.recv_next,
                            flags=TcpHeader.FLAG_ACK)
-        self.send_seq += len(msg)
-        msg.push(header.pack())
+        seq = self.send_seq
+        payload = msg.to_bytes()
+        self.send_seq += len(payload)
+        if router.engine is not None and len(payload) > 0:
+            overrides = {key: msg.meta[key]
+                         for key in ("ip_dst_override", "udp_dport_override",
+                                     "eth_dst_override")
+                         if key in msg.meta}
+            self._unacked[seq] = _UnackedSegment(
+                seq, payload, overrides, router.engine.now)
+            self._arm_rto()
+        msg.push(header.pack(payload))
         return forward(iface, msg, direction, **kwargs)
 
-    def _receive(self, iface, msg: Msg, direction: int, **kwargs):
+    # -- retransmission timer ----------------------------------------------------
+
+    def _arm_rto(self) -> None:
+        """Ensure a retransmission timer covers the oldest unacked
+        segment.  A single timer suffices: retransmission is go-back-style
+        from the cumulative ACK point."""
         router: TcpRouter = self.router  # type: ignore[assignment]
+        if router.engine is None or self._rto_event is not None \
+                or not self._unacked:
+            return
+        self._rto_event = router.engine.schedule(self.rto_us, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_rto(self) -> None:
+        """The retransmission timeout fired: resend the oldest unacked
+        segment with Karn-style exponential backoff."""
+        from ..core.path import DELETED
+
+        router: TcpRouter = self.router  # type: ignore[assignment]
+        self._rto_event = None
+        if not self._unacked or self.path is None \
+                or self.path.state == DELETED:
+            return
+        segment = next(iter(self._unacked.values()))
+        if segment.retries >= params.TCP_MAX_RETRIES:
+            self.retx_abandoned += 1
+            del self._unacked[segment.seq]
+            placeholder = Msg(b"", meta={})
+            self.note_drop(
+                placeholder,
+                f"segment seq {segment.seq} abandoned after "
+                f"{segment.retries} retries", "retx_abandoned")
+            self._arm_rto()
+            return
+        segment.retries += 1
+        self.retransmissions += 1
+        # Karn: back the timer off; never sample RTT from this segment.
+        self.rto_us = min(self.rto_us * 2, params.TCP_MAX_RTO_US)
+        retx = Msg(segment.payload, meta=dict(segment.meta_overrides))
+        charge(retx, params.TCP_PROC_US)
+        header = TcpHeader(self.local_port, self.remote_port,
+                           seq=segment.seq, ack=self.recv_next,
+                           flags=TcpHeader.FLAG_ACK)
+        retx.push(header.pack(segment.payload))
+        forward(self.end[FWD], retx, FWD)
+        self._arm_rto()
+
+    # -- RTT estimation (Jacobson) ------------------------------------------------
+
+    def _sample_rtt(self, sample_us: float) -> None:
+        self.rtt_samples += 1
+        if self.srtt_us is None:
+            self.srtt_us = sample_us
+            self.rttvar_us = sample_us / 2
+        else:
+            self.rttvar_us += 0.25 * (abs(self.srtt_us - sample_us)
+                                      - self.rttvar_us)
+            self.srtt_us += 0.125 * (sample_us - self.srtt_us)
+        self.rto_us = min(max(self.srtt_us + 4 * self.rttvar_us,
+                              params.TCP_MIN_RTO_US), params.TCP_MAX_RTO_US)
+
+    def _process_ack(self, ack: int) -> None:
+        """Retire every segment the cumulative *ack* covers."""
+        router: TcpRouter = self.router  # type: ignore[assignment]
+        advanced = False
+        for seq in [s for s, seg in self._unacked.items()
+                    if seg.seq_end <= ack]:
+            segment = self._unacked.pop(seq)
+            advanced = True
+            if segment.retries == 0 and router.engine is not None:
+                # Karn: only never-retransmitted segments yield samples.
+                self._sample_rtt(router.engine.now - segment.sent_at)
+        if advanced:
+            # Restart the timer for the new oldest outstanding segment.
+            self._cancel_rto()
+            self._arm_rto()
+
+    # -- receive side ----------------------------------------------------------------
+
+    def _receive(self, iface, msg: Msg, direction: int, **kwargs):
         charge(msg, params.TCP_PROC_US)
         if len(msg) < TcpHeader.SIZE:
-            msg.meta["drop_reason"] = "short TCP segment"
+            self.note_drop(msg, "short TCP segment", "malformed")
             return None
         header = TcpHeader.unpack(msg.peek(TcpHeader.SIZE))
         msg.pop(TcpHeader.SIZE)
-        if header.seq < self.recv_next:
-            self.dup_drops += 1
-            msg.meta["drop_reason"] = f"duplicate seq {header.seq}"
+        if not header.verify(msg.to_bytes()):
+            # Damage in flight: the segment dies here, unacknowledged —
+            # the sender's retransmission timer resupplies it.
+            self.checksum_failures += 1
+            self.note_drop(msg, f"TCP checksum mismatch on seq {header.seq}",
+                           "corrupt")
             return None
-        if header.seq > self.recv_next:
-            # Simplified: out-of-order segments are dropped; the peer's
-            # (unmodeled) retransmission would resupply them.
-            msg.meta["drop_reason"] = (
-                f"out-of-order seq {header.seq} != {self.recv_next}")
-            return None
-        self.recv_next = header.seq + len(msg)
-        msg.meta["tcp_header"] = header
-        self._acknowledge(iface, msg, direction)
+        if header.flags & TcpHeader.FLAG_ACK:
+            self._process_ack(header.ack)
         if len(msg) == 0:
             return None  # bare ACK
-        return forward_or_deposit(iface, msg, direction, **kwargs)
+        if header.seq < self.recv_next:
+            # Duplicate (a retransmission that raced our ACK): drop the
+            # payload but re-ACK so the sender's timer stops.
+            self.dup_drops += 1
+            self.note_drop(msg, f"duplicate seq {header.seq}", "duplicate")
+            self._acknowledge(iface, msg, direction)
+            return None
+        if header.seq > self.recv_next:
+            return self._buffer_out_of_order(iface, header, msg, direction)
+        self.recv_next = header.seq + len(msg)
+        msg.meta["tcp_header"] = header
+        result = None
+        deliverable: List[Tuple[Msg, TcpHeader]] = [(msg, header)]
+        deliverable.extend(self._drain_reorder())
+        # One cumulative ACK covers the whole contiguous run.
+        self._acknowledge(iface, msg, direction)
+        for ready, ready_header in deliverable:
+            ready.meta["tcp_header"] = ready_header
+            result = forward_or_deposit(iface, ready, direction, **kwargs)
+        return result
+
+    def _buffer_out_of_order(self, iface, header: TcpHeader, msg: Msg,
+                             direction: int):
+        """Hold a future segment until the gap before it fills.  The
+        buffer is bounded; at capacity the newest arrival is shed (the
+        retransmission machinery will resupply it)."""
+        if header.seq in self._reorder:
+            self.dup_drops += 1
+            self.note_drop(msg, f"duplicate buffered seq {header.seq}",
+                           "duplicate")
+        elif len(self._reorder) >= params.TCP_REORDER_BUFFER:
+            self.note_drop(msg, f"reorder buffer full, shed seq {header.seq}",
+                           "reorder_overflow")
+        else:
+            self.ooo_buffered += 1
+            msg.meta["tcp_header"] = header
+            self._reorder[header.seq] = msg
+        # Re-ACK the current cumulative point so the sender learns about
+        # the gap promptly (a duplicate ACK, in real-TCP terms).
+        self._acknowledge(iface, msg, direction)
+        return None
+
+    def _drain_reorder(self) -> List[Tuple[Msg, TcpHeader]]:
+        """Pop every buffered segment made contiguous by the last arrival."""
+        ready: List[Tuple[Msg, TcpHeader]] = []
+        while self.recv_next in self._reorder:
+            buffered = self._reorder.pop(self.recv_next)
+            buffered_header = buffered.meta["tcp_header"]
+            self.recv_next += len(buffered)
+            self.ooo_delivered += 1
+            ready.append((buffered, buffered_header))
+        return ready
 
     def _acknowledge(self, iface, data_msg: Msg, direction: int) -> None:
         """Turn a cumulative ACK around toward the sender — the paper's
@@ -114,6 +303,14 @@ class TcpRouter(Router):
         super().__init__(name)
         self._port_paths: Dict[int, object] = {}
         self._port_peers: Dict[int, Tuple[Router, Service]] = {}
+        #: Simulation engine driving retransmission timers; ``None`` (the
+        #: default) disables retransmission entirely.
+        self.engine = None
+
+    def use_engine(self, engine) -> None:
+        """Attach a virtual-time engine, enabling retransmission timers
+        on every stage this router contributes."""
+        self.engine = engine
 
     def init(self) -> None:
         super().init()

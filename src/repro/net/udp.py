@@ -62,7 +62,7 @@ class UdpStage(Stage):
             checksum = internet_checksum(msg.to_bytes())
         dport = msg.meta.get("udp_dport_override") or self.remote_port
         if dport is None:
-            msg.meta["drop_reason"] = "UDP path has no remote port"
+            self.note_drop(msg, "UDP path has no remote port", "misaddressed")
             return None
         header = UdpHeader(self.local_port, dport,
                            UdpHeader.SIZE + len(msg), checksum)
@@ -73,14 +73,15 @@ class UdpStage(Stage):
         router: UdpRouter = self.router  # type: ignore[assignment]
         charge(msg, params.UDP_PROC_US)
         if len(msg) < UdpHeader.SIZE:
-            msg.meta["drop_reason"] = "short UDP packet"
+            self.note_drop(msg, "short UDP packet", "malformed")
             router.rx_dropped += 1
             return None
         header = UdpHeader.unpack(msg.peek(UdpHeader.SIZE))
         if header.dport != self.local_port:
-            msg.meta["drop_reason"] = (
+            self.note_drop(
+                msg,
                 f"UDP port {header.dport} does not match path port "
-                f"{self.local_port}")
+                f"{self.local_port}", "misaddressed")
             router.rx_dropped += 1
             return None
         msg.pop(UdpHeader.SIZE)
@@ -91,7 +92,7 @@ class UdpStage(Stage):
             if header.checksum and \
                     internet_checksum(msg.to_bytes()) != header.checksum:
                 self.checksum_failures += 1
-                msg.meta["drop_reason"] = "UDP checksum mismatch"
+                self.note_drop(msg, "UDP checksum mismatch", "corrupt")
                 return None
         msg.meta["udp_header"] = header
         return forward_or_deposit(iface, msg, direction, **kwargs)

@@ -117,6 +117,49 @@ REMOTE_HOST_SERVICE_US = 30.0
 PING_FLOOD_FALLBACK_US = 10_000.0
 
 # --------------------------------------------------------------------------
+# Robustness: timeouts, retries, watchdog (virtual-time budgets)
+# --------------------------------------------------------------------------
+
+#: IP reassembly timeout (RFC 791 suggests seconds; the simulated LAN is
+#: fast, so a shorter budget keeps experiments snappy while still being
+#: orders of magnitude above one frame's worth of fragments).
+IP_REASSEMBLY_TIMEOUT_US = 2_000_000.0
+
+#: TCP retransmission: initial RTO before any RTT sample exists, and the
+#: clamp range applied to the Jacobson SRTT/RTTVAR estimate.  Karn-style
+#: exponential backoff doubles the RTO per retransmission up to the max.
+TCP_INITIAL_RTO_US = 200_000.0
+TCP_MIN_RTO_US = 10_000.0
+TCP_MAX_RTO_US = 4_000_000.0
+
+#: Give up on a segment after this many retransmissions.
+TCP_MAX_RETRIES = 8
+
+#: Out-of-order segments buffered per TCP stage before the newest is shed.
+TCP_REORDER_BUFFER = 64
+
+#: ARP request retry schedule: first retry after the timeout, then
+#: exponential backoff, giving up after the retry budget.
+ARP_REQUEST_TIMEOUT_US = 50_000.0
+ARP_MAX_RETRIES = 4
+
+#: Path watchdog defaults: sample heartbeats every check interval; declare
+#: a stall when demand advances but progress stays flat for the budget.
+WATCHDOG_CHECK_INTERVAL_US = 50_000.0
+WATCHDOG_STALL_BUDGET_US = 200_000.0
+
+#: Watchdog repair backoff: first rebuild after the base delay, doubling
+#: per consecutive failure up to the cap.
+WATCHDOG_BACKOFF_BASE_US = 10_000.0
+WATCHDOG_BACKOFF_MAX_US = 1_000_000.0
+
+#: Video source window probe: when the MFLOW window stays closed this
+#: long (advertisements lost, or the receiving path being rebuilt), the
+#: source forces one packet through anyway — the analogue of TCP's
+#: persist timer, breaking the wadv/data deadlock after a path rebuild.
+MFLOW_PROBE_TIMEOUT_US = 100_000.0
+
+# --------------------------------------------------------------------------
 # Display refresh
 # --------------------------------------------------------------------------
 

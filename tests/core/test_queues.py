@@ -108,6 +108,52 @@ class TestStatistics:
         assert events == ["enq"]
 
 
+class TestOverflowStorm:
+    """Queue behaviour while capacity is clamped (the fault injector's
+    queue-pressure storm) and after it is restored."""
+
+    def test_strict_enqueue_raises_during_storm(self):
+        q = PathQueue(maxlen=8)
+        for i in range(3):
+            q.enqueue(i)
+        q.maxlen = 3  # storm: clamp to current occupancy
+        with pytest.raises(QueueFullError):
+            q.enqueue("overflow")
+        q.maxlen = 8  # storm over
+        q.enqueue("fits again")
+        assert len(q) == 4
+
+    def test_overflow_drops_counted_per_storm_window(self):
+        q = PathQueue(maxlen=8)
+        for i in range(4):
+            q.enqueue(i)
+        q.maxlen = 2  # clamp below occupancy: existing items stay put
+        assert len(q) == 4
+        for i in range(5):
+            assert not q.try_enqueue(f"storm{i}")
+        assert q.dropped == 5
+        q.maxlen = 8
+        assert q.try_enqueue("calm")
+        assert q.dropped == 5
+
+    def test_listener_wake_and_block_across_storm(self):
+        """on_enqueue (the thread wakeup hook) fires only for accepted
+        messages: a storm's rejects must not wake the path thread, and
+        the first post-storm accept must."""
+        wakeups = []
+        q = PathQueue(maxlen=1, name="inq")
+        q.on_enqueue(lambda queue: wakeups.append(len(queue)))
+        q.on_dequeue(lambda queue: wakeups.append(-len(queue)))
+        assert q.try_enqueue("a")     # wake: 1
+        q.maxlen = 0                  # storm
+        assert not q.try_enqueue("b")
+        assert not q.try_enqueue("c")
+        q.maxlen = 1                  # storm over; still full
+        assert q.dequeue() == "a"     # block transition: 0
+        assert q.try_enqueue("d")     # wake again: 1
+        assert wakeups == [1, 0, 1]
+
+
 class TestDisciplines:
     def test_lifo(self):
         q = LifoPathQueue(maxlen=4)

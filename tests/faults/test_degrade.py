@@ -1,0 +1,158 @@
+"""The degradation governor's feedback loop, against a scriptable path."""
+
+from repro.core import PathQueue
+from repro.core.path import DELETED
+from repro.faults import DegradationGovernor
+from repro.sim.engine import Engine
+
+
+class FakeStats:
+    def __init__(self):
+        self.drops = 0
+        self.drop_reasons = {}
+
+
+class FakePath:
+    def __init__(self, maxlen=4):
+        self.pid = 1
+        self.state = "created"
+        self.stats = FakeStats()
+        self._inq = PathQueue(maxlen=maxlen, name="inq")
+
+    def input_queue(self, direction):
+        return self._inq
+
+
+class FakeKernel:
+    def __init__(self):
+        self.skips = {}
+
+    def frame_skip(self, path):
+        return self.skips.get(path.pid, 1)
+
+    def set_frame_skip(self, path, skip):
+        self.skips[path.pid] = skip
+
+
+INTERVAL = 100.0
+
+
+def make_governor(path=None, kernel=None, **overrides):
+    engine = Engine()
+    path = path if path is not None else FakePath()
+    kernel = kernel if kernel is not None else FakeKernel()
+    kwargs = dict(check_interval_us=INTERVAL, high_occupancy=0.75,
+                  low_occupancy=0.25, drop_threshold=4, max_skip=8,
+                  healthy_checks=3)
+    kwargs.update(overrides)
+    governor = DegradationGovernor(engine, kernel, path, **kwargs)
+    return engine, path, kernel, governor
+
+
+def run_checks(engine, n):
+    engine.run_until(engine.now + n * INTERVAL + 1.0)
+
+
+class TestEscalation:
+    def test_high_occupancy_doubles_the_skip(self):
+        engine, path, kernel, governor = make_governor()
+        governor.start()
+        for i in range(4):
+            path._inq.enqueue(i)  # occupancy 1.0
+        run_checks(engine, 1)
+        assert governor.skip == 2
+        assert governor.escalations == 1
+        assert governor.events[0]["type"] == "escalate"
+
+    def test_sustained_pressure_saturates_at_max_skip(self):
+        engine, path, kernel, governor = make_governor()
+        governor.start()
+        for i in range(4):
+            path._inq.enqueue(i)
+        run_checks(engine, 10)
+        assert governor.skip == 8  # 1 -> 2 -> 4 -> 8, capped
+        assert governor.escalations == 3
+
+    def test_drop_burst_is_pressure_even_with_empty_queue(self):
+        engine, path, kernel, governor = make_governor()
+        governor.start()
+        path.stats.drops = 5  # >= drop_threshold new drops this period
+        run_checks(engine, 1)
+        assert governor.skip == 2
+
+    def test_early_discards_are_not_pressure(self):
+        """The governor's own medicine (early-discard drops) must not be
+        read back as pressure, or the loop locks at max degradation."""
+        engine, path, kernel, governor = make_governor()
+        governor.start()
+        path.stats.drops = 50
+        path.stats.drop_reasons["early_discard"] = 50
+        run_checks(engine, 3)
+        assert governor.skip == 1
+        assert governor.escalations == 0
+
+
+class TestDeescalation:
+    def test_eases_after_consecutive_calm_checks(self):
+        engine, path, kernel, governor = make_governor()
+        kernel.set_frame_skip(path, 8)
+        governor.start()
+        run_checks(engine, 2)
+        assert governor.skip == 8  # only 2 calm samples: hold
+        run_checks(engine, 1)
+        assert governor.skip == 4  # third calm sample: ease one step
+        run_checks(engine, 3)
+        assert governor.skip == 2
+        run_checks(engine, 3)
+        assert governor.skip == 1  # floor
+        run_checks(engine, 3)
+        assert governor.skip == 1
+        assert governor.deescalations == 3
+
+    def test_pressure_resets_the_calm_streak(self):
+        engine, path, kernel, governor = make_governor()
+        kernel.set_frame_skip(path, 4)
+        governor.start()
+        run_checks(engine, 2)  # two calm samples...
+        for i in range(4):
+            path._inq.enqueue(i)
+        run_checks(engine, 1)  # ...then pressure: streak resets, escalate
+        assert governor.skip == 8
+        path._inq.clear()
+        path.stats.drop_reasons["early_discard"] = path.stats.drops
+        run_checks(engine, 2)
+        assert governor.skip == 8  # calm streak restarted from zero
+        run_checks(engine, 1)
+        assert governor.skip == 4
+
+    def test_admission_floor_bounds_the_recovery(self):
+        class FakeAdmission:
+            def suggest_skip(self, profile, fps, max_skip=8):
+                return 2
+
+        engine, path, kernel, governor = make_governor(
+            admission=FakeAdmission(), profile=object(), fps=30.0)
+        kernel.set_frame_skip(path, 8)
+        governor.start()
+        run_checks(engine, 12)
+        assert governor.skip == 2  # admission says full quality won't fit
+
+
+class TestLifecycle:
+    def test_stop_halts_the_loop(self):
+        engine, path, kernel, governor = make_governor()
+        governor.start()
+        governor.stop()
+        for i in range(4):
+            path._inq.enqueue(i)
+        run_checks(engine, 5)
+        assert governor.escalations == 0
+
+    def test_deleted_path_ends_monitoring(self):
+        engine, path, kernel, governor = make_governor()
+        governor.start()
+        path.state = DELETED
+        for i in range(4):
+            path._inq.enqueue(i)
+        run_checks(engine, 5)
+        assert governor.escalations == 0

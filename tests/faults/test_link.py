@@ -1,0 +1,163 @@
+"""The faulty wire: seeded per-frame drop/dup/corrupt/delay/reorder."""
+
+from repro.faults import FaultPlan, FaultyLink, LinkFaults, profile
+from repro.net.addresses import EthAddr
+from repro.net.segment import Endpoint, EtherSegment
+from repro.sim.engine import Engine
+
+SENDER_MAC = EthAddr("02:00:00:00:00:0a")
+CATCHER_MAC = EthAddr("02:00:00:00:00:0b")
+
+
+class Catcher(Endpoint):
+    def __init__(self, mac):
+        super().__init__(mac)
+        self.frames = []
+
+    def receive(self, frame):
+        self.frames.append(frame)
+
+
+def make_wire():
+    engine = Engine()
+    segment = EtherSegment(engine)
+    sender = Catcher(SENDER_MAC)
+    catcher = Catcher(CATCHER_MAC)
+    segment.attach(sender)
+    segment.attach(catcher)
+    return engine, segment, sender, catcher
+
+
+def frame(n, size=64):
+    """A distinguishable frame addressed sender -> catcher (>= 35 bytes so
+    the corruption fault has payload past the protected 34 header bytes)."""
+    payload = bytes((n + i) % 256 for i in range(size - 14))
+    return (CATCHER_MAC.to_bytes() + SENDER_MAC.to_bytes()
+            + b"\x08\x00" + payload)
+
+
+def plan_with(seed=1, **rates):
+    return FaultPlan(name="test", seed=seed, link=LinkFaults(**rates))
+
+
+class TestPerFaultBehaviour:
+    def test_drop_all(self):
+        engine, segment, sender, catcher = make_wire()
+        with FaultyLink(segment, plan_with(drop_rate=1.0)) as link:
+            for n in range(5):
+                sender.send(frame(n))
+            engine.run()
+        assert catcher.frames == []
+        assert link.dropped == 5
+        assert link.frames_seen == 5
+
+    def test_duplicate_all(self):
+        engine, segment, sender, catcher = make_wire()
+        with FaultyLink(segment, plan_with(duplicate_rate=1.0)) as link:
+            sender.send(frame(0))
+            engine.run()
+        assert catcher.frames == [frame(0), frame(0)]
+        assert link.duplicated == 1
+
+    def test_corruption_flips_one_payload_byte(self):
+        engine, segment, sender, catcher = make_wire()
+        original = frame(0)
+        with FaultyLink(segment, plan_with(corrupt_rate=1.0)) as link:
+            sender.send(original)
+            engine.run()
+        assert link.corrupted == 1
+        (damaged,) = catcher.frames
+        assert len(damaged) == len(original)
+        assert damaged[:34] == original[:34]  # ETH+IP headers untouched
+        diffs = [i for i, (a, b) in enumerate(zip(original, damaged))
+                 if a != b]
+        assert len(diffs) == 1 and diffs[0] >= 34
+
+    def test_header_only_frame_left_alone(self):
+        engine, segment, sender, catcher = make_wire()
+        runt = frame(0, size=34)  # nothing past the protected prefix
+        with FaultyLink(segment, plan_with(corrupt_rate=1.0)) as link:
+            sender.send(runt)
+            engine.run()
+        assert link.corrupted == 0
+        assert catcher.frames == [runt]
+
+    def test_reorder_is_an_adjacent_swap(self):
+        engine, segment, sender, catcher = make_wire()
+        with FaultyLink(segment, plan_with(reorder_rate=1.0)) as link:
+            sender.send(frame(0))  # held
+            sender.send(frame(1))  # overtakes, releases frame 0
+            engine.run()
+        assert catcher.frames == [frame(1), frame(0)]
+        assert link.reordered == 1
+
+    def test_held_frame_flushed_when_nothing_overtakes(self):
+        engine, segment, sender, catcher = make_wire()
+        faults = plan_with(reorder_rate=1.0)
+        with FaultyLink(segment, faults) as link:
+            sender.send(frame(0))
+            engine.run()
+        assert catcher.frames == [frame(0)]
+        assert link.flushed == 1
+        assert link.reordered == 0
+        assert engine.now >= faults.link.reorder_flush_us
+
+    def test_delay_defers_but_delivers(self):
+        engine, segment, sender, catcher = make_wire()
+        plan = plan_with(delay_rate=1.0)
+        with FaultyLink(segment, plan) as link:
+            sender.send(frame(0))
+            engine.run()
+        assert catcher.frames == [frame(0)]
+        assert link.delayed == 1
+        assert engine.now >= plan.link.delay_us
+
+
+class TestLifecycle:
+    def test_uninstall_restores_and_flushes(self):
+        engine, segment, sender, catcher = make_wire()
+        pristine = segment.transmit
+        link = FaultyLink(segment, plan_with(reorder_rate=1.0)).install()
+        sender.send(frame(0))  # held
+        link.uninstall()
+        assert segment.transmit == pristine
+        engine.run()
+        assert catcher.frames == [frame(0)]  # held frame not lost
+        # The wire is honest again.
+        sender.send(frame(1))
+        engine.run()
+        assert catcher.frames[-1] == frame(1)
+        assert link.frames_seen == 1
+
+    def test_double_install_rejected(self):
+        import pytest
+
+        _, segment, _, _ = make_wire()
+        link = FaultyLink(segment, plan_with()).install()
+        with pytest.raises(RuntimeError, match="already installed"):
+            link.install()
+        link.uninstall()
+        link.uninstall()  # idempotent
+
+
+class TestDeterminism:
+    def _run(self, seed):
+        engine, segment, sender, catcher = make_wire()
+        with FaultyLink(segment, profile("lossy", seed=seed)) as link:
+            for n in range(40):
+                sender.send(frame(n))
+            engine.run()
+        return catcher.frames, link.counters()
+
+    def test_same_seed_same_trajectory(self):
+        frames_a, counters_a = self._run(seed=5)
+        frames_b, counters_b = self._run(seed=5)
+        assert frames_a == frames_b
+        assert counters_a == counters_b
+        # and the profile actually did something
+        assert counters_a["dropped"] > 0
+
+    def test_different_seed_differs(self):
+        frames_a, _ = self._run(seed=5)
+        frames_b, _ = self._run(seed=6)
+        assert frames_a != frames_b

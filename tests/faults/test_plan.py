@@ -1,0 +1,80 @@
+"""Fault plans: seeded pure data, deterministic by construction."""
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    LinkFaults,
+    PROFILES,
+    QueueStorm,
+    StageFault,
+    profile,
+    profile_names,
+)
+
+
+class TestPlans:
+    def test_default_plan_is_quiet(self):
+        plan = FaultPlan()
+        assert not plan.link.any_active
+        assert plan.stage_faults == ()
+        assert plan.storms == ()
+
+    def test_rng_replays_identically(self):
+        plan = profile("drop10", seed=17)
+        first = [float(plan.rng().random()) for _ in range(1)]
+        second = [float(plan.rng().random()) for _ in range(1)]
+        assert first == second
+
+    def test_rng_streams_are_seed_dependent(self):
+        a = profile("drop10", seed=1).rng().random()
+        b = profile("drop10", seed=2).rng().random()
+        assert a != b
+
+    def test_with_seed_keeps_everything_else(self):
+        plan = profile("lossy").with_seed(99)
+        assert plan.seed == 99
+        assert plan.name == "lossy"
+        assert plan.link == PROFILES["lossy"].link
+
+    def test_plans_are_immutable(self):
+        plan = profile("none")
+        with pytest.raises(AttributeError):
+            plan.seed = 5
+
+
+class TestStageFault:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown stage fault mode"):
+            StageFault(router="X", mode="explode")
+
+    def test_window_gating(self):
+        fault = StageFault(router="X", mode="stall", start_us=100.0,
+                           duration_us=50.0)
+        assert not fault.active_at(99.0)
+        assert fault.active_at(100.0)
+        assert fault.active_at(149.0)
+        assert not fault.active_at(150.0)
+
+    def test_permanent_fault_never_ends(self):
+        fault = StageFault(router="X", mode="crash")
+        assert fault.active_at(1e15)
+
+
+class TestProfiles:
+    def test_known_names(self):
+        for name in ("none", "drop10", "reorder", "drop10_reorder",
+                     "lossy", "dup5", "corrupt5"):
+            assert name in profile_names()
+
+    def test_unknown_profile_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="known:"):
+            profile("chaos-monkey")
+
+    def test_queue_storm_shape(self):
+        storm = QueueStorm(queue_role=2, start_us=10.0, duration_us=5.0)
+        assert storm.clamp_len == 1
+
+    def test_link_faults_any_active(self):
+        assert LinkFaults(delay_rate=0.1).any_active
+        assert not LinkFaults().any_active

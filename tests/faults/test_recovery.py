@@ -1,0 +1,89 @@
+"""End-to-end self-healing: the acceptance criteria of the robustness PR.
+
+* Under the seeded drop-10% + reorder profile, a TCP-over-IP path delivers
+  every payload byte, byte-identically across two same-seed runs.
+* A quietly stalled video path is detected by the watchdog within its
+  budget, rebuilt, and resumes producing frames.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, LinkFaults
+from repro.experiments import run_tcp_recovery, run_watchdog_recovery
+
+
+class TestTcpRecovery:
+    def test_clean_wire_baseline(self):
+        result = run_tcp_recovery("none", seed=1, payload_bytes=4_000)
+        assert result.complete
+        assert result.delivered_bytes == 4_000
+        assert result.retransmissions == 0
+        assert result.link["dropped"] == 0
+
+    def test_acceptance_drop10_reorder_byte_identical(self):
+        """ISSUE acceptance: all payload bytes delivered despite the
+        faults, and two same-seed runs replay byte-identically (digest
+        covers the delivered stream *and* the whole fault trajectory)."""
+        first = run_tcp_recovery("drop10_reorder", seed=1,
+                                 payload_bytes=16_000)
+        second = run_tcp_recovery("drop10_reorder", seed=1,
+                                  payload_bytes=16_000)
+        assert first.complete and second.complete
+        assert first.delivered_bytes == 16_000
+        assert first.digest == second.digest
+        assert first.link == second.link
+        assert first.retransmissions == second.retransmissions
+        # The wire really was hostile, and TCP really did the healing.
+        assert first.link["dropped"] > 0
+        assert first.link["reordered"] > 0
+        assert first.retransmissions > 0
+        assert first.retx_abandoned == 0
+
+    def test_different_seed_different_trajectory(self):
+        one = run_tcp_recovery("drop10_reorder", seed=1,
+                               payload_bytes=16_000)
+        two = run_tcp_recovery("drop10_reorder", seed=2,
+                               payload_bytes=16_000)
+        assert one.complete and two.complete  # healing works either way
+        assert one.digest != two.digest       # but the runs are distinct
+
+    def test_corruption_detected_and_recovered(self):
+        """Flipped payload bytes must not reach the application: the TCP
+        checksum rejects them and retransmission repairs the stream."""
+        plan = FaultPlan(name="corrupt-heavy", seed=3,
+                         link=LinkFaults(corrupt_rate=0.15))
+        result = run_tcp_recovery(seed=3, payload_bytes=6_000, plan=plan)
+        assert result.complete  # byte-identical despite the damage
+        assert result.link["corrupted"] > 0
+        assert result.retransmissions > 0
+
+    def test_reorder_absorbed_without_data_loss(self):
+        result = run_tcp_recovery("reorder", seed=2, payload_bytes=6_000)
+        assert result.complete
+        assert result.link["reordered"] > 0
+        assert result.sink_ooo_segments > 0  # buffer, don't drop
+
+    def test_duplicates_suppressed(self):
+        result = run_tcp_recovery("dup5", seed=6, payload_bytes=6_000)
+        assert result.complete
+        assert result.link["duplicated"] > 0
+        assert result.sink_dup_segments > 0
+        assert result.delivered_bytes == 6_000  # duplicates not delivered
+
+
+@pytest.mark.slow
+class TestWatchdogRecovery:
+    def test_stalled_video_path_detected_and_rebuilt(self):
+        result = run_watchdog_recovery(seed=3, nframes=90, max_seconds=30.0)
+        assert result.stalls_detected >= 1
+        assert result.rebuilds >= 1
+        # Detection within the stall budget (plus one check interval of
+        # sampling slack).
+        assert result.detection_latency_us is not None
+        assert result.detection_latency_us <= result.stall_budget_us + 100_000
+        # The rebuilt path actually resumed.
+        assert result.recovery_latency_us is not None
+        assert result.frames_after_rebuild > 0
+        assert result.source_done
+        # The source's window probe is what reopens the flow.
+        assert result.window_probes >= 1

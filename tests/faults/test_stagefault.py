@@ -1,0 +1,148 @@
+"""Stage fault injection: crash / stall / slowdown, storms, gating."""
+
+import pytest
+
+from repro.core import Attrs, FWD, Msg, path_create
+from repro.core.queues import FWD_IN
+from repro.faults import (
+    InjectedFault,
+    QueueStorm,
+    QueueStormer,
+    StageFault,
+    StageFaultInjector,
+    FaultPlan,
+)
+from repro.kernel import PA_FAULT_ISOLATION, default_transforms
+from repro.net.common import peek_cost
+from repro.sim.engine import Engine
+
+from ..helpers import make_chain
+
+
+def build_path(isolated=True):
+    _graph, routers = make_chain("A", "B", "C")
+    attrs = Attrs({PA_FAULT_ISOLATION: True} if isolated else {})
+    return path_create(routers[0], attrs, transforms=default_transforms())
+
+
+def inject(path, **fault_kwargs):
+    engine = Engine()
+    injector = StageFaultInjector(engine)
+    injector.apply(path, StageFault(**fault_kwargs))
+    return engine, injector
+
+
+class TestCrash:
+    def test_contained_under_fault_isolation(self):
+        path = build_path(isolated=True)
+        _engine, injector = inject(path, router="B", mode="crash")
+        msg = Msg(b"doomed")
+        path.deliver(msg, FWD)  # must not raise
+        assert injector.crashes == 1
+        assert "injected crash in B" in msg.meta["drop_reason"]
+        assert path.stats.drop_reasons.get("fault_isolation") == 1
+        assert path.output_queue(FWD).is_empty()
+
+    def test_escapes_without_isolation(self):
+        path = build_path(isolated=False)
+        inject(path, router="B", mode="crash")
+        with pytest.raises(InjectedFault, match="injected crash in B"):
+            path.deliver(Msg(b"doomed"), FWD)
+
+    def test_injection_recorded(self):
+        path = build_path()
+        _engine, injector = inject(path, router="B", mode="crash")
+        assert injector.injected == [(path.pid, "B", "crash")]
+
+
+class TestStall:
+    def test_message_vanishes_without_a_drop_note(self):
+        """A hung router doesn't announce itself: no drop note, no
+        exception — only the flat progress signature (the watchdog's
+        signal) gives it away."""
+        path = build_path()
+        before = path.progress_signature()
+        _engine, injector = inject(path, router="B", mode="stall")
+        msg = Msg(b"swallowed")
+        path.deliver(msg, FWD)
+        assert injector.stalls == 1
+        assert "drop_reason" not in msg.meta
+        assert path.stats.drops == 0
+        assert path.output_queue(FWD).is_empty()
+        assert path.progress_signature() == before
+
+
+class TestSlowdown:
+    def test_delivery_still_works_but_costs_extra(self):
+        path = build_path()
+        _engine, injector = inject(path, router="B", mode="slowdown",
+                                   extra_us=750.0)
+        msg = Msg(b"slow but sure")
+        path.deliver(msg, FWD)
+        assert injector.slowdowns == 1
+        out = path.output_queue(FWD).dequeue()
+        assert out is msg
+        assert peek_cost(msg) >= 750.0
+
+
+class TestWindowGating:
+    def test_fault_only_inside_its_window(self):
+        path = build_path()
+        engine, injector = inject(path, router="B", mode="stall",
+                                  start_us=100.0, duration_us=50.0)
+        before = Msg(b"early")
+        path.deliver(before, FWD)
+        assert path.output_queue(FWD).dequeue() is before
+        engine.run_until(120.0)  # inside the window
+        path.deliver(Msg(b"mid"), FWD)
+        assert path.output_queue(FWD).is_empty()
+        engine.run_until(200.0)  # window over: original behaviour back
+        after = Msg(b"late")
+        path.deliver(after, FWD)
+        assert path.output_queue(FWD).dequeue() is after
+        assert injector.stalls == 1
+
+    def test_apply_plan_matches_routers_on_the_path(self):
+        path = build_path()
+        engine = Engine()
+        injector = StageFaultInjector(engine)
+        plan = FaultPlan(name="mixed", stage_faults=(
+            StageFault(router="B", mode="stall"),
+            StageFault(router="ZZZ", mode="crash"),  # not on this path
+        ))
+        injector.apply_plan(path, plan)
+        assert injector.injected == [(path.pid, "B", "stall")]
+
+
+class TestQueueStorm:
+    def test_clamp_and_restore(self):
+        path = build_path()
+        engine = Engine()
+        stormer = QueueStormer(engine)
+        queue = path.q[FWD_IN]
+        original_cap = queue.maxlen
+        plan = FaultPlan(name="storm", storms=(
+            QueueStorm(queue_role=FWD_IN, start_us=10.0, duration_us=20.0,
+                       clamp_len=1),))
+        stormer.apply_plan(path, plan)
+        engine.run_until(15.0)  # mid-storm
+        assert queue.maxlen == 1
+        assert stormer.storms_started == 1
+        assert queue.try_enqueue("a")
+        assert not queue.try_enqueue("b")  # overflow under the clamp
+        assert queue.dropped == 1
+        engine.run_until(50.0)  # storm over
+        assert queue.maxlen == original_cap
+        assert stormer.storms_ended == 1
+        assert queue.try_enqueue("b")
+
+    def test_storm_skipped_on_deleted_path(self):
+        path = build_path()
+        engine = Engine()
+        stormer = QueueStormer(engine)
+        plan = FaultPlan(name="storm", storms=(
+            QueueStorm(queue_role=FWD_IN, start_us=10.0, duration_us=20.0),))
+        stormer.apply_plan(path, plan)
+        path.delete()
+        engine.run_until(100.0)
+        assert stormer.storms_started == 0

@@ -1,0 +1,200 @@
+"""Watchdog unit tests against a stub path with scriptable signatures."""
+
+from repro.core.path import DELETED
+from repro.faults import PathWatchdog
+from repro.sim.engine import Engine
+
+
+class FakePath:
+    """Just enough of a Path for the watchdog: two counters and a state."""
+
+    _next_pid = 1000
+
+    def __init__(self):
+        FakePath._next_pid += 1
+        self.pid = FakePath._next_pid
+        self.progress = 0
+        self.demand = 0
+        self.state = "created"
+
+    def progress_signature(self):
+        return self.progress
+
+    def demand_signature(self):
+        return self.demand
+
+    def delete(self):
+        self.state = DELETED
+
+
+def tick(engine, fn, every=10.0):
+    """Run *fn* every *every* us of virtual time."""
+    def fire():
+        fn()
+        engine.schedule(every, fire)
+    engine.schedule(every, fire)
+
+
+def make_watchdog(engine, path, rebuild, **overrides):
+    kwargs = dict(check_interval_us=10.0, stall_budget_us=50.0,
+                  backoff_base_us=5.0, backoff_max_us=40.0)
+    kwargs.update(overrides)
+    return PathWatchdog(engine, path, rebuild, **kwargs)
+
+
+class TestDetection:
+    def test_healthy_path_never_flagged(self):
+        engine, path = Engine(), FakePath()
+        dog = make_watchdog(engine, path, FakePath).start()
+
+        def work():
+            path.demand += 1
+            path.progress += 1
+        tick(engine, work)
+        engine.run_until(1_000.0)
+        assert dog.stalls_detected == 0
+        assert dog.events == []
+
+    def test_idle_path_is_not_a_stall(self):
+        """No demand, no progress: the path is idle, not hung."""
+        engine, path = Engine(), FakePath()
+        dog = make_watchdog(engine, path, FakePath).start()
+        engine.run_until(1_000.0)
+        assert dog.stalls_detected == 0
+
+    def test_stall_detected_within_budget(self):
+        engine, path = Engine(), FakePath()
+        replacements = []
+
+        def rebuild():
+            replacements.append(FakePath())
+            return replacements[-1]
+
+        dog = make_watchdog(engine, path, rebuild).start()
+        tick(engine, lambda: setattr(path, "demand", path.demand + 1))
+        engine.run_until(1_000.0)
+        assert dog.stalls_detected == 1
+        stall = dog.events[0]
+        assert stall["type"] == "stall_detected"
+        # Flat clock starts at the first demand-advancing check (t=10);
+        # detection on the first check >= budget later.
+        assert 50.0 <= stall["time_us"] <= 50.0 + 2 * dog.check_interval_us
+        assert path.state == DELETED
+        assert dog.rebuilds == 1
+        assert dog.path is replacements[0]
+
+    def test_drop_only_path_counts_as_stalled(self):
+        """Demand rising with progress flat is a stall even if the path is
+        'handling' messages by shedding them (drops are not progress)."""
+        engine, path = Engine(), FakePath()
+        dog = make_watchdog(engine, path, FakePath).start()
+        tick(engine, lambda: setattr(path, "demand", path.demand + 3))
+        engine.run_until(200.0)
+        assert dog.stalls_detected == 1
+
+    def test_stop_cancels_monitoring(self):
+        engine, path = Engine(), FakePath()
+        dog = make_watchdog(engine, path, FakePath).start()
+        dog.stop()
+        tick(engine, lambda: setattr(path, "demand", path.demand + 1))
+        engine.run_until(1_000.0)
+        assert dog.stalls_detected == 0
+
+
+class TestRepair:
+    def _stalling_world(self, rebuild_delay_progress=30.0):
+        """A world where the watched path stalls and every replacement
+        starts producing output *rebuild_delay_progress* us after birth."""
+        engine = Engine()
+        path = FakePath()
+        replacements = []
+
+        def rebuild():
+            fresh = FakePath()
+            replacements.append(fresh)
+
+            def produce():
+                fresh.demand += 1
+                fresh.progress += 1
+            tick(engine, produce, every=rebuild_delay_progress)
+            return fresh
+
+        dog = make_watchdog(engine, path, rebuild).start()
+        tick(engine, lambda: setattr(path, "demand", path.demand + 1))
+        return engine, path, dog, replacements
+
+    def test_recovery_latency_measured(self):
+        engine, _path, dog, replacements = self._stalling_world()
+        engine.run_until(2_000.0)
+        assert dog.rebuilds == 1
+        assert len(dog.recovery_latencies_us) == 1
+        kinds = [e["type"] for e in dog.events]
+        assert kinds[:3] == ["stall_detected", "rebuilt", "recovered"]
+        recovered = dog.events[2]
+        # Latency spans detection -> first post-rebuild progress.
+        assert recovered["latency_us"] == (
+            recovered["time_us"] - dog.events[0]["time_us"])
+        assert dog.last_recovery_latency_us == recovered["latency_us"]
+        assert dog.path is replacements[0]
+
+    def test_rebuild_failures_retry_with_backoff(self):
+        engine, path = Engine(), FakePath()
+        attempts = []
+
+        def flaky_rebuild():
+            attempts.append(engine.now)
+            if len(attempts) < 3:
+                raise OSError("no ports left")
+            return FakePath()
+
+        dog = make_watchdog(engine, path, flaky_rebuild).start()
+        tick(engine, lambda: setattr(path, "demand", path.demand + 1))
+        engine.run_until(2_000.0)
+        assert dog.rebuild_failures == 2
+        assert dog.rebuilds == 1
+        kinds = [e["type"] for e in dog.events]
+        assert kinds == ["stall_detected", "rebuild_failed",
+                         "rebuild_failed", "rebuilt"]
+        # Exponential backoff: gap doubles between consecutive attempts.
+        first_gap = attempts[1] - attempts[0]
+        second_gap = attempts[2] - attempts[1]
+        assert second_gap == 2 * first_gap
+
+    def test_repeat_stalls_each_recovered(self):
+        engine = Engine()
+        incarnations = []
+
+        def rebuild():
+            fresh = FakePath()
+            incarnations.append(fresh)
+            return fresh
+
+        first = FakePath()
+        incarnations.append(first)
+        dog = make_watchdog(engine, first, rebuild).start()
+
+        def drive():
+            live = dog.path
+            live.demand += 1
+            # Every incarnation works for a while, then wedges.
+            if live.progress < 5:
+                live.progress += 1
+        tick(engine, drive)
+        engine.run_until(3_000.0)
+        assert dog.stalls_detected >= 2
+        assert dog.rebuilds == dog.stalls_detected
+        assert len(dog.recovery_latencies_us) >= 2
+
+
+class TestAdoption:
+    def test_externally_deleted_path_waits_for_adopt(self):
+        engine, path = Engine(), FakePath()
+        dog = make_watchdog(engine, path, FakePath).start()
+        path.delete()  # e.g. stop_video behind the watchdog's back
+        engine.run_until(500.0)
+        assert dog.stalls_detected == 0  # dormant, not confused
+        fresh = FakePath()
+        dog.adopt(fresh)
+        tick(engine, lambda: setattr(fresh, "demand", fresh.demand + 1))
+        engine.run_until(1_500.0)
+        assert dog.stalls_detected == 1  # monitoring the adopted path

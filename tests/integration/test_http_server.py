@@ -65,7 +65,7 @@ def open_connection(graph):
 
 
 def segment(graph, seq, payload):
-    tcp = TcpHeader(51000, 80, seq=seq, flags=TcpHeader.FLAG_ACK).pack()
+    tcp = TcpHeader(51000, 80, seq=seq, flags=TcpHeader.FLAG_ACK).pack(payload)
     ip = IpHeader(20 + len(tcp) + len(payload), 7, IPPROTO_TCP,
                   IpAddr(CLIENT_IP), graph.router("IP").addr).pack()
     eth = (EthAddr(SERVER_MAC).to_bytes() + EthAddr(CLIENT_MAC).to_bytes()

@@ -87,6 +87,10 @@ class Stack:
         self.eth.attach_device(self.device)
         self.arp.add_entry(REMOTE_IP, REMOTE_MAC)
         self.graph.boot()
+        self.ip.use_engine(self.engine)
+        self.arp.use_engine(self.engine)
+        if self.tcp is not None:
+            self.tcp.use_engine(self.engine)
 
     def make_test_path(self, remote_ip: str = REMOTE_IP,
                        remote_port: int = 7000, **extra_attrs):

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import params
 from repro.core import PathCreationError
 from repro.net import ArpRouter, EthAddr, EtherSegment, IpAddr
 from repro.sim import Engine
@@ -44,3 +45,61 @@ class TestResolver:
         snapshot = arp.entries()
         snapshot.clear()
         assert arp.resolve("10.0.0.2") is not None
+
+
+class TestAsyncRequest:
+    """request(): retry with exponential backoff instead of giving up."""
+
+    def _arp(self, segment=None):
+        engine = Engine()
+        arp = ArpRouter("ARP")
+        arp.use_engine(engine)
+        if segment is not None:
+            arp.learn_from_segment(segment)
+        return engine, arp
+
+    def test_needs_an_engine(self):
+        arp = ArpRouter("ARP")
+        with pytest.raises(RuntimeError, match="use_engine"):
+            arp.request("10.0.0.2", lambda ip, mac: None)
+
+    def test_cached_entry_resolves_immediately(self):
+        engine, arp = self._arp()
+        arp.add_entry("10.0.0.2", "02:00:00:00:00:02")
+        resolved = []
+        arp.request("10.0.0.2", lambda ip, mac: resolved.append((ip, mac)))
+        assert resolved == [(IpAddr("10.0.0.2"),
+                             EthAddr("02:00:00:00:00:02"))]
+        assert arp.request_retries == 0
+
+    def test_late_attached_host_found_by_retry(self):
+        """The first attempt misses; the host attaches to the segment
+        afterwards; a retry re-consults the segment registry and wins —
+        a transient failure healed instead of propagated."""
+        engine = Engine()
+        segment = EtherSegment(engine)
+        _, arp = self._arp(segment=segment)
+        arp.engine = engine
+        resolved = []
+        arp.request("10.0.0.9", lambda ip, mac: resolved.append(mac))
+        assert resolved == []  # nobody home yet
+        segment.attach(RecordingRemote(engine, mac="02:00:00:00:00:09",
+                                       ip="10.0.0.9"))
+        engine.run()
+        assert resolved == [EthAddr("02:00:00:00:00:09")]
+        assert arp.misses == 1 and arp.hits == 1  # one miss, then the win
+        assert engine.now == params.ARP_REQUEST_TIMEOUT_US
+
+    def test_failure_after_bounded_backoff(self):
+        engine, arp = self._arp()
+        failed = []
+        arp.request("10.0.0.99", lambda ip, mac: None,
+                    on_failed=lambda ip: failed.append(ip))
+        engine.run()
+        assert failed == [IpAddr("10.0.0.99")]
+        assert arp.request_failures == 1
+        assert arp.request_retries == params.ARP_MAX_RETRIES - 1
+        # Doubling timeouts: 50 + 100 + 200 + 400 ms before giving up.
+        expected = params.ARP_REQUEST_TIMEOUT_US * (
+            2 ** params.ARP_MAX_RETRIES - 1)
+        assert engine.now == expected

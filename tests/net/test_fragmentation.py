@@ -113,6 +113,35 @@ class TestInPathReassembly:
         assert len(stack.test.received) == 1
         assert stack.test.received[0].to_bytes() == payload
 
+    def test_incomplete_datagram_expires_in_virtual_time(self, stack):
+        """The RFC reassembly timeout: fragments that never complete are
+        freed after IP_REASSEMBLY_TIMEOUT_US, the loss is accounted on the
+        path, and a straggler arriving later cannot resurrect them."""
+        from repro import params
+
+        payload = big_payload(3000)
+        path = stack.make_test_path(**{PA_LOCAL_PORT: 6100})
+        frames = self.loopback_fragments(stack, path, payload)
+        for i, frame in enumerate(frames):
+            body = bytearray(frame)
+            if i == 0:
+                sport = body[34:36]
+                body[34:36] = body[36:38]
+                body[36:38] = sport
+            frames[i] = bytes(body)
+        stage = path.stage_of("IP")
+        for frame in frames[:-1]:  # the last fragment is "lost"
+            path.deliver(Msg(frame), BWD)
+        assert len(stage._buffers) == 1
+        stack.engine.run_until(stack.engine.now
+                               + params.IP_REASSEMBLY_TIMEOUT_US + 1_000.0)
+        assert stack.ip.reassembly_timeouts == 1
+        assert stage._buffers == {}
+        assert path.stats.drop_reasons.get("reassembly_timeout") == 1
+        # The straggler starts a fresh (incomplete) buffer: no delivery.
+        path.deliver(Msg(frames[-1]), BWD)
+        assert stack.test.received == []
+
 
 class TestCatchAllPath:
     def make_catchall(self, stack):

@@ -23,7 +23,7 @@ def tcp_frame(stack, seq, payload, local_port=8000, sport=80, ack=0):
     header = TcpHeader(sport, local_port, seq=seq, ack=ack,
                        flags=TcpHeader.FLAG_ACK)
     from repro.net.headers import IpHeader
-    body = header.pack() + payload
+    body = header.pack(payload) + payload
     ip = IpHeader(20 + len(body), 500 + seq, IPPROTO_TCP,
                   stack.remote.ip, stack.ip.addr).pack()
     return (stack.device.mac.to_bytes() + stack.remote.mac.to_bytes()
@@ -72,7 +72,7 @@ class TestSend:
         path.deliver(Msg(b"BBBBBB"), FWD)
         tstack.run()
         frames = [parse_frame(f) for f in tstack.remote.frames]
-        headers = [TcpHeader.unpack(f.payload) for f in frames]
+        headers = [f.tcp for f in frames]
         assert headers[0].seq == 0
         assert headers[1].seq == 4  # advanced by the first payload
 
@@ -88,8 +88,7 @@ class TestReceive:
         assert stage.acks_sent == 1
         # The ACK went back out on the wire.
         parsed = parse_frame(tstack.remote.frames[0])
-        ack_header = TcpHeader.unpack(parsed.payload)
-        assert ack_header.ack == 5
+        assert parsed.tcp.ack == 5
 
     def test_duplicate_dropped(self, tstack):
         path = make_tcp_path(tstack)
@@ -100,11 +99,34 @@ class TestReceive:
         assert stage.dup_drops == 1
         assert stage.recv_next == 5
 
-    def test_out_of_order_dropped(self, tstack):
+    def test_out_of_order_buffered_then_delivered(self, tstack):
+        """A future segment is held, not dropped; filling the gap releases
+        the whole contiguous run in order."""
         path = make_tcp_path(tstack)
-        msg = Msg(tcp_frame(tstack, seq=100, payload=b"later"))
-        path.deliver(msg, BWD)
-        assert "out-of-order" in msg.meta["drop_reason"]
+        stage = path.stage_of("TCP")
+        outq = path.q[3]  # BWD_OUT: where received payloads land
+        path.deliver(Msg(tcp_frame(tstack, seq=5, payload=b"world")), BWD)
+        assert stage.ooo_buffered == 1
+        assert len(outq) == 0  # nothing delivered past the gap
+        path.deliver(Msg(tcp_frame(tstack, seq=0, payload=b"hello")), BWD)
+        assert stage.recv_next == 10
+        assert stage.ooo_delivered == 1
+        delivered = [outq.try_dequeue().to_bytes() for _ in range(2)]
+        assert delivered == [b"hello", b"world"]
+
+    def test_reorder_buffer_bounded(self, tstack):
+        """At capacity the newest future segment is shed with a reason."""
+        from repro import params
+
+        path = make_tcp_path(tstack)
+        stage = path.stage_of("TCP")
+        for index in range(params.TCP_REORDER_BUFFER):
+            frame = tcp_frame(tstack, seq=10 + 10 * index, payload=b"x" * 10)
+            path.deliver(Msg(frame), BWD)
+        overflow = Msg(tcp_frame(tstack, seq=50_000, payload=b"y"))
+        path.deliver(overflow, BWD)
+        assert "reorder buffer full" in overflow.meta["drop_reason"]
+        assert stage.ooo_buffered == params.TCP_REORDER_BUFFER
 
     def test_classification_by_port(self, tstack):
         path = make_tcp_path(tstack, local_port=8080)

@@ -11,10 +11,10 @@ class PoisonedStage(TraceStage):
     """A stage whose deliver blows up after N good deliveries."""
 
     def __init__(self, router, enter_service=None, exit_service=None,
-                 fuse_after=0):
+                 fuse_after=0, direction=FWD):
         super().__init__(router, enter_service, exit_service)
         self.good_left = fuse_after
-        original = self.deliver_fn(0)
+        original = self.deliver_fn(direction)
 
         def deliver(iface, msg, d, **kwargs):
             if self.good_left <= 0:
@@ -22,28 +22,31 @@ class PoisonedStage(TraceStage):
             self.good_left -= 1
             return original(iface, msg, d, **kwargs)
 
-        self.set_deliver(0, deliver)
+        self.set_deliver(direction, deliver)
 
 
 class PoisonedRouter(ChainRouter):
-    def __init__(self, name, fuse_after=0):
+    def __init__(self, name, fuse_after=0, direction=FWD):
         super().__init__(name)
         self.fuse_after = fuse_after
+        self.direction = direction
 
     def create_stage(self, enter_service, attrs):
         stage, hop = super().create_stage(enter_service, attrs)
         poisoned = PoisonedStage(self, stage.enter_service,
                                  stage.exit_service,
-                                 fuse_after=self.fuse_after)
+                                 fuse_after=self.fuse_after,
+                                 direction=self.direction)
         return poisoned, hop
 
 
-def build_path(fuse_after=0, isolated=True):
+def build_path(fuse_after=0, isolated=True, direction=FWD):
     from repro.core import RouterGraph
 
     graph = RouterGraph()
     a = graph.add(ChainRouter("A"))
-    bad = graph.add(PoisonedRouter("BAD", fuse_after=fuse_after))
+    bad = graph.add(PoisonedRouter("BAD", fuse_after=fuse_after,
+                                   direction=direction))
     c = graph.add(ChainRouter("C"))
     graph.connect("A.down", "BAD.up")
     graph.connect("BAD.down", "C.up")
@@ -78,6 +81,24 @@ class TestFaultIsolation:
         back = Msg(b"reverse")
         path.deliver(back, BWD)
         assert path.output_queue(BWD).dequeue() is back
+
+    def test_bwd_fault_contained_to_the_delivery(self):
+        """Containment is per delivery *function*: a router bug on the
+        backward direction dies there too, and the forward direction of
+        the same stage keeps working."""
+        path, _graph = build_path(isolated=True, direction=BWD)
+        msg = Msg(b"doomed")
+        path.deliver(msg, BWD)  # must not raise
+        assert "fault in BAD" in msg.meta["drop_reason"]
+        assert path.stats.drop_reasons.get("fault_isolation") == 1
+        forward = Msg(b"fine")
+        path.deliver(forward, FWD)
+        assert path.output_queue(FWD).dequeue() is forward
+
+    def test_bwd_fault_escapes_without_isolation(self):
+        path, _graph = build_path(isolated=False, direction=BWD)
+        with pytest.raises(RuntimeError, match="router bug"):
+            path.deliver(Msg(b"doomed"), BWD)
 
     def test_rule_recorded_on_the_path(self):
         path, _graph = build_path(isolated=True)
