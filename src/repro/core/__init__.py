@@ -19,6 +19,7 @@ from .attributes import (
     PA_PROTID,
     PA_SCHED_POLICY,
     PA_SCHED_PRIORITY,
+    PA_TRACE,
     Attrs,
     as_attrs,
 )
@@ -68,7 +69,7 @@ __all__ = [
     "Attrs", "as_attrs",
     "PA_NET_PARTICIPANTS", "PA_PATHNAME", "PA_PROTID", "PA_SCHED_POLICY",
     "PA_SCHED_PRIORITY", "PA_FRAME_RATE", "PA_INQ_LEN", "PA_OUTQ_LEN",
-    "PA_MEM_BUDGET", "PA_AVG_PROC_TIME", "PA_AVG_RTT",
+    "PA_MEM_BUDGET", "PA_AVG_PROC_TIME", "PA_AVG_RTT", "PA_TRACE",
     "Msg",
     "Iface", "NetIface", "RtNetIface", "NsIface", "WinIface", "FsIface",
     "ServiceType", "iface_satisfies",

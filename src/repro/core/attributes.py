@@ -60,6 +60,15 @@ PA_AVG_PROC_TIME = "PA_AVG_PROC_TIME"
 #: Running estimate of the network round-trip time, measured by MFLOW.
 PA_AVG_RTT = "PA_AVG_RTT"
 
+#: Observability invariant: request tracing + metrics for this path.
+#: The value is an object with an ``instrument(path)`` hook (normally an
+#: :class:`~repro.observe.Observatory`); path creation invokes it after
+#: transformation rules run, so instrumentation wraps the final
+#: (possibly optimized) deliver functions.  Kernels accept ``True`` as a
+#: convenience and substitute their own observatory before creating the
+#: path.
+PA_TRACE = "PA_TRACE"
+
 
 class Attrs:
     """An ordered set of name/value attribute pairs.

@@ -58,16 +58,21 @@ def classify(router: Router, msg: Msg, service: Optional[Service] = None,
     offset = 0
     current: Router = router
     current_service = service
+    hops = 1
     for _ in range(MAX_REFINEMENTS):
         result: DemuxResult = current.demux(msg, current_service, offset)
         if result.path is not None:
             if stats is not None:
                 stats.classified += 1
             msg.meta["path"] = result.path
+            observer = getattr(result.path, "observer", None)
+            if observer is not None:
+                observer.on_demux(msg, hops)
             return result.path
         if result.forward is not None:
             offset += result.consumed
             current, current_service = result.forward
+            hops += 1
             if stats is not None:
                 stats.refinements += 1
             continue

@@ -96,6 +96,11 @@ class Path:
         self.stages: List[Stage] = []
         self.state = CREATING
         self.stats = PathStats()
+        #: Observability hook (a :class:`~repro.observe.PathObserver`),
+        #: installed at path-create time when the path was created with a
+        #: truthy ``PA_TRACE`` attribute.  ``None`` — the default — keeps
+        #: every hot path to a single attribute test.
+        self.observer: Optional[Any] = None
         #: Scheduling hook: "a path can set the wakeup function pointer to
         #: request that a specific function gets executed when a thread t
         #: is awakened to execute in a path p" (Section 3.2).
@@ -198,7 +203,14 @@ class Path:
         else:
             self.stats.messages_bwd += 1
         iface = self.entry_iface(direction)
-        return iface.deliver(iface, msg, direction, **kwargs)
+        observer = self.observer
+        if observer is None:
+            return iface.deliver(iface, msg, direction, **kwargs)
+        token = observer.begin_traversal(msg, direction)
+        try:
+            return iface.deliver(iface, msg, direction, **kwargs)
+        finally:
+            observer.end_traversal(token)
 
     def inject_at(self, stage: Stage, msg: Any, direction: int,
                   **kwargs: Any) -> Any:
@@ -211,7 +223,14 @@ class Path:
         if stage.path is not self:
             raise PathStateError(f"{stage!r} does not belong to path {self.pid}")
         iface = stage.end[direction]
-        return iface.deliver(iface, msg, direction, **kwargs)
+        observer = self.observer
+        if observer is None:
+            return iface.deliver(iface, msg, direction, **kwargs)
+        token = observer.begin_injection(msg, direction, stage.router.name)
+        try:
+            return iface.deliver(iface, msg, direction, **kwargs)
+        finally:
+            observer.end_traversal(token)
 
     # -- drop / progress accounting ---------------------------------------------------------
 
@@ -228,6 +247,15 @@ class Path:
         if meta is not None:
             meta["drop_reason"] = reason
         self.stats.record_drop(category)
+        if self.observer is not None:
+            self.observer.on_drop(msg, reason, category)
+
+    def charge_cycles(self, cycles: float) -> None:
+        """Charge CPU cycles to this path's account (the scheduler's
+        compute hook), mirrored into the metrics layer when observed."""
+        self.stats.charge_cycles(cycles)
+        if self.observer is not None:
+            self.observer.on_cycles(cycles)
 
     def note_progress(self) -> None:
         """Record useful work that does not land on an output queue (wire
@@ -250,15 +278,24 @@ class Path:
 
     # -- lifecycle --------------------------------------------------------------------------
 
-    def delete(self) -> None:
+    def delete(self, drop_category: str = "path_teardown") -> None:
         """Destroy the path: run stage destroy hooks in reverse order and
-        drop queued work."""
+        drop queued work.
+
+        Every message still queued is routed through :meth:`note_drop`
+        under *drop_category* (the watchdog passes ``"watchdog_rebuild"``)
+        so drop accounting stays consistent across teardown: per-path drop
+        totals match queue drop totals and observers close any open
+        queue-wait spans instead of leaking them.
+        """
         if self.state == DELETED:
             return
         for stage in reversed(self.stages):
             stage.destroy()
         for queue in self.q:
-            queue.clear()
+            for item in queue.drain(reason=drop_category):
+                self.note_drop(item, f"queued message discarded: "
+                                     f"{drop_category}", drop_category)
         self.state = DELETED
 
     # -- accounting ----------------------------------------------------------------------------

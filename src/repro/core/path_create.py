@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Mapping, Optional
 
-from .attributes import PA_INQ_LEN, PA_OUTQ_LEN, Attrs, as_attrs
+from .attributes import PA_INQ_LEN, PA_OUTQ_LEN, PA_TRACE, Attrs, as_attrs
 from .errors import PathCreationError
 from .path import Path
 from .queues import BWD_IN, BWD_OUT, FWD_IN, FWD_OUT
@@ -105,6 +105,16 @@ def path_create(router: Router, attrs: Optional[Mapping[str, Any]] = None,
         applied = transforms.apply_all(path)
         if applied:
             path.attrs["_transforms_applied"] = tuple(applied)
+
+    # Phase 5: observability.  A truthy PA_TRACE invariant carries the
+    # observatory that instruments the path; running after the transforms
+    # means the probes wrap the final (possibly optimized) deliver
+    # functions.  Duck-typed so the core stays free of upward imports.
+    tracer = attrs.get(PA_TRACE)
+    if tracer is not None:
+        instrument = getattr(tracer, "instrument", None)
+        if instrument is not None:
+            instrument(path)
     return path
 
 

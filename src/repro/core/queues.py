@@ -50,8 +50,13 @@ class PathQueue:
         self.dequeued = 0
         self.dropped = 0
         self.high_watermark = 0
+        #: The item most recently enqueued / dequeued, so listeners (which
+        #: receive only the queue) can identify the message that moved.
+        self.last_enqueued: Any = None
+        self.last_dequeued: Any = None
         self._enqueue_listeners: List[Callable[["PathQueue"], None]] = []
         self._dequeue_listeners: List[Callable[["PathQueue"], None]] = []
+        self._drop_listeners: List[Callable[["PathQueue", Any, str], None]] = []
 
     # -- the two defined properties -----------------------------------------
 
@@ -93,9 +98,12 @@ class PathQueue:
         """Enqueue *item*; return False (counting a drop) when full."""
         if self.is_full():
             self.dropped += 1
+            for listener in self._drop_listeners:
+                listener(self, item, "overflow")
             return False
         self._insert(item)
         self.enqueued += 1
+        self.last_enqueued = item
         if len(self._items) > self.high_watermark:
             self.high_watermark = len(self._items)
         for listener in self._enqueue_listeners:
@@ -112,6 +120,7 @@ class PathQueue:
         """Remove and return the next item (raises ``IndexError`` if empty)."""
         item = self._remove()
         self.dequeued += 1
+        self.last_dequeued = item
         for listener in self._dequeue_listeners:
             listener(self)
         return item
@@ -126,12 +135,26 @@ class PathQueue:
         """Return the next item without removing it."""
         return self._items[0]
 
-    def clear(self) -> int:
-        """Drop everything queued; returns how many items were discarded."""
-        count = len(self._items)
+    def drain(self, reason: str = "cleared") -> List[Any]:
+        """Discard everything queued and return the discarded items.
+
+        Each item counts as a drop and fires the drop listeners, so
+        observers can close queue-wait spans and drop accounting stays
+        consistent with :meth:`try_enqueue` rejections — a queue can
+        never lose messages without the drop trail saying why.
+        """
+        items = list(self._items)
         self._items.clear()
-        self.dropped += count
-        return count
+        self.dropped += len(items)
+        if self._drop_listeners:
+            for item in items:
+                for listener in self._drop_listeners:
+                    listener(self, item, reason)
+        return items
+
+    def clear(self, reason: str = "cleared") -> int:
+        """Drop everything queued; returns how many items were discarded."""
+        return len(self.drain(reason))
 
     def __iter__(self) -> Iterator[Any]:
         return iter(self._items)
@@ -145,6 +168,11 @@ class PathQueue:
     def on_dequeue(self, fn: Callable[["PathQueue"], None]) -> None:
         """Register *fn* to run after every dequeue."""
         self._dequeue_listeners.append(fn)
+
+    def on_drop(self, fn: Callable[["PathQueue", Any, str], None]) -> None:
+        """Register ``fn(queue, item, reason)`` to run for every discarded
+        item: overflow rejections and :meth:`drain`/:meth:`clear`."""
+        self._drop_listeners.append(fn)
 
     def __repr__(self) -> str:
         cap = "inf" if self.maxlen is None else str(self.maxlen)

@@ -97,6 +97,23 @@ class Stage:
     def deliver_fn(self, direction: int) -> Optional[Callable[..., Any]]:
         return getattr(self.end[direction], "deliver", None)
 
+    def wrap_deliver(self, direction: int,
+                     wrapper: Callable[[Callable[..., Any]],
+                                       Callable[..., Any]]) -> bool:
+        """Wrap the installed deliver function for *direction*.
+
+        The profiling probes use this to interpose spans around stage
+        processing without knowing anything about interface internals.
+        Returns False (and does nothing) when no deliver function is
+        installed for that direction — e.g. the unused side of an extreme
+        stage.
+        """
+        inner = self.deliver_fn(direction)
+        if inner is None:
+            return False
+        self.end[direction].deliver = wrapper(inner)
+        return True
+
     # -- accounting -----------------------------------------------------------------
 
     def note_drop(self, msg: Any, reason: str, category: str = "drop") -> None:

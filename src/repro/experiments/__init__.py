@@ -46,6 +46,7 @@ from .queue_sizing import (
     run_queue_sizing,
 )
 from .table1 import PAPER_TABLE1, Table1Row, format_table1, measure_max_rate, run_table1
+from .trace_exp import TraceReport, format_trace, run_trace
 from .table2 import PAPER_TABLE2, Table2Row, format_table2, measure_under_load, run_table2
 from .testbed import Testbed, frames_budget
 
@@ -69,4 +70,5 @@ __all__ = [
     "TcpRecoveryResult",
     "run_watchdog_recovery", "format_watchdog_recovery",
     "WatchdogRecoveryResult",
+    "run_trace", "format_trace", "TraceReport",
 ]

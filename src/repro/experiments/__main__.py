@@ -7,7 +7,8 @@ Usage::
     python -m repro.experiments table1 e3    # a subset
 
 Experiment ids: table1, table2, e3 (EDF vs RR), e4 (micro), e5 (queue
-sizing), e6 (admission), e7 (early discard), e8 (ablations).
+sizing), e6 (admission), e7 (early discard), e8 (ablations), trace
+(per-path observability: hottest spans + metrics for a traced playback).
 """
 
 from __future__ import annotations
@@ -26,6 +27,7 @@ from . import (
     format_segregation,
     format_table1,
     format_table2,
+    format_trace,
     measure_structure,
     run_alf_ablation,
     run_early_discard,
@@ -34,6 +36,7 @@ from . import (
     run_segregation_sweep,
     run_table1,
     run_table2,
+    run_trace,
 )
 
 
@@ -74,6 +77,10 @@ def _e8() -> str:
         + format_alf(run_alf_ablation()))
 
 
+def _trace() -> str:
+    return format_trace(run_trace())
+
+
 EXPERIMENTS = {
     "table1": _table1,
     "table2": _table2,
@@ -83,6 +90,7 @@ EXPERIMENTS = {
     "e6": _e6,
     "e7": _e7,
     "e8": _e8,
+    "trace": _trace,
 }
 
 

@@ -46,6 +46,10 @@ class DegradationGovernor:
         Harshest degradation (keep every ``max_skip``-th frame).
     healthy_checks:
         Consecutive calm samples required before easing one step back.
+    observatory:
+        Optional :class:`~repro.observe.Observatory`; when supplied every
+        escalation / de-escalation is recorded as an incident and the
+        current skip level and occupancy are published as gauges.
     """
 
     def __init__(self, engine, kernel, path: Path,
@@ -55,10 +59,12 @@ class DegradationGovernor:
                  drop_threshold: int = 4,
                  max_skip: int = 8,
                  healthy_checks: int = 3,
-                 admission=None, profile=None, fps: Optional[float] = None):
+                 admission=None, profile=None, fps: Optional[float] = None,
+                 observatory=None):
         self.engine = engine
         self.kernel = kernel
         self.path = path
+        self.observatory = observatory
         self.check_interval_us = check_interval_us
         self.high_occupancy = high_occupancy
         self.low_occupancy = low_occupancy
@@ -137,6 +143,14 @@ class DegradationGovernor:
                 self._deescalate(occupancy)
         else:
             self._calm_streak = 0
+        if self.observatory is not None:
+            # Published after the decision so the gauge shows the skip
+            # level now in force, not the one just replaced.
+            alias = self.observatory.recorder.alias_for(self.path)
+            self.observatory.metrics.gauge("governor_skip",
+                                           path=alias).set(self.skip)
+            self.observatory.metrics.gauge("governor_inq_occupancy",
+                                           path=alias).set(occupancy)
         self._timer = self.engine.schedule(self.check_interval_us,
                                            self._check)
 
@@ -153,6 +167,11 @@ class DegradationGovernor:
         self.events.append({"type": "escalate", "time_us": self.engine.now,
                             "skip": target, "occupancy": occupancy,
                             "new_drops": new_drops})
+        if self.observatory is not None:
+            self.observatory.incident(
+                "governor_escalate", path=self.path,
+                detail=f"skip={target} occupancy={occupancy:.2f} "
+                       f"new_drops={new_drops}")
 
     def _deescalate(self, occupancy: float) -> None:
         current = self.skip
@@ -164,6 +183,10 @@ class DegradationGovernor:
         self.deescalations += 1
         self.events.append({"type": "deescalate", "time_us": self.engine.now,
                             "skip": target, "occupancy": occupancy})
+        if self.observatory is not None:
+            self.observatory.incident(
+                "governor_deescalate", path=self.path,
+                detail=f"skip={target} occupancy={occupancy:.2f}")
 
     def __repr__(self) -> str:
         return (f"<DegradationGovernor path#{self.path.pid} skip={self.skip} "

@@ -45,6 +45,10 @@ class PathWatchdog:
         (typically closing over ``path_create`` plus the original
         attributes and whatever thread-spawning the kernel needs).  May
         raise; a failed rebuild retries with further backoff.
+    observatory:
+        Optional :class:`~repro.observe.Observatory`; when supplied every
+        stall / rebuild / recovery is recorded as an incident span and
+        recovery latencies feed a histogram, alongside :attr:`events`.
     """
 
     def __init__(self, engine, path: Path,
@@ -52,10 +56,12 @@ class PathWatchdog:
                  check_interval_us: float = params.WATCHDOG_CHECK_INTERVAL_US,
                  stall_budget_us: float = params.WATCHDOG_STALL_BUDGET_US,
                  backoff_base_us: float = params.WATCHDOG_BACKOFF_BASE_US,
-                 backoff_max_us: float = params.WATCHDOG_BACKOFF_MAX_US):
+                 backoff_max_us: float = params.WATCHDOG_BACKOFF_MAX_US,
+                 observatory=None):
         self.engine = engine
         self.path = path
         self.rebuild = rebuild
+        self.observatory = observatory
         self.check_interval_us = check_interval_us
         self.stall_budget_us = stall_budget_us
         self.backoff_base_us = backoff_base_us
@@ -136,6 +142,11 @@ class PathWatchdog:
                                 "time_us": self.engine.now,
                                 "latency_us": latency,
                                 "pid": self.path.pid})
+            self._incident("watchdog_recovered",
+                           f"latency_us={latency:.1f}")
+            if self.observatory is not None:
+                self.observatory.metrics.histogram(
+                    "watchdog_recovery_latency_us").observe(latency)
 
     # -- repair -------------------------------------------------------------------------
 
@@ -147,10 +158,15 @@ class PathWatchdog:
                             "time_us": self.engine.now,
                             "pid": self.path.pid,
                             "progress": progress, "demand": demand})
+        self._incident("watchdog_stall",
+                       f"progress={progress} demand={demand}")
         backoff = min(self.backoff_base_us * (2 ** self._consecutive_repairs),
                       self.backoff_max_us)
         self._consecutive_repairs += 1
-        self.path.delete()
+        # Messages still queued on the stalled path are casualties of the
+        # repair, not of the original fault: account them under their own
+        # category so recovery cost is visible (and reconcilable).
+        self.path.delete(drop_category="watchdog_rebuild")
         self.engine.schedule(backoff, self._repair)
 
     def _repair(self) -> None:
@@ -163,6 +179,8 @@ class PathWatchdog:
             self.events.append({"type": "rebuild_failed",
                                 "time_us": self.engine.now,
                                 "error": f"{type(exc).__name__}: {exc}"})
+            self._incident("watchdog_rebuild_failed",
+                           f"{type(exc).__name__}: {exc}")
             backoff = min(self.backoff_base_us
                           * (2 ** self._consecutive_repairs),
                           self.backoff_max_us)
@@ -173,6 +191,8 @@ class PathWatchdog:
         self.events.append({"type": "rebuilt", "time_us": self.engine.now,
                             "old_pid": self.path.pid,
                             "new_pid": replacement.pid})
+        self._incident("watchdog_rebuilt",
+                       f"old=#{self.path.pid} new=#{replacement.pid}")
         self.adopt(replacement, awaiting_recovery=True)
         self._schedule_check(self.check_interval_us)
 
@@ -183,6 +203,10 @@ class PathWatchdog:
         self._demand_at_progress = path.demand_signature()
         self._flat_since = None
         self._awaiting_recovery = awaiting_recovery
+
+    def _incident(self, label: str, detail: str) -> None:
+        if self.observatory is not None:
+            self.observatory.incident(label, path=self.path, detail=detail)
 
     # -- introspection ---------------------------------------------------------------------
 

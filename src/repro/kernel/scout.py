@@ -29,6 +29,7 @@ from ..core.attributes import (
     PA_PATHNAME,
     PA_SCHED_POLICY,
     PA_SCHED_PRIORITY,
+    PA_TRACE,
     Attrs,
 )
 from ..core.classify import ClassifierStats, classify
@@ -52,6 +53,7 @@ from ..net.ip import PA_IP_CATCHALL, IpRouter
 from ..net.mflow import MflowRouter
 from ..net.segment import EtherSegment, NetDevice
 from ..net.udp import UdpRouter
+from ..observe import Observatory
 from ..shell.router import ShellRouter
 from ..sim.threads import Compute, Dequeue, WaitSpace, YIELD
 from ..sim.world import POLICY_EDF, POLICY_RR, SimWorld
@@ -108,6 +110,9 @@ class ScoutKernel:
             else default_transforms()
         self.admission = admission
         self.inline_icmp = inline_icmp
+        #: Shared tracing + metrics substrate.  Dormant (no per-packet
+        #: work) until some path is created with ``PA_TRACE``.
+        self.observatory = Observatory(world.engine)
 
         # -- devices ------------------------------------------------------
         self.device = NetDevice(local_mac, world.cpu, name="eth0")
@@ -187,6 +192,9 @@ class ScoutKernel:
         if path is None:
             self.unclassified_drops += 1
             msg.meta.setdefault("drop_reason", "no path wants this frame")
+            if self.observatory.armed:
+                self.observatory.metrics.counter(
+                    "kernel_unclassified_drops").inc()
             self.world.cpu.extend_interrupt(params.EARLY_DROP_US)
             return
         if self._should_early_drop(path, msg):
@@ -321,12 +329,13 @@ class ScoutKernel:
                           skip: int = 1,
                           checksum: bool = False,
                           prebuffer: int = 0,
-                          deadline_mode: str = "output") -> Attrs:
+                          deadline_mode: str = "output",
+                          trace: bool = False) -> Attrs:
         """The invariants SHELL (or a test) supplies for an MPEG path."""
         from ..display.router import PA_DEADLINE_MODE, PA_PREBUFFER
 
         stream_fps = fps if fps is not None else profile.fps
-        return Attrs({
+        attrs = Attrs({
             PA_PREBUFFER: prebuffer,
             PA_DEADLINE_MODE: deadline_mode,
             PA_NET_PARTICIPANTS: remote,
@@ -343,6 +352,9 @@ class ScoutKernel:
             PA_FRAME_SKIP: skip,
             PA_UDP_CHECKSUM: checksum,
         })
+        if trace:
+            attrs[PA_TRACE] = self.observatory
+        return attrs
 
     def start_video(self, profile: ClipProfile, remote: Tuple[str, int],
                     early_drop_skipped: bool = True,
@@ -367,6 +379,8 @@ class ScoutKernel:
                                   policy=policy, priority=priority,
                                   path=path)
         sink = self.framebuffer.sinks[f"path{path.pid}"]
+        if path.observer is not None:
+            path.observer.watch_sink(sink)
         session = VideoSession(path, profile, attrs[PA_LOCAL_PORT], sink,
                                thread)
         self.sessions.append(session)

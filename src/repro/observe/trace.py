@@ -1,0 +1,293 @@
+"""Per-path tracing: where did this frame spend its virtual time?
+
+The paper makes the path the unit of scheduling *and* accounting
+(Sections 3-4); the :class:`TraceRecorder` makes that accounting legible.
+Every stage traversal, queue wait, demux decision, drop, and watchdog
+incident on a traced path becomes a :class:`Span` stamped in virtual
+time with path/stage/direction context.
+
+Two clocks matter and both are recorded:
+
+* **virtual wall time** (``start_us``/``end_us``) — the engine clock.
+  Stage deliver functions are logically instantaneous in virtual time, so
+  a stage span's wall width is zero; a queue-wait span's wall width is the
+  real time the message sat queued.
+* **virtual CPU cost** (``cost_us``) — the CPU microseconds the span's
+  own code declared via the message cost convention
+  (:data:`repro.net.common.COST_KEY`), exclusive of nested spans.  This
+  is the flamegraph weight: summed over a stack it answers "which stage
+  burned the cycles".
+
+Retention is a bounded ring buffer (oldest spans evicted first, eviction
+counted), so tracing a long run cannot grow without bound.  Export
+formats: JSON (one dict per span) and flamegraph-style collapsed stacks
+(``frame;frame;frame weight`` lines, weight in virtual nanoseconds).
+
+Path identity in spans is a *stable alias* (``P0``, ``P1``, ... in
+instrumentation order), not the global pid, so that two same-seed runs —
+whose pids differ by whatever paths earlier tests created — produce
+byte-identical traces.  The golden-trace regression test depends on this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: Span kinds.
+STAGE, TRAVERSAL, QUEUE_WAIT, DEMUX, DROP, INCIDENT = (
+    "stage", "traversal", "queue_wait", "demux", "drop", "incident")
+
+
+class Span:
+    """One traced interval (or point event) on a path."""
+
+    __slots__ = ("kind", "label", "path", "direction", "start_us", "end_us",
+                 "cost_us", "depth", "stack", "detail")
+
+    def __init__(self, kind: str, label: str, path: str, direction: str,
+                 start_us: float, depth: int, stack: str):
+        self.kind = kind
+        self.label = label
+        self.path = path
+        self.direction = direction
+        self.start_us = start_us
+        self.end_us = start_us
+        self.cost_us = 0.0
+        self.depth = depth
+        self.stack = stack
+        self.detail: Optional[str] = None
+
+    @property
+    def wall_us(self) -> float:
+        """Virtual wall-clock width (queue waits have one; stages don't)."""
+        return self.end_us - self.start_us
+
+    def as_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "kind": self.kind,
+            "label": self.label,
+            "path": self.path,
+            "direction": self.direction,
+            "start_us": round(self.start_us, 3),
+            "end_us": round(self.end_us, 3),
+            "cost_us": round(self.cost_us, 3),
+            "depth": self.depth,
+            "stack": self.stack,
+        }
+        if self.detail is not None:
+            data["detail"] = self.detail
+        return data
+
+    def __repr__(self) -> str:
+        return (f"<Span {self.kind} {self.stack} "
+                f"[{self.start_us:.1f},{self.end_us:.1f}]us "
+                f"cost={self.cost_us:.1f}us>")
+
+
+class _Frame:
+    """Synchronous-stack bookkeeping for exclusive-cost attribution."""
+
+    __slots__ = ("span", "child_cost_us")
+
+    def __init__(self, span: Span):
+        self.span = span
+        self.child_cost_us = 0.0
+
+
+class TraceRecorder:
+    """Bounded ring buffer of completed spans, with a live span stack.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current virtual time in
+        microseconds (typically ``lambda: engine.now``; an object with a
+        ``now`` attribute is also accepted).
+    capacity:
+        Ring-buffer retention (completed spans).  Older spans are evicted
+        and counted in :attr:`evicted`.
+    """
+
+    def __init__(self, clock: Any, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.clock: Callable[[], float] = _as_clock(clock)
+        self.capacity = capacity
+        self.spans: deque = deque(maxlen=capacity)
+        self.completed = 0
+        self.evicted = 0
+        self._stack: List[_Frame] = []
+        self._open: Dict[Any, Span] = {}
+        self._aliases: Dict[int, str] = {}
+
+    # -- path aliasing ------------------------------------------------------
+
+    def alias_for(self, path: Any) -> str:
+        """Stable per-recorder alias for *path* (``P0``, ``P1``, ...)."""
+        pid = getattr(path, "pid", id(path))
+        alias = self._aliases.get(pid)
+        if alias is None:
+            alias = f"P{len(self._aliases)}"
+            self._aliases[pid] = alias
+        return alias
+
+    # -- synchronous (nested) spans ----------------------------------------
+
+    def begin(self, kind: str, label: str, path: str,
+              direction: str = "") -> Span:
+        """Open a nested span; must be closed with :meth:`end` (LIFO)."""
+        if self._stack:
+            stack = f"{self._stack[-1].span.stack};{label}"
+        else:
+            stack = f"{path};{label}"
+        span = Span(kind, label, path, direction, self.clock(),
+                    depth=len(self._stack), stack=stack)
+        self._stack.append(_Frame(span))
+        return span
+
+    def end(self, span: Span, total_cost_us: float = 0.0,
+            detail: Optional[str] = None) -> Span:
+        """Close the innermost span (which must be *span*).
+
+        ``total_cost_us`` is the span's *inclusive* virtual CPU cost; the
+        recorder subtracts the cost already attributed to nested spans so
+        ``span.cost_us`` is exclusive (flamegraph self time).
+        """
+        frame = self._stack.pop()
+        if frame.span is not span:  # pragma: no cover - misuse guard
+            raise RuntimeError(
+                f"span stack corrupted: closing {span!r}, top is {frame.span!r}")
+        span.end_us = self.clock()
+        span.cost_us = max(0.0, total_cost_us - frame.child_cost_us)
+        if detail is not None:
+            span.detail = detail
+        if self._stack:
+            self._stack[-1].child_cost_us += total_cost_us
+        self._record(span)
+        return span
+
+    # -- asynchronous (open/close) spans -----------------------------------
+
+    def open(self, key: Any, kind: str, label: str, path: str,
+             direction: str = "") -> Span:
+        """Open a span that closes later (queue waits).  Keyed by *key*."""
+        stale = self._open.pop(key, None)
+        if stale is not None:
+            self._finish_open(stale, detail="requeued")
+        span = Span(kind, label, path, direction, self.clock(),
+                    depth=0, stack=f"{path};wait:{label}")
+        self._open[key] = span
+        return span
+
+    def close(self, key: Any, detail: Optional[str] = None) -> Optional[Span]:
+        """Close the open span for *key*; returns it (or None if unknown)."""
+        span = self._open.pop(key, None)
+        if span is None:
+            return None
+        self._finish_open(span, detail)
+        return span
+
+    def open_count(self) -> int:
+        """Open (unclosed) async spans — 0 after a clean teardown."""
+        return len(self._open)
+
+    def _finish_open(self, span: Span, detail: Optional[str]) -> None:
+        span.end_us = self.clock()
+        span.cost_us = span.end_us - span.start_us
+        if detail is not None:
+            span.detail = detail
+        self._record(span)
+
+    # -- point events --------------------------------------------------------
+
+    def point(self, kind: str, label: str, path: str, direction: str = "",
+              detail: Optional[str] = None, cost_us: float = 0.0) -> Span:
+        """Record a zero-width event (drop, demux decision, incident)."""
+        if self._stack:
+            stack = f"{self._stack[-1].span.stack};{label}"
+            depth = len(self._stack)
+        else:
+            stack = f"{path};{label}"
+            depth = 0
+        span = Span(kind, label, path, direction, self.clock(),
+                    depth=depth, stack=stack)
+        span.cost_us = cost_us
+        span.detail = detail
+        self._record(span)
+        return span
+
+    # -- retention -----------------------------------------------------------
+
+    def _record(self, span: Span) -> None:
+        if len(self.spans) == self.capacity:
+            self.evicted += 1
+        self.spans.append(span)
+        self.completed += 1
+
+    def clear(self) -> None:
+        """Forget all completed spans (open spans and aliases survive)."""
+        self.spans.clear()
+
+    # -- export ---------------------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """All retained spans as a JSON array, oldest first."""
+        return json.dumps([span.as_dict() for span in self.spans],
+                          sort_keys=True, indent=indent,
+                          separators=(",", ":") if indent is None else None)
+
+    def collapsed(self) -> Dict[str, int]:
+        """Aggregate retained spans into flamegraph collapsed stacks.
+
+        Weights are virtual **nanoseconds** (cost for synchronous spans,
+        wall wait for queue spans), so sub-microsecond costs survive the
+        integer conversion flamegraph tools expect.
+        """
+        stacks: Dict[str, int] = {}
+        for span in self.spans:
+            weight = int(round(span.cost_us * 1000.0))
+            stacks[span.stack] = stacks.get(span.stack, 0) + weight
+        return stacks
+
+    def collapsed_text(self) -> str:
+        """Collapsed stacks as sorted ``stack weight`` lines."""
+        stacks = self.collapsed()
+        return "\n".join(f"{stack} {weight}"
+                         for stack, weight in sorted(stacks.items()))
+
+    def digest(self) -> str:
+        """sha256 over the collapsed-stack text — the golden-trace value."""
+        return hashlib.sha256(self.collapsed_text().encode()).hexdigest()
+
+    def summary(self, top: int = 10) -> List[Tuple[str, int, float, float]]:
+        """Hottest span groups: ``(label, count, total_cost_us, total_wall_us)``
+        sorted by total cost, then wall time, descending."""
+        groups: Dict[str, List[float]] = {}
+        for span in self.spans:
+            entry = groups.setdefault(f"{span.kind}:{span.label}", [0, 0.0, 0.0])
+            entry[0] += 1
+            entry[1] += span.cost_us
+            entry[2] += span.wall_us
+        ranked = sorted(groups.items(),
+                        key=lambda kv: (-kv[1][1], -kv[1][2], kv[0]))
+        return [(label, int(count), cost, wall)
+                for label, (count, cost, wall) in ranked[:top]]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        return (f"<TraceRecorder {len(self.spans)}/{self.capacity} spans "
+                f"open={len(self._open)} evicted={self.evicted}>")
+
+
+def _as_clock(source: Any) -> Callable[[], float]:
+    """Coerce an engine-like object or callable into a clock function."""
+    if callable(source):
+        return source
+    if hasattr(source, "now"):
+        return lambda: source.now
+    raise TypeError(f"cannot use {source!r} as a virtual clock")

@@ -23,7 +23,8 @@ class FakePath:
     def demand_signature(self):
         return self.demand
 
-    def delete(self):
+    def delete(self, drop_category="path_teardown"):
+        self.delete_category = drop_category
         self.state = DELETED
 
 

@@ -1,0 +1,204 @@
+"""Drop accounting consistency: clear(), teardown, and watchdog rebuild.
+
+The hardening target: no discard path may lose messages without the drop
+trail saying why.  ``PathQueue.clear``/``drain`` fire the same listeners
+as overflow rejections, ``Path.delete`` funnels queued work through
+``note_drop``, and the watchdog labels its teardown casualties
+``watchdog_rebuild`` — so metrics never go negative and observers never
+leak open queue-wait spans.
+"""
+
+from repro.core import Attrs, BWD, Msg, PathQueue, path_create
+from repro.faults import PathWatchdog
+from repro.observe import Observatory
+from repro.sim.engine import Engine
+
+from ..helpers import make_chain
+
+
+class TestQueueClear:
+    def test_clear_counts_and_reports_each_item(self):
+        queue = PathQueue(maxlen=8)
+        dropped = []
+        queue.on_drop(lambda q, item, reason: dropped.append((item, reason)))
+        for i in range(5):
+            queue.enqueue(i)
+        assert queue.clear("rebuild") == 5
+        assert queue.dropped == 5
+        assert dropped == [(i, "rebuild") for i in range(5)]
+        assert len(queue) == 0
+
+    def test_drain_returns_the_discarded_items(self):
+        queue = PathQueue(maxlen=8)
+        queue.enqueue("a")
+        queue.enqueue("b")
+        assert queue.drain() == ["a", "b"]
+        assert queue.dropped == 2
+
+    def test_clear_of_empty_queue_is_a_noop(self):
+        queue = PathQueue(maxlen=8)
+        fired = []
+        queue.on_drop(lambda q, item, reason: fired.append(item))
+        assert queue.clear() == 0
+        assert queue.dropped == 0
+        assert fired == []
+
+
+class TestPathTeardown:
+    def _traced_path(self):
+        engine = Engine()
+        observatory = Observatory(engine)
+        _, routers = make_chain("A", "B", "C")
+        from repro.core import PA_TRACE
+
+        path = path_create(routers[0], Attrs({PA_TRACE: observatory}))
+        return engine, observatory, path
+
+    def test_delete_accounts_queued_messages_as_teardown_drops(self):
+        engine, observatory, path = self._traced_path()
+        inq = path.input_queue(BWD)
+        for i in range(3):
+            inq.enqueue(Msg(b"m%d" % i))
+        path.delete()
+        stats = path.stats
+        assert stats.drops == 3
+        assert stats.drop_reasons == {"path_teardown": 3}
+        alias = observatory.recorder.alias_for(path)
+        assert observatory.metrics.total("path_drops_total", path=alias,
+                                         category="path_teardown") == 3
+        assert observatory.metrics.total("queue_drops_total",
+                                         path=alias) == 3
+
+    def test_delete_closes_open_queue_wait_spans(self):
+        engine, observatory, path = self._traced_path()
+        inq = path.input_queue(BWD)
+        msgs = [Msg(b"x"), Msg(b"y")]
+        for msg in msgs:
+            inq.enqueue(msg)
+        assert observatory.recorder.open_count() == 2
+        path.delete()
+        assert observatory.recorder.open_count() == 0
+        waits = [s for s in observatory.recorder.spans
+                 if s.kind == "queue_wait"]
+        assert len(waits) == 2
+        assert all(s.detail == "dropped:path_teardown" for s in waits)
+
+    def test_no_metric_goes_negative_across_teardown(self):
+        engine, observatory, path = self._traced_path()
+        inq = path.input_queue(BWD)
+        for i in range(4):
+            inq.enqueue(Msg(b"z"))
+        inq.dequeue()
+        path.delete()
+        alias = observatory.recorder.alias_for(path)
+        for series in observatory.metrics.series(path=alias):
+            value = getattr(series, "value", None)
+            if value is not None:
+                assert value >= 0, series.name
+
+    def test_delete_twice_does_not_double_count(self):
+        engine, observatory, path = self._traced_path()
+        path.input_queue(BWD).enqueue(Msg(b"once"))
+        path.delete()
+        drops = path.stats.drops
+        path.delete()
+        assert path.stats.drops == drops
+
+
+class TestWatchdogRebuildAccounting:
+    def _stalled_world(self):
+        """A real path that receives demand but never produces output."""
+        engine = Engine()
+        observatory = Observatory(engine)
+        _, routers = make_chain("A", "B", "C")
+        from repro.core import PA_TRACE
+
+        attrs = Attrs({PA_TRACE: observatory})
+        path = path_create(routers[0], attrs)
+        rebuilt = []
+
+        def rebuild():
+            fresh = path_create(routers[0], attrs)
+            rebuilt.append(fresh)
+            return fresh
+
+        dog = PathWatchdog(engine, path, rebuild, check_interval_us=10.0,
+                           stall_budget_us=50.0, backoff_base_us=5.0,
+                           backoff_max_us=40.0,
+                           observatory=observatory).start()
+
+        def offer():
+            if path.state != "deleted":
+                path.input_queue(BWD).try_enqueue(Msg(b"stuck"))
+            engine.schedule(10.0, offer)
+
+        engine.schedule(10.0, offer)
+        return engine, observatory, path, dog, rebuilt
+
+    def test_rebuild_drops_are_categorised_and_spans_closed(self):
+        engine, observatory, path, dog, rebuilt = self._stalled_world()
+        engine.run_until(500.0)
+        assert dog.stalls_detected >= 1
+        assert rebuilt  # a replacement exists
+        assert path.stats.drop_reasons.get("watchdog_rebuild", 0) > 0
+        assert "path_teardown" not in path.stats.drop_reasons
+        alias = observatory.recorder.alias_for(path)
+        assert observatory.metrics.total(
+            "path_drops_total", path=alias,
+            category="watchdog_rebuild") == path.stats.drops
+        # Queue-wait spans of the torn-down path were closed, not leaked.
+        stuck_waits = [s for s in observatory.recorder.spans
+                       if s.kind == "queue_wait" and s.path == alias
+                       and s.detail == "dropped:watchdog_rebuild"]
+        assert len(stuck_waits) == path.stats.drops
+
+    def test_watchdog_incidents_recorded(self):
+        engine, observatory, path, dog, rebuilt = self._stalled_world()
+        engine.run_until(500.0)
+        incidents = [s.label for s in observatory.recorder.spans
+                     if s.kind == "incident"]
+        assert "watchdog_stall" in incidents
+        assert "watchdog_rebuilt" in incidents
+        assert observatory.metrics.total("incidents_total",
+                                         type="watchdog_stall") \
+            == dog.stalls_detected
+
+
+class TestGovernorObservability:
+    def _pressured_governor(self):
+        from repro.faults import DegradationGovernor
+        from ..faults.test_degrade import FakeKernel, FakePath
+
+        engine = Engine()
+        observatory = Observatory(engine)
+        path, kernel = FakePath(), FakeKernel()
+        governor = DegradationGovernor(
+            engine, kernel, path, check_interval_us=100.0,
+            high_occupancy=0.75, low_occupancy=0.25, drop_threshold=4,
+            max_skip=8, healthy_checks=1, observatory=observatory).start()
+        return engine, observatory, path, kernel, governor
+
+    def test_escalation_emits_incident_and_skip_gauge(self):
+        engine, observatory, path, kernel, governor = \
+            self._pressured_governor()
+        for i in range(4):
+            path.input_queue(0).enqueue(i)  # occupancy 1.0
+        engine.run_until(101.0)
+        assert governor.escalations == 1
+        assert observatory.metrics.total("incidents_total",
+                                         type="governor_escalate") == 1
+        alias = observatory.recorder.alias_for(path)
+        gauge = observatory.metrics.get("governor_skip", path=alias)
+        assert gauge.value == 2
+        occupancy = observatory.metrics.get("governor_inq_occupancy",
+                                            path=alias)
+        assert occupancy.value == 1.0
+
+    def test_deescalation_emits_incident(self):
+        engine, observatory, path, kernel, governor = \
+            self._pressured_governor()
+        kernel.set_frame_skip(path, 4)  # start degraded, queue calm
+        engine.run_until(101.0)
+        assert governor.deescalations == 1
+        assert observatory.metrics.total("incidents_total",
+                                         type="governor_deescalate") == 1

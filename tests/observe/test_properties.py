@@ -1,0 +1,168 @@
+"""Property-based tests: queue invariants and trace-span well-formedness.
+
+Two families of invariants the observability layer leans on:
+
+* :class:`PathQueue` bookkeeping must balance under *any* operation
+  sequence — capacity is never exceeded, items come out in discipline
+  order, and the listener streams see exactly the events the totals
+  claim (the reconciliation layer is built on those listeners);
+* every span a recorder emits must be well-formed — ends after it
+  starts, nests under its parent's stack, and every queue-wait opened by
+  an enqueue is closed by exactly one dequeue or drop.
+"""
+
+from collections import deque
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import LifoPathQueue, PathQueue
+from repro.observe import QUEUE_WAIT, STAGE, TraceRecorder
+
+#: A random queue workload: enqueue a fresh item, dequeue, or clear.
+OPS = st.lists(st.sampled_from(["enq", "deq", "clear"]),
+               min_size=0, max_size=60)
+CAPS = st.integers(min_value=0, max_value=8)
+
+
+def _drive(queue, ops):
+    """Apply *ops*, mirroring into a model deque; return the model."""
+    model = deque()
+    counter = 0
+    for op in ops:
+        if op == "enq":
+            counter += 1
+            if queue.try_enqueue(counter):
+                model.append(counter)
+        elif op == "deq":
+            if queue.is_empty():
+                assert queue.try_dequeue() is None
+            else:
+                got = queue.dequeue()
+                want = model.popleft() if type(queue) is PathQueue \
+                    else model.pop()
+                assert got == want
+        else:
+            queue.clear()
+            model.clear()
+        assert len(queue) == len(model)
+        assert queue.maxlen is None or len(queue) <= queue.maxlen
+    return model
+
+
+@settings(max_examples=60, deadline=None)
+@given(maxlen=CAPS, ops=OPS)
+def test_fifo_queue_matches_model_and_balances(maxlen, ops):
+    queue = PathQueue(maxlen=maxlen)
+    model = _drive(queue, ops)
+    assert list(queue) == list(model)
+    # Conservation: every accepted item either left, was cleared (a drop
+    # that *was* enqueued), or is still waiting.  Rejections are drops
+    # that never counted as enqueued, so subtract them from the balance.
+    assert queue.enqueued - queue.dequeued - len(queue) \
+        == queue.dropped - _overflow_rejections(queue, ops, maxlen)
+    assert queue.high_watermark <= (maxlen if maxlen is not None else 1 << 60)
+
+
+def _overflow_rejections(queue, ops, maxlen):
+    """Replay to count rejections (drops of items never accepted)."""
+    replay = PathQueue(maxlen=maxlen)
+    rejected = 0
+    for op in ops:
+        if op == "enq":
+            if not replay.try_enqueue(object()):
+                rejected += 1
+        elif op == "deq":
+            replay.try_dequeue()
+        else:
+            replay.clear()
+    return rejected
+
+
+@settings(max_examples=60, deadline=None)
+@given(maxlen=st.integers(min_value=1, max_value=8), ops=OPS)
+def test_lifo_queue_matches_model(maxlen, ops):
+    model = _drive(LifoPathQueue(maxlen=maxlen), ops)
+    assert isinstance(model, deque)
+
+
+@settings(max_examples=60, deadline=None)
+@given(maxlen=CAPS, ops=OPS)
+def test_listener_counts_match_totals(maxlen, ops):
+    """The listener streams are the metrics layer's ground truth: they
+    must fire exactly once per counted event, including clear()."""
+    queue = PathQueue(maxlen=maxlen)
+    seen = {"enq": 0, "deq": 0, "drop": 0}
+    queue.on_enqueue(lambda q: seen.__setitem__("enq", seen["enq"] + 1))
+    queue.on_dequeue(lambda q: seen.__setitem__("deq", seen["deq"] + 1))
+    queue.on_drop(lambda q, item, reason: seen.__setitem__(
+        "drop", seen["drop"] + 1))
+    _drive(queue, ops)
+    assert seen["enq"] == queue.enqueued
+    assert seen["deq"] == queue.dequeued
+    assert seen["drop"] == queue.dropped
+
+
+@settings(max_examples=60, deadline=None)
+@given(maxlen=CAPS, ops=OPS)
+def test_every_enqueue_span_closes_by_dequeue_or_drop(maxlen, ops):
+    """Wire a recorder to a queue exactly the way PathObserver does and
+    check span conservation: opened waits == closed waits, and nothing
+    stays open once the queue is drained."""
+    clock = [0.0]
+    recorder = TraceRecorder(lambda: clock[0])
+    queue = PathQueue(maxlen=maxlen)
+    queue.on_enqueue(lambda q: recorder.open((id(q), id(q.last_enqueued)),
+                                             QUEUE_WAIT, "q", "P0"))
+    queue.on_dequeue(lambda q: recorder.close((id(q), id(q.last_dequeued))))
+    queue.on_drop(lambda q, item, reason: recorder.close(
+        (id(q), id(item)), detail=f"dropped:{reason}"))
+
+    items = []
+    for op in ops:
+        clock[0] += 1.0
+        if op == "enq":
+            item = object()
+            items.append(item)  # keep alive: span keys use id()
+            queue.try_enqueue(item)
+        elif op == "deq":
+            queue.try_dequeue()
+        else:
+            queue.clear()
+    queue.clear("teardown")
+    assert recorder.open_count() == 0
+    for span in recorder.spans:
+        assert span.end_us >= span.start_us
+        assert span.cost_us == span.end_us - span.start_us
+        assert span.stack == "P0;wait:q"
+
+
+#: Random span trees: each node is (self_cost, children).
+SPAN_TREE = st.deferred(lambda: st.tuples(
+    st.floats(min_value=0.0, max_value=100.0),
+    st.lists(SPAN_TREE, max_size=3)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(tree=SPAN_TREE)
+def test_nested_spans_are_well_formed_and_costs_reconcile(tree):
+    """For any nesting, spans end >= start, children's stacks extend the
+    parent's, and exclusive costs sum back to the inclusive root cost."""
+    clock = [0.0]
+    recorder = TraceRecorder(lambda: clock[0])
+
+    def walk(node, parent_stack):
+        self_cost, children = node
+        span = recorder.begin(STAGE, "s", "P0")
+        assert span.stack.startswith(parent_stack)
+        clock[0] += 1.0
+        inclusive = self_cost
+        for child in children:
+            inclusive += walk(child, span.stack)
+        recorder.end(span, total_cost_us=inclusive)
+        assert span.end_us >= span.start_us
+        assert span.cost_us >= 0.0
+        assert abs(span.cost_us - self_cost) < 1e-6
+        return inclusive
+
+    total = walk(tree, "P0")
+    assert sum(s.cost_us for s in recorder.spans) <= total + 1e-6

@@ -1,0 +1,117 @@
+"""Reconciliation: the metrics registry must agree with PathStats exactly.
+
+Every counter in the registry is bumped at the same event site that
+updates the corresponding :class:`~repro.core.path.PathStats` field, so
+after any workload the two accounts must match to the last message,
+cycle, and drop.  A mismatch means an event site updates one ledger but
+not the other — the silent double-counting this test exists to catch.
+"""
+
+import pytest
+
+from repro.experiments import Testbed
+from repro.mpeg.clips import clip_by_name
+
+PORT = 6000
+
+
+def _run_loaded_session(nframes=60, inq_len=4, skip=2):
+    """A table2-style loaded run: a traced path under queue pressure
+    (tiny input queue) with early discard active (skip=2), so the
+    reconciliation covers messages, cycles, and several drop categories."""
+    testbed = Testbed(seed=2)
+    kernel = testbed.build_scout()
+    profile = clip_by_name("Neptune")
+    # An aggressive source (large initial window, faster-than-realtime
+    # pacing) overruns the tiny input queue, so inq_overflow drops join
+    # the early_discard ones.
+    source = testbed.add_video_source(profile, dst_port=PORT, seed=2,
+                                      nframes=nframes, initial_window=64,
+                                      pace_fps=4 * profile.fps)
+    session = kernel.start_video(profile, (source.ip, source.src_port),
+                                 local_port=PORT, trace=True,
+                                 inq_len=inq_len, skip=skip)
+    testbed.start_all()
+    testbed.run_until_sources_done()
+    return kernel, session
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    return _run_loaded_session()
+
+
+def test_workload_produced_the_pressure_it_reconciles(loaded):
+    kernel, session = loaded
+    stats = session.path.stats
+    assert stats.messages_bwd > 0
+    assert stats.cycles > 0
+    assert stats.drops > 0  # tiny queue + skip guarantee real drops
+    assert len(stats.drop_reasons) >= 2
+
+
+def test_messages_reconcile(loaded):
+    kernel, session = loaded
+    registry = kernel.observatory.metrics
+    alias = kernel.observatory.recorder.alias_for(session.path)
+    stats = session.path.stats
+    assert registry.total("path_messages_total", path=alias,
+                          direction="BWD") == stats.messages_bwd
+    assert registry.total("path_messages_total", path=alias,
+                          direction="FWD") == stats.messages_fwd
+
+
+def test_cycles_reconcile(loaded):
+    kernel, session = loaded
+    registry = kernel.observatory.metrics
+    alias = kernel.observatory.recorder.alias_for(session.path)
+    assert registry.total("path_cycles_total", path=alias) \
+        == pytest.approx(session.path.stats.cycles)
+
+
+def test_drops_reconcile_in_total_and_per_category(loaded):
+    kernel, session = loaded
+    registry = kernel.observatory.metrics
+    alias = kernel.observatory.recorder.alias_for(session.path)
+    stats = session.path.stats
+    assert registry.total("path_drops_total", path=alias) == stats.drops
+    for category, count in stats.drop_reasons.items():
+        assert registry.total("path_drops_total", path=alias,
+                              category=category) == count, category
+
+
+def test_drop_spans_match_drop_counts(loaded):
+    kernel, session = loaded
+    recorder = kernel.observatory.recorder
+    assert recorder.evicted == 0  # precondition: nothing rotated out
+    drop_spans = [s for s in recorder.spans if s.kind == "drop"]
+    assert len(drop_spans) == session.path.stats.drops
+
+
+def test_queue_listener_totals_reconcile_with_queues(loaded):
+    kernel, session = loaded
+    registry = kernel.observatory.metrics
+    alias = kernel.observatory.recorder.alias_for(session.path)
+    from repro.core.queues import QUEUE_ROLE_NAMES
+
+    for role, queue in enumerate(session.path.q):
+        name = QUEUE_ROLE_NAMES[role]
+        hist = registry.get("queue_depth_at_enqueue", path=alias, queue=name)
+        assert hist.count == queue.enqueued
+        drops = registry.get("queue_drops_total", path=alias, queue=name)
+        assert drops.value == queue.dropped
+
+
+def test_teardown_keeps_the_ledgers_balanced(loaded):
+    """Deleting the path (possibly with queued messages) must keep
+    metrics == stats and close every queue-wait span."""
+    kernel, session = loaded
+    registry = kernel.observatory.metrics
+    recorder = kernel.observatory.recorder
+    alias = recorder.alias_for(session.path)
+    kernel.stop_video(session)
+    stats = session.path.stats
+    assert registry.total("path_drops_total", path=alias) == stats.drops
+    assert recorder.open_count() == 0
+    for series in registry.series("queue_depth", path=alias):
+        assert series.value >= 0

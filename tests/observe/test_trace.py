@@ -1,0 +1,201 @@
+"""TraceRecorder unit tests: nesting, costs, retention, export."""
+
+import json
+
+import pytest
+
+from repro.observe import (
+    QUEUE_WAIT,
+    STAGE,
+    TRAVERSAL,
+    TraceRecorder,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+def test_accepts_callable_and_engine_like_clocks():
+    assert TraceRecorder(lambda: 5.0).clock() == 5.0
+    assert TraceRecorder(FakeClock(7.0)).clock() == 7.0
+
+    class EngineLike:
+        now = 9.0
+
+    assert TraceRecorder(EngineLike()).clock() == 9.0
+    with pytest.raises(TypeError):
+        TraceRecorder(object())
+    with pytest.raises(ValueError):
+        TraceRecorder(lambda: 0.0, capacity=0)
+
+
+class TestNestedSpans:
+    def test_exclusive_cost_subtracts_children(self):
+        rec = TraceRecorder(lambda: 0.0)
+        outer = rec.begin(TRAVERSAL, "deliver", "P0")
+        inner = rec.begin(STAGE, "UDP", "P0")
+        rec.end(inner, total_cost_us=3.0)
+        inner2 = rec.begin(STAGE, "IP", "P0")
+        rec.end(inner2, total_cost_us=2.0)
+        rec.end(outer, total_cost_us=10.0)
+        assert inner.cost_us == 3.0
+        assert inner2.cost_us == 2.0
+        assert outer.cost_us == 5.0  # 10 inclusive - 5 attributed to children
+
+    def test_exclusive_cost_never_negative(self):
+        rec = TraceRecorder(lambda: 0.0)
+        outer = rec.begin(STAGE, "A", "P0")
+        inner = rec.begin(STAGE, "B", "P0")
+        rec.end(inner, total_cost_us=8.0)
+        rec.end(outer, total_cost_us=5.0)  # child claims more than parent
+        assert outer.cost_us == 0.0
+
+    def test_stack_strings_nest(self):
+        rec = TraceRecorder(lambda: 0.0)
+        outer = rec.begin(TRAVERSAL, "deliver.BWD", "P0", "BWD")
+        inner = rec.begin(STAGE, "ETH.BWD", "P0", "BWD")
+        assert outer.stack == "P0;deliver.BWD"
+        assert inner.stack == "P0;deliver.BWD;ETH.BWD"
+        assert inner.depth == 1
+        rec.end(inner)
+        rec.end(outer)
+
+    def test_point_events_nest_under_current_stack(self):
+        rec = TraceRecorder(lambda: 0.0)
+        outer = rec.begin(STAGE, "MPEG", "P0")
+        span = rec.point("drop", "drop:overflow", "P0", detail="full")
+        assert span.stack == "P0;MPEG;drop:overflow"
+        assert span.detail == "full"
+        rec.end(outer)
+        lone = rec.point("incident", "stall", "P1")
+        assert lone.stack == "P1;stall"
+
+    def test_mismatched_end_raises(self):
+        rec = TraceRecorder(lambda: 0.0)
+        a = rec.begin(STAGE, "A", "P0")
+        rec.begin(STAGE, "B", "P0")
+        with pytest.raises(RuntimeError):
+            rec.end(a)
+
+
+class TestAsyncSpans:
+    def test_wait_span_width_is_wall_time(self):
+        clock = FakeClock(100.0)
+        rec = TraceRecorder(clock)
+        rec.open("k", QUEUE_WAIT, "bwd_in", "P0")
+        clock.now = 175.0
+        span = rec.close("k")
+        assert span.wall_us == 75.0
+        assert span.cost_us == 75.0
+        assert span.end_us >= span.start_us
+
+    def test_close_unknown_key_returns_none(self):
+        rec = TraceRecorder(lambda: 0.0)
+        assert rec.close("nope") is None
+
+    def test_reopened_key_finishes_stale_span_as_requeued(self):
+        rec = TraceRecorder(lambda: 0.0)
+        rec.open("k", QUEUE_WAIT, "q", "P0")
+        rec.open("k", QUEUE_WAIT, "q", "P0")  # same key again
+        assert rec.open_count() == 1
+        stale = list(rec.spans)[-1]
+        assert stale.detail == "requeued"
+
+    def test_open_count_tracks_outstanding(self):
+        rec = TraceRecorder(lambda: 0.0)
+        rec.open(1, QUEUE_WAIT, "q", "P0")
+        rec.open(2, QUEUE_WAIT, "q", "P0")
+        assert rec.open_count() == 2
+        rec.close(1)
+        assert rec.open_count() == 1
+
+
+class TestRetention:
+    def test_ring_buffer_evicts_oldest(self):
+        rec = TraceRecorder(lambda: 0.0, capacity=3)
+        for i in range(5):
+            rec.point("drop", f"e{i}", "P0")
+        assert len(rec) == 3
+        assert rec.evicted == 2
+        assert rec.completed == 5
+        assert [s.label for s in rec.spans] == ["e2", "e3", "e4"]
+
+    def test_clear_keeps_open_spans_and_aliases(self):
+        rec = TraceRecorder(lambda: 0.0)
+
+        class P:
+            pid = 1
+
+        alias = rec.alias_for(P())
+        rec.open("k", QUEUE_WAIT, "q", alias)
+        rec.point("drop", "x", alias)
+        rec.clear()
+        assert len(rec) == 0
+        assert rec.open_count() == 1
+        assert rec.alias_for(P()) == alias
+
+
+class TestAliases:
+    def test_aliases_assigned_in_instrumentation_order(self):
+        rec = TraceRecorder(lambda: 0.0)
+
+        class P:
+            def __init__(self, pid):
+                self.pid = pid
+
+        # pids deliberately non-sequential — aliases still come out stable
+        assert rec.alias_for(P(17)) == "P0"
+        assert rec.alias_for(P(4)) == "P1"
+        assert rec.alias_for(P(17)) == "P0"  # idempotent
+
+
+class TestExport:
+    def _populated(self):
+        clock = FakeClock(0.0)
+        rec = TraceRecorder(clock)
+        outer = rec.begin(TRAVERSAL, "deliver", "P0")
+        inner = rec.begin(STAGE, "MPEG", "P0")
+        rec.end(inner, total_cost_us=2.5)
+        rec.end(outer, total_cost_us=4.0)
+        rec.open("k", QUEUE_WAIT, "bwd_in", "P0")
+        clock.now = 10.0
+        rec.close("k")
+        return rec
+
+    def test_collapsed_weights_are_nanoseconds(self):
+        rec = self._populated()
+        stacks = rec.collapsed()
+        assert stacks["P0;deliver;MPEG"] == 2500
+        assert stacks["P0;deliver"] == 1500  # 4.0 - 2.5 exclusive
+        assert stacks["P0;wait:bwd_in"] == 10_000
+
+    def test_collapsed_text_is_sorted_lines(self):
+        text = self._populated().collapsed_text()
+        lines = text.splitlines()
+        assert lines == sorted(lines)
+        for line in lines:
+            stack, weight = line.rsplit(" ", 1)
+            assert stack
+            int(weight)  # parses as flamegraph weight
+
+    def test_digest_is_deterministic(self):
+        assert self._populated().digest() == self._populated().digest()
+
+    def test_to_json_round_trips(self):
+        data = json.loads(self._populated().to_json())
+        assert len(data) == 3
+        for entry in data:
+            assert entry["end_us"] >= entry["start_us"]
+            assert entry["cost_us"] >= 0.0
+            assert entry["stack"].startswith(entry["path"])
+
+    def test_summary_ranks_by_cost(self):
+        rec = self._populated()
+        top = rec.summary(2)
+        assert top[0][0] == "queue_wait:bwd_in"
+        assert len(top) == 2
