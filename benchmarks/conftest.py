@@ -8,11 +8,14 @@ capture.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+FASTPATH_RESULTS = RESULTS_DIR / "BENCH_fastpath.json"
 
 
 @pytest.fixture
@@ -23,5 +26,28 @@ def record_result():
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
         print("\n" + text)
+
+    return record
+
+
+@pytest.fixture
+def record_fastpath():
+    """Merge one named section into the machine-readable fast-path
+    results file (``benchmarks/results/BENCH_fastpath.json``).
+
+    Sections merge rather than overwrite so the classify-cache and
+    traversal benchmarks — separate test files — accumulate into a
+    single artifact for CI to upload."""
+
+    def record(section: str, payload: dict) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        data = {}
+        if FASTPATH_RESULTS.exists():
+            data = json.loads(FASTPATH_RESULTS.read_text())
+        data[section] = payload
+        FASTPATH_RESULTS.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"\nBENCH_fastpath[{section}]: "
+              f"{json.dumps(payload, sort_keys=True)}")
 
     return record

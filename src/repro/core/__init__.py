@@ -37,6 +37,7 @@ from .errors import (
     ServiceTypeError,
     SpecSyntaxError,
 )
+from .flowcache import FlowCache, flow_key_ipv4_udp
 from .graph import RouterGraph, RouterRegistry, build_graph, register_router
 from .interfaces import (
     FsIface,
@@ -62,7 +63,16 @@ from .queues import (
 )
 from .router import DemuxResult, NextHop, Router, RouterLink, Service, ServiceDecl, connect
 from .spec import Connection, RouterSpec, SpecFile, format_spec, parse_spec
-from .stage import BWD, FWD, Stage, forward, opposite, turn_around
+from .stage import (
+    BWD,
+    FWD,
+    Stage,
+    brackets_downstream,
+    forward,
+    opposite,
+    propagate_bracket,
+    turn_around,
+)
 from .transform import TransformRegistry, TransformRule, all_of, has_attr, traverses
 
 __all__ = [
@@ -78,12 +88,14 @@ __all__ = [
     "RouterGraph", "RouterRegistry", "build_graph", "register_router",
     "SpecFile", "RouterSpec", "Connection", "parse_spec", "format_spec",
     "Stage", "FWD", "BWD", "opposite", "forward", "turn_around",
+    "brackets_downstream", "propagate_bracket",
     "Path", "PathStats", "CREATING", "ESTABLISHED", "DELETED",
     "path_create", "path_delete", "MAX_PATH_LENGTH",
     "PathQueue", "LifoPathQueue", "DeadlineOrderedQueue",
     "FWD_IN", "FWD_OUT", "BWD_IN", "BWD_OUT",
     "TransformRegistry", "TransformRule", "traverses", "has_attr", "all_of",
     "classify", "classify_or_raise", "ClassifierStats",
+    "FlowCache", "flow_key_ipv4_udp",
     "ScoutError", "ConfigurationError", "CyclicDependencyError",
     "ServiceTypeError", "SpecSyntaxError", "PathCreationError",
     "RoutingError", "ClassificationError", "PathStateError",

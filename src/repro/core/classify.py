@@ -12,8 +12,12 @@ simply discarded."
 The Scout classifier's requirements (both honored here):
 
 * **efficient enough for peak loads** — the chain is a handful of
-  dictionary probes over peeked header bytes, benchmarked in
-  ``benchmarks/bench_path_micro.py`` against the paper's < 5 µs claim;
+  dictionary probes over peeked header bytes, and established flows skip
+  it entirely via the :class:`~repro.core.flowcache.FlowCache` consulted
+  before the first demux (benchmarked in
+  ``benchmarks/bench_path_micro.py`` and
+  ``benchmarks/bench_classify_cache.py``; machine-readable numbers land
+  in ``benchmarks/results/BENCH_fastpath.json``);
 * **relaxed (best-effort) accuracy** — a router may return a path that is
   merely "good enough" (e.g. the short/fat reassembly path for IP
   fragments); the IP router later *reruns* the classifier on the
@@ -26,7 +30,7 @@ from typing import Optional
 
 from .errors import ClassificationError
 from .message import Msg
-from .path import Path
+from .path import DELETED, Path
 from .router import DemuxResult, Router, Service
 
 #: Refinement-hop cap: a demux cycle is a router bug, not a data property.
@@ -36,25 +40,44 @@ MAX_REFINEMENTS = 32
 class ClassifierStats:
     """Counters for classification outcomes, used by experiments."""
 
-    __slots__ = ("classified", "dropped", "refinements")
+    __slots__ = ("classified", "dropped", "refinements", "cache_hits")
 
     def __init__(self) -> None:
         self.classified = 0
         self.dropped = 0
         self.refinements = 0
+        self.cache_hits = 0
 
 
 def classify(router: Router, msg: Msg, service: Optional[Service] = None,
-             stats: Optional[ClassifierStats] = None) -> Optional[Path]:
+             stats: Optional[ClassifierStats] = None,
+             cache=None) -> Optional[Path]:
     """Run the incremental demux chain starting at *router*.
 
     Returns the path to use, or ``None`` when no appropriate path exists
     (the data is to be discarded; the reason is recorded in
     ``msg.meta["drop_reason"]`` for observability).
 
+    When a *cache* (:class:`~repro.core.flowcache.FlowCache`) is
+    supplied it is consulted before the refinement chain — an established
+    flow classifies in one probe — and successful chain classifications
+    populate it.  The cache itself guarantees it never returns a path
+    that is not ESTABLISHED.
+
     The chain runs at interrupt time in Scout; callers that model CPU cost
     account for it separately (see :mod:`repro.sim.cpu`).
     """
+    if cache is not None:
+        cached = cache.lookup(msg)
+        if cached is not None:
+            if stats is not None:
+                stats.classified += 1
+                stats.cache_hits += 1
+            msg.meta["path"] = cached
+            observer = cached.observer
+            if observer is not None:
+                observer.on_demux(msg, 1)
+            return cached
     offset = 0
     current: Router = router
     current_service = service
@@ -62,12 +85,24 @@ def classify(router: Router, msg: Msg, service: Optional[Service] = None,
     for _ in range(MAX_REFINEMENTS):
         result: DemuxResult = current.demux(msg, current_service, offset)
         if result.path is not None:
+            if getattr(result.path, "state", None) == DELETED:
+                # Liveness guard: a demux map entry can outlive its path
+                # (e.g. across a watchdog rebuild).  A dead path is no
+                # path — treat it as a refinement miss and discard.
+                msg.meta["drop_reason"] = (
+                    f"{current.name}: stale demux entry for deleted "
+                    f"path #{result.path.pid}")
+                if stats is not None:
+                    stats.dropped += 1
+                return None
             if stats is not None:
                 stats.classified += 1
             msg.meta["path"] = result.path
             observer = getattr(result.path, "observer", None)
             if observer is not None:
                 observer.on_demux(msg, hops)
+            if cache is not None:
+                cache.insert(msg, result.path)
             return result.path
         if result.forward is not None:
             offset += result.consumed

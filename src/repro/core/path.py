@@ -16,7 +16,7 @@ from typing import Any, Callable, Dict, List, Optional
 from .attributes import Attrs
 from .errors import PathStateError
 from .queues import BWD_IN, BWD_OUT, FWD_IN, FWD_OUT, PathQueue, QUEUE_ROLE_NAMES
-from .stage import BWD, FWD, Stage
+from .stage import BWD, FWD, Stage, run_compiled
 
 _pid_counter = itertools.count(1)
 
@@ -105,6 +105,19 @@ class Path:
         #: request that a specific function gets executed when a thread t
         #: is awakened to execute in a path p" (Section 3.2).
         self.wakeup: Optional[Callable[["Path", Any], None]] = None
+        #: Compiled fast-path state (Section 4.1's "function pointers in
+        #: the interfaces can be updated to point to this optimized code"
+        #: taken one step further: the whole chain is flattened into one
+        #: tuple executed by a tight loop).  ``chain_generation`` is
+        #: bumped by ``Stage.set_deliver``/``wrap_deliver``; a mismatch
+        #: with ``_compiled_gen`` triggers transparent recompilation.
+        self.chain_generation = 0
+        self._compiled: List[Optional[tuple]] = [None, None]
+        self._compiled_gen = -1
+        #: Flow caches holding entries that point at this path; populated
+        #: by :meth:`register_flow_cache`, purged synchronously by
+        #: :meth:`delete` so no cache can ever return a deleted path.
+        self._flow_caches: List[Any] = []
         lengths = queue_lengths or {}
         self.q: List[PathQueue] = [
             PathQueue(maxlen=lengths.get(role, 32),
@@ -188,6 +201,44 @@ class Path:
         stage = self.stages[0] if direction == FWD else self.stages[-1]
         return stage.end[direction]
 
+    # -- compiled fast path ----------------------------------------------------
+
+    def compile_chains(self) -> None:
+        """Flatten both directions' interface chains into precomputed
+        ``((iface, deliver_fn), ...)`` tuples (phase 4's follow-up: after
+        the transformation fixpoint settles the function pointers, the
+        pointer chase itself is compiled away).  Either direction may be
+        uncompilable (``None``) — delivery then falls back to recursion.
+        """
+        self._compiled = [self._compile_direction(FWD),
+                          self._compile_direction(BWD)]
+        self._compiled_gen = self.chain_generation
+
+    def _compile_direction(self, direction: int) -> Optional[tuple]:
+        if not self.stages:
+            return None
+        chain = []
+        seen = set()
+        iface = self.entry_iface(direction)
+        while iface is not None:
+            if id(iface) in seen:
+                return None  # cyclic wiring: keep the pointer chase
+            seen.add(id(iface))
+            fn = getattr(iface, "deliver", None)
+            if fn is None:
+                return None  # a gap in the chain: uncompilable
+            if getattr(fn, "_brackets_downstream", False):
+                # This function holds the rest of the traversal inside
+                # its dynamic extent (fault containment, whole-chain
+                # probes) — flattening stops here; it recurses onward.
+                if not chain:
+                    return None  # entry brackets everything: plain recursion
+                chain.append((iface, fn, False))
+                return tuple(chain)
+            chain.append((iface, fn, True))
+            iface = iface.next
+        return tuple(chain)
+
     def deliver(self, msg: Any, direction: int = FWD, **kwargs: Any) -> Any:
         """Inject *msg* at the path's entry for *direction* and process it.
 
@@ -202,10 +253,19 @@ class Path:
             self.stats.messages_fwd += 1
         else:
             self.stats.messages_bwd += 1
-        iface = self.entry_iface(direction)
         observer = self.observer
         if observer is None:
+            # The compiled fast path: one tuple walk instead of a
+            # pointer-chasing recursion.  Observed paths keep the
+            # recursive route so stage spans nest exactly as before.
+            if self._compiled_gen != self.chain_generation:
+                self.compile_chains()
+            chain = self._compiled[direction]
+            if chain is not None:
+                return run_compiled(chain, msg, direction, kwargs)
+            iface = self.entry_iface(direction)
             return iface.deliver(iface, msg, direction, **kwargs)
+        iface = self.entry_iface(direction)
         token = observer.begin_traversal(msg, direction)
         try:
             return iface.deliver(iface, msg, direction, **kwargs)
@@ -257,6 +317,13 @@ class Path:
         if self.observer is not None:
             self.observer.on_cycles(cycles)
 
+    def register_flow_cache(self, cache: Any) -> None:
+        """Record that *cache* holds entries mapping to this path, so
+        :meth:`delete` can purge them synchronously (a flow cache must
+        never hand out a deleted path)."""
+        if cache not in self._flow_caches:
+            self._flow_caches.append(cache)
+
     def note_progress(self) -> None:
         """Record useful work that does not land on an output queue (wire
         transmission, inline service).  Feeds the watchdog heartbeat."""
@@ -290,6 +357,11 @@ class Path:
         """
         if self.state == DELETED:
             return
+        # Purge flow-cache entries first: nothing may classify onto a
+        # path whose stages are mid-teardown.
+        for cache in self._flow_caches:
+            cache.invalidate_path(self)
+        self._flow_caches.clear()
         for stage in reversed(self.stages):
             stage.destroy()
         for queue in self.q:

@@ -115,6 +115,13 @@ def path_create(router: Router, attrs: Optional[Mapping[str, Any]] = None,
         instrument = getattr(tracer, "instrument", None)
         if instrument is not None:
             instrument(path)
+
+    # Compile: with the transformation fixpoint reached (and any probes
+    # wrapped), the deliver pointers are final — flatten each direction's
+    # interface chain into the tuple Path.deliver executes as a tight
+    # loop.  Later set_deliver/wrap_deliver calls bump the path's
+    # generation counter and recompilation happens transparently.
+    path.compile_chains()
     return path
 
 

@@ -91,8 +91,14 @@ class Stage:
         overwrite: "if a path contains a sequence of interfaces for which
         there is optimized code available, then the function pointers in
         the interfaces can be updated to point to this optimized code."
+
+        Overwriting a pointer invalidates any compiled flattening of the
+        chain, so the owning path's generation counter is bumped and the
+        next traversal recompiles transparently.
         """
         self.end[direction].deliver = fn
+        if self.path is not None:
+            self.path.chain_generation += 1
 
     def deliver_fn(self, direction: int) -> Optional[Callable[..., Any]]:
         return getattr(self.end[direction], "deliver", None)
@@ -112,6 +118,8 @@ class Stage:
         if inner is None:
             return False
         self.end[direction].deliver = wrapper(inner)
+        if self.path is not None:
+            self.path.chain_generation += 1
         return True
 
     # -- accounting -----------------------------------------------------------------
@@ -141,6 +149,73 @@ class Stage:
         return f"<Stage {self.router.name} {enter}->{leave}>"
 
 
+def brackets_downstream(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Mark a deliver function as *bracketing* its downstream call.
+
+    A deliver function is flatten-safe when it tail-returns
+    ``forward(...)`` — nothing of it remains on the stack while later
+    stages run.  A function that does work *after* the downstream call
+    returns, or holds a try/except around it (fault containment,
+    whole-traversal probes), relies on the recursive nesting and must not
+    be flattened past: :meth:`Path.compile_chains` stops compiling at a
+    marked function and lets it recurse through the rest of the chain.
+
+    Wrappers that re-wrap a marked function must propagate the mark
+    (see :func:`propagate_bracket`).
+    """
+    fn._brackets_downstream = True  # type: ignore[attr-defined]
+    return fn
+
+
+def propagate_bracket(inner: Callable[..., Any],
+                      outer: Callable[..., Any]) -> Callable[..., Any]:
+    """Copy the bracketing mark from *inner* onto *outer* — for wrappers
+    (fault injectors, probes) that interpose on an arbitrary deliver
+    function and must not let a marked one be flattened."""
+    if getattr(inner, "_brackets_downstream", False):
+        outer._brackets_downstream = True  # type: ignore[attr-defined]
+    return outer
+
+
+class _Trampoline:
+    """Thread-of-control state for compiled chain execution.
+
+    The compiled fast path (:func:`run_compiled`) executes a path's
+    deliver functions in a tight loop instead of letting each stage
+    recurse through :func:`forward`.  Stage code is unchanged — it still
+    calls ``forward(iface, msg, d)`` — so the loop and ``forward``
+    cooperate through this module-level state: while the loop is running
+    stage *k*, a forward from stage *k*'s interface is *deferred* (the
+    message is parked and a sentinel returned) and the loop picks it up
+    as the input to stage *k+1*.  Any other forward (turn-arounds,
+    cross-path delivery, nested traversals) misses the identity check and
+    takes the normal recursive route.
+
+    The simulation is single-threaded, so one module-level instance
+    suffices; nested compiled traversals save and restore it.
+    """
+
+    __slots__ = ("expected", "direction", "pending")
+
+    def __init__(self) -> None:
+        self.expected: Optional[Iface] = None  # iface whose forward defers
+        self.direction = -1
+        self.pending: Optional[tuple] = None   # parked (msg, kwargs)
+
+
+_TRAMPOLINE = _Trampoline()
+
+
+class _Deferred:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<forward deferred to compiled loop>"
+
+
+#: Sentinel returned by :func:`forward` when the compiled loop will carry
+#: the message to the next stage instead of recursing.
+DEFERRED = _Deferred()
+
+
 def forward(iface: Iface, msg: Any, direction: int,
             **kwargs: Any) -> Any:
     """Forward *msg* from *iface* to the next interface in its direction.
@@ -149,13 +224,85 @@ def forward(iface: Iface, msg: Any, direction: int,
     end; the caller (normally an extreme stage's deliver function) is
     responsible for enqueueing it, so reaching this case from an interior
     stage is a wiring bug and raised as such.
+
+    Under compiled execution (:func:`run_compiled`) a forward from the
+    currently executing stage is deferred to the tight loop rather than
+    recursing — stage code cannot tell the difference.
     """
+    t = _TRAMPOLINE
+    if iface is t.expected and direction == t.direction:
+        if t.pending is None:
+            t.pending = (msg, kwargs)
+            return DEFERRED
+        # Fan-out: the stage forwards more than one message per call
+        # (e.g. IP emitting several fragments).  Flush the earlier one
+        # down the rest of the chain recursively so wire order is
+        # preserved, then defer the newest.
+        earlier_msg, earlier_kwargs = t.pending
+        t.pending = None
+        t.expected = None
+        try:
+            nxt = iface.next
+            if nxt is not None:
+                nxt.deliver(nxt, earlier_msg, direction, **earlier_kwargs)
+        finally:
+            t.expected = iface
+        t.pending = (msg, kwargs)
+        return DEFERRED
     nxt = iface.next
     if nxt is None:
         raise RuntimeError(
             f"{iface!r} has no next interface; interior stages must be "
             f"chained before delivery")
     return nxt.deliver(nxt, msg, direction, **kwargs)
+
+
+def run_compiled(chain: tuple, msg: Any, direction: int,
+                 kwargs: dict) -> Any:
+    """Execute a precompiled ``((iface, fn, intercept), ...)`` chain as a
+    tight loop.
+
+    Each stage's deliver function runs exactly as it would recursively;
+    its own ``forward`` call is intercepted (see :class:`_Trampoline`)
+    and the parked message becomes the next iteration's input.  A stage
+    that does *not* forward — absorb, drop, turn-around — terminates the
+    loop and its return value is the traversal's result, matching the
+    recursive semantics of delivery functions that tail-return
+    ``forward(...)``.
+
+    An entry with ``intercept`` false is always last: its function
+    brackets the rest of the chain (see :func:`brackets_downstream`) and
+    is executed without interception, so its downstream forward recurses
+    through the remaining stages inside its dynamic extent.
+    """
+    t = _TRAMPOLINE
+    saved = (t.expected, t.direction, t.pending)
+    t.direction = direction
+    # The outer finally restores all trampoline state even when a stage
+    # function raises mid-loop, so the loop body itself stays bare — on
+    # the hot path every statement is paid once per stage.
+    try:
+        for iface, fn, intercept in chain:
+            if not intercept:
+                # Bracketing stage: run it recursively so downstream
+                # stages execute inside its frame (containment, probes).
+                t.expected = None
+                return fn(iface, msg, direction, **kwargs)
+            t.expected = iface
+            t.pending = None
+            result = fn(iface, msg, direction, **kwargs)
+            parked = t.pending
+            if parked is None:
+                t.expected = None
+                return result  # absorbed / dropped / turned around / end
+            msg, kwargs = parked
+        # Only reachable when the final stage forwarded: mirror the
+        # recursive path's wiring-bug diagnosis.
+        raise RuntimeError(
+            f"{chain[-1][0]!r} has no next interface; interior stages must "
+            f"be chained before delivery")
+    finally:
+        t.expected, t.direction, t.pending = saved
 
 
 def turn_around(iface: Iface, msg: Any, direction: int,

@@ -12,6 +12,13 @@ resource behaviour by e.g. overwriting interface deliver pointers with
 fused code (the UDP-checksum-into-MPEG-read example of Section 4.1) or
 installing measurement probes (the packet-processing-time probe of
 Section 4.2).
+
+Transformations compose with the compiled fast path automatically: every
+``Stage.set_deliver``/``wrap_deliver`` a rule performs bumps the path's
+``chain_generation``, so a rule applied *after* path creation (outside
+the phase-4 fixpoint) invalidates the flattened chain and the next
+``Path.deliver`` recompiles against the new function pointers.  Rules
+never need to know the compiled layer exists.
 """
 
 from __future__ import annotations

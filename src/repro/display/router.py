@@ -129,7 +129,12 @@ class DisplayStage(Stage):
         frame.deadline = self.sink.next_frame_deadline() \
             if self.sink is not None else None
         if not self.path.output_queue(direction).try_enqueue(frame):
+            # Route the discard through the path ledger like every other
+            # drop site — the stage-local counter alone left these frames
+            # invisible to PathStats/metrics reconciliation.
             self.frames_dropped += 1
+            self.note_drop(frame, "display output queue full",
+                           "outq_overflow")
             return None
         router.frames_queued += 1
         return None

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..core.stage import propagate_bracket
 from ..net.common import charge
 from .plan import StageFault
 
@@ -86,7 +87,7 @@ class StageFaultInjector:
             charge(msg, fault.extra_us)
             return original(iface, msg, direction, **kwargs)
 
-        return faulty
+        return propagate_bracket(original, faulty)
 
 
 class QueueStormer:

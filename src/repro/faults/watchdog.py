@@ -57,11 +57,16 @@ class PathWatchdog:
                  stall_budget_us: float = params.WATCHDOG_STALL_BUDGET_US,
                  backoff_base_us: float = params.WATCHDOG_BACKOFF_BASE_US,
                  backoff_max_us: float = params.WATCHDOG_BACKOFF_MAX_US,
-                 observatory=None):
+                 observatory=None, flow_cache=None):
         self.engine = engine
         self.path = path
         self.rebuild = rebuild
         self.observatory = observatory
+        #: Optional :class:`~repro.core.flowcache.FlowCache` to purge on
+        #: every stall.  ``Path.delete`` already invalidates the caches a
+        #: path is registered with; this covers a cache the stalled path
+        #: never reached (e.g. it stalled before its first packet).
+        self.flow_cache = flow_cache
         self.check_interval_us = check_interval_us
         self.stall_budget_us = stall_budget_us
         self.backoff_base_us = backoff_base_us
@@ -166,6 +171,8 @@ class PathWatchdog:
         # Messages still queued on the stalled path are casualties of the
         # repair, not of the original fault: account them under their own
         # category so recovery cost is visible (and reconcilable).
+        if self.flow_cache is not None:
+            self.flow_cache.invalidate_path(self.path)
         self.path.delete(drop_category="watchdog_rebuild")
         self.engine.schedule(backoff, self._repair)
 

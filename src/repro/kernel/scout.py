@@ -33,6 +33,7 @@ from ..core.attributes import (
     Attrs,
 )
 from ..core.classify import ClassifierStats, classify
+from ..core.flowcache import FlowCache
 from ..core.graph import RouterGraph
 from ..core.message import Msg
 from ..core.path import DELETED, Path
@@ -44,6 +45,7 @@ from ..display.router import DisplayRouter
 from ..mpeg.clips import ClipProfile, PACKET_HEADER_SIZE
 from ..mpeg.decoder import peek_packet_header
 from ..mpeg.router import PA_FRAME_SKIP, PA_VIDEO_PROFILE, MpegRouter
+from ..net.addresses import EthAddr, IpAddr
 from ..net.arp import ArpRouter
 from ..net.common import PA_LOCAL_PORT, PA_UDP_CHECKSUM, charge, take_cost
 from ..net.eth import EthRouter
@@ -103,7 +105,8 @@ class ScoutKernel:
                  admission: Optional[AdmissionHook] = None,
                  icmp_priority: int = 1,
                  inline_icmp: bool = False,
-                 vsync_hz: float = params.VSYNC_HZ):
+                 vsync_hz: float = params.VSYNC_HZ,
+                 flow_cache_capacity: int = 128):
         self.world = world
         self.segment = segment
         self.transforms = transforms if transforms is not None \
@@ -152,6 +155,13 @@ class ScoutKernel:
 
         # -- runtime state ---------------------------------------------------
         self.classifier_stats = ClassifierStats()
+        #: Established-flow fast path for interrupt-time classification:
+        #: one exact-match probe instead of the ETH->IP->UDP->... chain.
+        #: The annotate hook reproduces the meta the skipped demux hops
+        #: would have stashed (SHELL reads ``ip_src`` for replies).
+        self.flow_cache = FlowCache(capacity=flow_cache_capacity,
+                                    annotate=self._annotate_flow_hit)
+        self.flow_cache.bind_metrics(self.observatory.metrics)
         self.sessions: List[VideoSession] = []
         self.shell_path: Optional[Path] = None
         #: path pid -> keep-every-Nth modulus for adapter-level early drop.
@@ -186,7 +196,10 @@ class ScoutKernel:
     def _rx(self, frame: bytes) -> None:
         msg = Msg(frame, meta={"rx_time": self.world.now})
         refinements_before = self.classifier_stats.refinements
-        path = classify(self.eth, msg, stats=self.classifier_stats)
+        path = classify(self.eth, msg, stats=self.classifier_stats,
+                        cache=self.flow_cache)
+        # A cache hit adds no refinements, so its modeled interrupt cost
+        # is a single probe — the speedup the flow cache exists to buy.
         hops = self.classifier_stats.refinements - refinements_before + 1
         self.world.cpu.extend_interrupt(hops * params.CLASSIFY_PER_HOP_US)
         if path is None:
@@ -218,6 +231,21 @@ class ScoutKernel:
             self.world.cpu.extend_interrupt(params.EARLY_DROP_US)
             return
         path.stats.charge_memory(msg.footprint())
+
+    def _annotate_flow_hit(self, msg: Msg, key: bytes) -> None:
+        """Reproduce the ``msg.meta`` annotations the skipped demux chain
+        would have made (ETH, IP and UDP each stash the fields later
+        stages and SHELL command handling read).  The key guarantees a
+        well-formed non-fragmented IPv4/UDP frame, so fixed offsets are
+        safe: ETH src at 6, IP proto at 23, IP src at 26, UDP ports at 34.
+        """
+        head = msg.peek(38)
+        meta = msg.meta
+        meta["eth_src"] = EthAddr(head[6:12])
+        meta["ip_src"] = IpAddr(head[26:30])
+        meta["ip_proto"] = head[23]
+        meta["udp_ports"] = (int.from_bytes(head[34:36], "big"),
+                             int.from_bytes(head[36:38], "big"))
 
     def _note_arrival(self, path: Path) -> None:
         """Maintain the path's average packet inter-arrival time, which
@@ -395,6 +423,10 @@ class ScoutKernel:
             self._skip_filters.pop(path.pid, None)
         else:
             self._skip_filters[path.pid] = int(modulus)
+        # Early-discard reconfiguration flushes the flow's fast-path
+        # state: the next packet re-walks the full chain and re-caches,
+        # so no reconfiguration window can be masked by a hot entry.
+        self.flow_cache.invalidate_path(path)
 
     def frame_skip(self, path: Path) -> int:
         """Current early-discard modulus for *path* (1 = keep everything)."""
@@ -402,6 +434,9 @@ class ScoutKernel:
 
     def stop_video(self, session: VideoSession) -> None:
         self._skip_filters.pop(session.path.pid, None)
+        # delete() purges every registered flow cache synchronously; the
+        # explicit call also covers a path that never saw an insert.
+        self.flow_cache.invalidate_path(session.path)
         session.path.delete()
         release = getattr(self.admission, "release", None)
         if release is not None:
@@ -445,6 +480,11 @@ class ScoutKernel:
         return {
             "classified": self.classifier_stats.classified,
             "classifier_drops": self.classifier_stats.dropped,
+            "classifier_cache_hits": self.classifier_stats.cache_hits,
+            "flow_cache_hits": self.flow_cache.hits,
+            "flow_cache_misses": self.flow_cache.misses,
+            "flow_cache_evictions": self.flow_cache.evictions,
+            "flow_cache_invalidations": self.flow_cache.invalidations,
             "early_drops": self.early_drops,
             "inq_overflow_drops": self.inq_overflow_drops,
             "echo_requests": self.icmp.echo_requests,

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from .. import params
 from ..core.attributes import PA_AVG_PROC_TIME
-from ..core.stage import BWD
+from ..core.stage import BWD, brackets_downstream
 from ..core.transform import TransformRegistry, TransformRule, all_of, traverses
 from ..mpeg.router import PA_VIDEO_PROFILE
 from ..net.common import COST_KEY, charge
@@ -74,6 +74,10 @@ def make_measure_proc_time_rule() -> TransformRule:
         eth_stage = path.stage_of("ETH")
         original = eth_stage.deliver_fn(BWD)
 
+        # The probe reads the traversal's accumulated cost after the
+        # downstream call returns, so the rest of the chain must run
+        # inside its frame — it cannot be flattened past.
+        @brackets_downstream
         def measured(iface, msg, direction, **kwargs):
             before = msg.meta.get(COST_KEY, 0.0)
             result = original(iface, msg, direction, **kwargs)
@@ -109,6 +113,10 @@ def make_fault_isolation_rule() -> TransformRule:
                 if original is None:
                     continue
 
+                # Containment catches exceptions thrown by *downstream*
+                # routers via the recursive nesting, so the chain below
+                # must execute inside this try block — never flattened.
+                @brackets_downstream
                 def contained(iface, msg, d, _orig=original,
                               _stage=stage, **kwargs):
                     try:

@@ -153,7 +153,7 @@ class Scheduler:
         self.make_runnable(thread)
         return thread
 
-    def make_runnable(self, thread: SimThread) -> None:
+    def make_runnable(self, thread: SimThread, *, floor: bool = True) -> None:
         """Wake *thread*: run its path's wakeup callback, then enqueue it
         on its policy's ready queue."""
         if thread.state in (DONE, READY, RUNNING):
@@ -163,9 +163,19 @@ class Scheduler:
         slot = self._slots[thread.policy]
         # A policy that slept must not carry stale credit: advance its
         # virtual time to the busiest competitor's so shares stay fair.
-        active = [s.vtime for s in self._slots.values() if len(s.policy)]
-        if active:
-            slot.vtime = max(slot.vtime, min(active))
+        # The RUNNING thread's slot counts as a competitor even though its
+        # ready queue is momentarily empty — otherwise a policy waking
+        # opposite a lone compute-bound thread keeps its stale (low)
+        # virtual time and monopolizes the CPU until it catches up.
+        # The floor is for policies waking from *idle* only: a yielding
+        # thread's policy never left the competition, and its low virtual
+        # time is earned priority, not stale credit (``floor=False``).
+        if floor:
+            active = [s.vtime for s in self._slots.values() if len(s.policy)]
+            if self.current is not None and self.current.state == RUNNING:
+                active.append(self._slots[self.current.policy].vtime)
+            if active:
+                slot.vtime = max(slot.vtime, min(active))
         thread.state = READY
         thread.wakeups += 1
         slot.policy.add(thread)
@@ -304,7 +314,7 @@ class Scheduler:
         if self.current is thread:
             self.current = None
         thread.state = BLOCKED  # so make_runnable re-queues it
-        self.make_runnable(thread)
+        self.make_runnable(thread, floor=False)
         self._request_dispatch()
 
     # -- queue wake plumbing -----------------------------------------------------------
@@ -320,7 +330,30 @@ class Scheduler:
         self._wake_one(self._deq_waiters.get(id(queue)))
 
     def _queue_drained(self, queue: PathQueue) -> None:
-        self._wake_one(self._enq_waiters.get(id(queue)))
+        waiters = self._enq_waiters.get(id(queue))
+        if not waiters:
+            return
+        # Space waiters are of two kinds: WaitSpace watchers, which
+        # consume nothing, and Enqueue waiters, which each need a free
+        # slot.  Waking exactly one waiter per drain loses a wake-up
+        # whenever a watcher sits ahead of an enqueuer — the watcher
+        # absorbs the only wake and the enqueuer blocks forever.  Wake
+        # every watcher, plus as many enqueuers as there are free slots,
+        # keeping the rest in FIFO order.  (An overwoken enqueuer re-blocks
+        # harmlessly at dispatch, so the budget is an efficiency bound,
+        # not a correctness one.)
+        budget = queue.free_slots
+        kept: Deque[SimThread] = deque()
+        while waiters:
+            thread = waiters.popleft()
+            if isinstance(thread.pending_op, Enqueue) \
+                    and budget is not None:
+                if budget <= 0:
+                    kept.append(thread)
+                    continue
+                budget -= 1
+            self.make_runnable(thread)
+        waiters.extend(kept)
 
     def _wake_one(self, waiters: Optional[Deque[SimThread]]) -> None:
         if waiters:

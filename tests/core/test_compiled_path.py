@@ -1,0 +1,228 @@
+"""Tests for the compiled fast-path traversal.
+
+After path creation the interface chain is flattened into a tuple that
+``Path.deliver`` executes as a tight loop.  These tests pin the contract:
+identical semantics to the recursive pointer chase (including absorb,
+turn-around and fan-out), transparent recompilation when a transformation
+swaps a deliver pointer, and recursion fallback for functions that
+bracket their downstream (fault containment and whole-chain probes).
+"""
+
+import pytest
+
+from repro.core import Attrs, BWD, FWD, Msg, path_create
+from repro.core.stage import brackets_downstream, forward, propagate_bracket
+
+from ..helpers import make_chain
+
+
+def build_path(*names, **router_kwargs):
+    graph, routers = make_chain(*names, **router_kwargs)
+    return graph, routers, path_create(routers[0], Attrs())
+
+
+def force_recursive(path):
+    """Disable the compiled chains without touching semantics."""
+    path._compiled = [None, None]
+    path._compiled_gen = path.chain_generation
+
+
+class TestCompilation:
+    def test_path_create_compiles_both_directions(self):
+        _, _, path = build_path("A", "B", "C")
+        assert path._compiled_gen == path.chain_generation
+        assert path._compiled[FWD] is not None
+        assert path._compiled[BWD] is not None
+        assert len(path._compiled[FWD]) == 3
+
+    def test_compiled_matches_recursive_traversal(self):
+        _, _, compiled = build_path("A", "B", "C")
+        _, _, recursive = build_path("A", "B", "C")
+        force_recursive(recursive)
+
+        m1, m2 = Msg(b"payload"), Msg(b"payload")
+        compiled.deliver(m1, FWD)
+        recursive.deliver(m2, FWD)
+        assert m1.meta["trace"] == m2.meta["trace"]
+        assert m1.meta["trace"] == [("A", FWD), ("B", FWD), ("C", FWD)]
+        assert compiled.output_queue(FWD).dequeue() is m1
+
+    def test_backward_direction(self):
+        _, _, path = build_path("A", "B", "C")
+        msg = Msg(b"payload")
+        path.deliver(msg, BWD)
+        assert msg.meta["trace"] == [("C", BWD), ("B", BWD), ("A", BWD)]
+        assert path.output_queue(BWD).dequeue() is msg
+
+
+class TestGeneralizedProcessing:
+    def test_absorbing_stage_ends_the_loop(self):
+        _, _, path = build_path("A", "B", "C",
+                                B={"absorb": True})
+        msg = Msg(b"payload")
+        path.deliver(msg, FWD)
+        assert msg.meta["trace"] == [("A", FWD), ("B", FWD)]
+        assert msg.meta["absorbed_at"] == "B"
+        assert path.output_queue(FWD).is_empty()
+
+    def test_turn_around_matches_recursive(self):
+        _, _, path = build_path("A", "B", "C", B={"bounce": True})
+        msg = Msg(b"payload")
+        path.deliver(msg, FWD)
+        # B turns the message around; BWD processing resumes at A.
+        assert msg.meta["trace"] == [("A", FWD), ("B", FWD), ("A", BWD)]
+        assert path.output_queue(BWD).dequeue() is msg
+
+    def test_fan_out_preserves_wire_order(self):
+        """A stage may forward several messages per call (IP
+        fragmentation); the compiled loop must keep their order."""
+        _, _, path = build_path("A", "B", "C")
+        stage_b = path.stage_of("B")
+        pieces = [Msg(b"piece0"), Msg(b"piece1"), Msg(b"piece2")]
+
+        def fragment(iface, msg, d, **kwargs):
+            for piece in pieces:
+                forward(iface, piece, d, **kwargs)
+            return None
+
+        stage_b.set_deliver(FWD, fragment)
+        path.deliver(Msg(b"payload"), FWD)
+        outq = path.output_queue(FWD)
+        assert [outq.dequeue() for _ in pieces] == pieces
+        for piece in pieces:
+            assert piece.meta["trace"] == [("C", FWD)]
+
+
+class TestRecompilation:
+    def test_set_deliver_bumps_generation_and_recompiles(self):
+        _, _, path = build_path("A", "B", "C")
+        generation = path.chain_generation
+        stage_b = path.stage_of("B")
+        inner = stage_b.deliver_fn(FWD)
+
+        def tagged(iface, msg, d, **kwargs):
+            msg.meta["tagged"] = True
+            return inner(iface, msg, d, **kwargs)
+
+        stage_b.set_deliver(FWD, tagged)
+        assert path.chain_generation > generation
+        msg = Msg(b"payload")
+        path.deliver(msg, FWD)  # recompiles transparently
+        assert msg.meta["tagged"]
+        assert msg.meta["trace"] == [("A", FWD), ("B", FWD), ("C", FWD)]
+        assert path._compiled_gen == path.chain_generation
+
+    def test_wrap_deliver_bumps_generation(self):
+        _, _, path = build_path("A", "B")
+        generation = path.chain_generation
+        path.stage_of("A").wrap_deliver(FWD, lambda inner: inner)
+        assert path.chain_generation > generation
+
+
+class TestBracketFallback:
+    def test_bracketing_wrapper_contains_downstream_exception(self):
+        """A containment-style wrapper marked with brackets_downstream
+        must see exceptions raised by *later* stages — the compiled loop
+        falls back to recursion from the marked stage onward."""
+        _, _, path = build_path("A", "B", "C")
+
+        def boom(iface, msg, d, **kwargs):
+            raise RuntimeError("downstream fault")
+
+        path.stage_of("C").set_deliver(FWD, boom)
+        stage_b = path.stage_of("B")
+        inner = stage_b.deliver_fn(FWD)
+
+        @brackets_downstream
+        def guarded(iface, msg, d, **kwargs):
+            try:
+                return inner(iface, msg, d, **kwargs)
+            except RuntimeError:
+                msg.meta["contained"] = True
+                return None
+
+        stage_b.set_deliver(FWD, guarded)
+        msg = Msg(b"payload")
+        path.deliver(msg, FWD)  # must not raise
+        assert msg.meta["contained"]
+
+    def test_compile_stops_at_bracketing_stage(self):
+        _, _, path = build_path("A", "B", "C")
+        stage_b = path.stage_of("B")
+        stage_b.set_deliver(
+            FWD, brackets_downstream(stage_b.deliver_fn(FWD)))
+        path.compile_chains()
+        chain = path._compiled[FWD]
+        assert len(chain) == 2  # A intercepted, B terminal-recursive
+        assert chain[0][2] is True
+        assert chain[1][2] is False
+
+    def test_entry_bracket_disables_compilation(self):
+        _, _, path = build_path("A", "B")
+        stage_a = path.stage_of("A")
+        stage_a.set_deliver(
+            FWD, brackets_downstream(stage_a.deliver_fn(FWD)))
+        path.compile_chains()
+        assert path._compiled[FWD] is None  # plain recursion, no loop
+        msg = Msg(b"payload")
+        path.deliver(msg, FWD)
+        assert msg.meta["trace"] == [("A", FWD), ("B", FWD)]
+
+    def test_propagate_bracket_carries_the_mark(self):
+        @brackets_downstream
+        def inner(iface, msg, d, **kwargs):
+            return None
+
+        def outer(iface, msg, d, **kwargs):
+            return inner(iface, msg, d, **kwargs)
+
+        assert not getattr(outer, "_brackets_downstream", False)
+        propagate_bracket(inner, outer)
+        assert outer._brackets_downstream
+
+    def test_unmarked_wrapper_is_flattened(self):
+        """Sanity check on the failure mode the marker exists for: an
+        UNMARKED bracketing wrapper does not see downstream exceptions
+        under compiled execution (the stages run outside its frame)."""
+        _, _, path = build_path("A", "B", "C")
+
+        def boom(iface, msg, d, **kwargs):
+            raise RuntimeError("downstream fault")
+
+        path.stage_of("C").set_deliver(FWD, boom)
+        stage_b = path.stage_of("B")
+        inner = stage_b.deliver_fn(FWD)
+
+        def unmarked_guard(iface, msg, d, **kwargs):
+            try:
+                return inner(iface, msg, d, **kwargs)
+            except RuntimeError:  # pragma: no cover - must NOT trigger
+                msg.meta["contained"] = True
+                return None
+
+        stage_b.set_deliver(FWD, unmarked_guard)
+        with pytest.raises(RuntimeError):
+            path.deliver(Msg(b"payload"), FWD)
+
+
+class TestDeliveryStateIsolation:
+    def test_nested_deliveries_do_not_corrupt_each_other(self):
+        """A stage that synchronously delivers into another compiled path
+        (cross-path handoff) must not confuse either loop."""
+        _, _, inner_path = build_path("X", "Y")
+        _, _, outer_path = build_path("A", "B", "C")
+        stage_b = outer_path.stage_of("B")
+        outer_deliver = stage_b.deliver_fn(FWD)
+
+        def handoff(iface, msg, d, **kwargs):
+            side = Msg(b"side")
+            inner_path.deliver(side, FWD)
+            msg.meta["side_trace"] = side.meta["trace"]
+            return outer_deliver(iface, msg, d, **kwargs)
+
+        stage_b.set_deliver(FWD, handoff)
+        msg = Msg(b"payload")
+        outer_path.deliver(msg, FWD)
+        assert msg.meta["side_trace"] == [("X", FWD), ("Y", FWD)]
+        assert msg.meta["trace"] == [("A", FWD), ("B", FWD), ("C", FWD)]
+        assert outer_path.output_queue(FWD).dequeue() is msg

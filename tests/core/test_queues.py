@@ -209,3 +209,68 @@ def test_deadline_queue_dequeues_in_deadline_order(deadlines):
         q.enqueue((when, index))
     out = [q.dequeue()[0] for _ in deadlines]
     assert out == sorted(out)
+
+
+class TestDeadlineQueueStability:
+    """Dequeue order among *equal* deadlines must be FIFO: the linear
+    scan uses a strict ``<`` so the earliest-enqueued of a tie wins."""
+
+    def test_fifo_among_equal_deadlines(self):
+        q = DeadlineOrderedQueue(maxlen=8)
+        for tag in ("first", "second", "third"):
+            q.enqueue((10.0, tag))
+        assert [q.dequeue()[1] for _ in range(3)] == \
+            ["first", "second", "third"]
+
+    def test_tie_broken_fifo_with_earlier_deadline_interleaved(self):
+        q = DeadlineOrderedQueue(maxlen=8)
+        q.enqueue((20.0, "a"))
+        q.enqueue((10.0, "b"))
+        q.enqueue((20.0, "c"))
+        q.enqueue((10.0, "d"))
+        assert [q.dequeue()[1] for _ in range(4)] == ["b", "d", "a", "c"]
+
+    def test_deadline_defaults_to_zero_for_plain_items(self):
+        """An item with neither tuple shape nor a ``deadline`` attribute
+        sorts as deadline 0.0 — ahead of any positive deadline."""
+        q = DeadlineOrderedQueue()
+        q.enqueue((5.0, "framed"))
+        q.enqueue("plain")
+        assert q.dequeue() == "plain"
+        assert q.dequeue() == (5.0, "framed")
+
+    def test_peek_is_not_reordered(self):
+        """peek() reflects arrival order (the scan happens on dequeue);
+        pinned so a future 'optimization' doesn't silently change it."""
+        q = DeadlineOrderedQueue()
+        q.enqueue((30.0, "late"))
+        q.enqueue((10.0, "early"))
+        assert q.peek() == (30.0, "late")
+        assert q.dequeue() == (10.0, "early")
+
+
+class TestDeadlineQueueDropAccounting:
+    def test_overflow_fires_listener_with_reason(self):
+        q = DeadlineOrderedQueue(maxlen=1)
+        drops = []
+        q.on_drop(lambda queue, item, reason: drops.append((item, reason)))
+        assert q.try_enqueue((10.0, "kept"))
+        assert not q.try_enqueue((5.0, "dropped"))
+        assert drops == [((5.0, "dropped"), "overflow")]
+        assert q.dropped == 1
+        # Overflow drops the arriving item even if its deadline is
+        # earlier than everything queued: no displacement.
+        assert q.dequeue() == (10.0, "kept")
+
+    def test_drain_fires_listener_per_item(self):
+        q = DeadlineOrderedQueue(maxlen=4)
+        drops = []
+        q.on_drop(lambda queue, item, reason: drops.append((item, reason)))
+        q.enqueue((30.0, "a"))
+        q.enqueue((10.0, "b"))
+        spilled = q.drain("path deleted")
+        assert len(spilled) == 2
+        assert sorted(d[1] for d in drops) == \
+            ["path deleted", "path deleted"]
+        assert q.dropped == 2
+        assert q.is_empty()

@@ -115,3 +115,43 @@ def test_teardown_keeps_the_ledgers_balanced(loaded):
     assert recorder.open_count() == 0
     for series in registry.series("queue_depth", path=alias):
         assert series.value >= 0
+
+
+def test_display_outq_overflow_reconciles():
+    """The display stage's output-queue discard must hit every ledger at
+    once: the stage-local counter, the path's per-category drop stats,
+    the queue's drop counter, and the metrics registry.  (The stage used
+    to bump only its local counter, leaving these frames invisible to
+    reconciliation.)"""
+    from repro.core.stage import BWD
+    from repro.mpeg.decoder import DecodedFrame
+
+    testbed = Testbed(seed=2)
+    kernel = testbed.build_scout()
+    profile = clip_by_name("Neptune")
+    source = testbed.add_video_source(profile, dst_port=6001, seed=2,
+                                      nframes=1)
+    session = kernel.start_video(profile, (source.ip, source.src_port),
+                                 local_port=6001, trace=True)
+    path = session.path
+    stage = path.stage_of("DISPLAY")
+    outq = path.output_queue(BWD)
+
+    def frame():
+        return DecodedFrame(number=0, ftype=0, bits=1_000, n_mb=10,
+                            width=16, height=16)
+
+    for _ in range(outq.maxlen):
+        outq.enqueue(frame())
+    deliver = stage.deliver_fn(BWD)
+    deliver(stage.end[BWD], frame(), BWD)
+
+    assert stage.frames_dropped == 1
+    assert path.stats.drop_reasons["outq_overflow"] == 1
+    assert outq.dropped == 1
+    registry = kernel.observatory.metrics
+    alias = kernel.observatory.recorder.alias_for(path)
+    assert registry.total("path_drops_total", path=alias,
+                          category="outq_overflow") == 1
+    assert registry.get("queue_drops_total", path=alias,
+                        queue="bwd_out").value == 1

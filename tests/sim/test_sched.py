@@ -343,3 +343,129 @@ class TestPathIntegration:
         w.engine.schedule(100, q.enqueue, "x")
         w.run_until_idle()
         assert wakes == [0.0, 100.0]  # spawn wake + queue wake
+
+
+class TestDrainWakeup:
+    """Regression tests for the lost wake-up in ``_queue_drained``.
+
+    WaitSpace watchers and Enqueue waiters share one waiter list per
+    queue.  Waking exactly one waiter per drain loses a wake-up whenever
+    a watcher sits ahead of an enqueuer: the watcher absorbs the only
+    wake (consuming no slot) and the enqueuer blocks forever.
+    """
+
+    def test_watcher_ahead_of_enqueuer_does_not_eat_the_wake(self):
+        w = world()
+        q = PathQueue(maxlen=1, name="q")
+        q.enqueue("occupying")
+        log = []
+
+        def watcher():
+            yield WaitSpace(q)
+            log.append(("space", w.now))
+
+        def producer():
+            yield Enqueue(q, "item")
+            log.append(("enqueued", w.now))
+
+        w.spawn(watcher(), name="watcher")  # blocks first: head of line
+        producer_thread = w.spawn(producer(), name="producer")
+        w.engine.schedule(100, q.dequeue)
+        w.run_until_idle()
+        assert ("space", 100.0) in log
+        assert ("enqueued", 100.0) in log
+        assert producer_thread.state == DONE
+        assert len(q) == 1
+
+    def test_single_drain_wakes_only_as_many_enqueuers_as_slots(self):
+        """One freed slot must not stampede every blocked producer: the
+        first (FIFO) enqueuer gets the slot, the rest stay blocked until
+        further drains."""
+        w = world()
+        q = PathQueue(maxlen=1, name="q")
+        q.enqueue("occupying")
+        log = []
+
+        def producer(tag):
+            yield Enqueue(q, tag)
+            log.append((tag, w.now))
+
+        w.spawn(producer("first"))
+        w.spawn(producer("second"))
+        w.engine.schedule(100, q.dequeue)
+        w.engine.schedule(200, q.dequeue)
+        w.run_until_idle()
+        assert log == [("first", 100.0), ("second", 200.0)]
+
+    def test_many_watchers_all_wake_on_one_drain(self):
+        w = world()
+        q = PathQueue(maxlen=1, name="q")
+        q.enqueue("occupying")
+        log = []
+
+        def watcher(tag):
+            yield WaitSpace(q)
+            log.append((tag, w.now))
+
+        for tag in ("a", "b", "c"):
+            w.spawn(watcher(tag))
+        w.engine.schedule(50, q.dequeue)
+        w.run_until_idle()
+        assert sorted(log) == [("a", 50.0), ("b", 50.0), ("c", 50.0)]
+
+
+class TestStaleStrideCredit:
+    """Regression test for stale virtual-time credit in ``make_runnable``.
+
+    A policy that slept while a lone thread of the other policy ran
+    non-stop used to keep its stale (low) virtual time on wake-up: the
+    running thread's slot has an empty ready queue, so the floor
+    computation saw no competitor and skipped the catch-up, letting the
+    waker monopolize the CPU until its vtime caught up from zero.
+    """
+
+    def test_waking_policy_does_not_monopolize_after_sleep(self):
+        w = SimWorld(seed=0, rr_share=1.0, edf_share=1.0)
+
+        def spin():
+            while True:
+                yield Compute(10)
+                yield YIELD
+
+        def nap_then_spin():
+            yield Sleep(5000)
+            while True:
+                yield Compute(10)
+                yield YIELD
+
+        runner = w.spawn(spin(), name="runner", policy="rr")
+        sleeper = w.spawn(nap_then_spin(), name="sleeper", policy="edf")
+        w.run_until(10_000)
+        # First half: the runner alone (~5000us).  Second half: a fair
+        # 50/50 split (~2500us each).  Pre-fix the sleeper woke with
+        # vtime 0 and monopolized the whole second half (~5000us).
+        assert runner.cpu_us == pytest.approx(7500, abs=300)
+        assert sleeper.cpu_us == pytest.approx(2500, abs=300)
+
+    def test_share_ratio_respected_after_wake(self):
+        """Same scenario with a 3:1 share: after the wake the sleeper
+        (share 1) should converge to ~25% of the remaining CPU, not 100%."""
+        w = SimWorld(seed=0, rr_share=3.0, edf_share=1.0)
+
+        def spin():
+            while True:
+                yield Compute(10)
+                yield YIELD
+
+        def nap_then_spin():
+            yield Sleep(5000)
+            while True:
+                yield Compute(10)
+                yield YIELD
+
+        runner = w.spawn(spin(), name="runner", policy="rr")
+        sleeper = w.spawn(nap_then_spin(), name="sleeper", policy="edf")
+        w.run_until(10_000)
+        # Second half splits 3:1 -> runner 5000 + 3750, sleeper 1250.
+        assert runner.cpu_us == pytest.approx(8750, abs=400)
+        assert sleeper.cpu_us == pytest.approx(1250, abs=400)
