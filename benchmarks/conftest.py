@@ -17,6 +17,19 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 FASTPATH_RESULTS = RESULTS_DIR / "BENCH_fastpath.json"
 
+MULTIPATH_RESULTS = RESULTS_DIR / "BENCH_multipath.json"
+
+
+def _merge_section(target: pathlib.Path, section: str, payload: dict,
+                   tag: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    data = {}
+    if target.exists():
+        data = json.loads(target.read_text())
+    data[section] = payload
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"\n{tag}[{section}]: {json.dumps(payload, sort_keys=True)}")
+
 
 @pytest.fixture
 def record_result():
@@ -40,14 +53,19 @@ def record_fastpath():
     single artifact for CI to upload."""
 
     def record(section: str, payload: dict) -> None:
-        RESULTS_DIR.mkdir(exist_ok=True)
-        data = {}
-        if FASTPATH_RESULTS.exists():
-            data = json.loads(FASTPATH_RESULTS.read_text())
-        data[section] = payload
-        FASTPATH_RESULTS.write_text(
-            json.dumps(data, indent=2, sort_keys=True) + "\n")
-        print(f"\nBENCH_fastpath[{section}]: "
-              f"{json.dumps(payload, sort_keys=True)}")
+        _merge_section(FASTPATH_RESULTS, section, payload, "BENCH_fastpath")
+
+    return record
+
+
+@pytest.fixture
+def record_multipath():
+    """Merge one named section into the machine-readable multipath
+    results file (``benchmarks/results/BENCH_multipath.json``) — the
+    pool-acquisition and group-throughput benchmarks accumulate into a
+    single artifact for CI to upload."""
+
+    def record(section: str, payload: dict) -> None:
+        _merge_section(MULTIPATH_RESULTS, section, payload, "BENCH_multipath")
 
     return record

@@ -32,6 +32,7 @@ from . import (
     http,
     kernel,
     mpeg,
+    multipath,
     net,
     params,
     shell,
@@ -41,5 +42,5 @@ from . import (
 __version__ = "1.0.0"
 
 __all__ = ["core", "sim", "net", "mpeg", "display", "shell", "fs", "http",
-           "kernel", "admission", "experiments", "faults", "params",
-           "__version__"]
+           "kernel", "admission", "experiments", "faults", "multipath",
+           "params", "__version__"]

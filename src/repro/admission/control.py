@@ -166,6 +166,7 @@ class CpuAdmission:
         self.model = model
         self.headroom = headroom
         self._admitted: Dict[int, float] = {}  # key -> utilization
+        self._keys_of_path: Dict[int, List[int]] = {}
         self.denials = 0
         self._next_key = 0
 
@@ -202,6 +203,22 @@ class CpuAdmission:
 
     def release(self, key: int) -> None:
         self._admitted.pop(key, None)
+
+    def admit_path(self, path: Path, profile: ClipProfile, fps: float,
+                   skip: int = 1) -> int:
+        """Admit a stream on behalf of *path*, tying the reservation to
+        the path's lifetime: the key is released automatically when the
+        path is deleted (watchdog rebuilds, pool drains), so callers that
+        lose track of a member never leak CPU budget."""
+        key = self.admit(profile, fps, skip)
+        self._keys_of_path.setdefault(path.pid, []).append(key)
+        path.add_delete_hook(self.release_path)
+        return key
+
+    def release_path(self, path: Path) -> None:
+        """Release every reservation made via :meth:`admit_path`."""
+        for key in self._keys_of_path.pop(path.pid, ()):
+            self.release(key)
 
     def suggest_skip(self, profile: ClipProfile, fps: float,
                      max_skip: int = 8) -> Optional[int]:

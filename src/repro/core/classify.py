@@ -37,6 +37,47 @@ from .router import DemuxResult, Router, Service
 MAX_REFINEMENTS = 32
 
 
+class _Respread:
+    """Sentinel: a sticky group's pins were just invalidated; re-classify."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<respread>"
+
+
+_RESPREAD = _Respread()
+
+
+def _dispatch_group(group, cached, msg, cache, stats):
+    """Resolve a flow-cache hit whose path belongs to a path group.
+
+    Returns the member to use, ``None`` for a discard, or
+    :data:`_RESPREAD` when the policy asked for its pins to be dropped
+    (the caller re-walks the refinement chain).
+    """
+    if group.policy.sticky:
+        if group.take_respread():
+            cache.invalidate_group(group.gid)
+            return _RESPREAD
+        member = cached  # the pin itself is the policy's placement
+    else:
+        member = group.dispatch(msg)
+        if member is None:
+            msg.meta["drop_reason"] = (
+                f"path group #{group.gid} has no live member")
+            group.note_dispatch_failure()
+            if stats is not None:
+                stats.dropped += 1
+            return None
+    if stats is not None:
+        stats.classified += 1
+        stats.cache_hits += 1
+    msg.meta["path"] = member
+    observer = member.observer
+    if observer is not None:
+        observer.on_demux(msg, 1)
+    return member
+
+
 class ClassifierStats:
     """Counters for classification outcomes, used by experiments."""
 
@@ -64,20 +105,38 @@ def classify(router: Router, msg: Msg, service: Optional[Service] = None,
     populate it.  The cache itself guarantees it never returns a path
     that is not ESTABLISHED.
 
+    **Multipath dispatch happens here, at the demux boundary.**  When the
+    classified path belongs to a :class:`~repro.multipath.PathGroup`, the
+    group's selection policy picks the member that actually processes the
+    message.  A *sticky* policy pins the flow by inserting the selected
+    member into the cache (subsequent packets hit the pin directly, until
+    the policy asks for a re-spread and the group's pins are bulk
+    invalidated); a non-sticky policy caches the demuxed anchor instead,
+    so every packet still classifies in one probe but is re-dispatched
+    through the policy.
+
     The chain runs at interrupt time in Scout; callers that model CPU cost
     account for it separately (see :mod:`repro.sim.cpu`).
     """
     if cache is not None:
         cached = cache.lookup(msg)
         if cached is not None:
-            if stats is not None:
-                stats.classified += 1
-                stats.cache_hits += 1
-            msg.meta["path"] = cached
-            observer = cached.observer
-            if observer is not None:
-                observer.on_demux(msg, 1)
-            return cached
+            group = cached.group
+            if group is not None:
+                resolved = _dispatch_group(group, cached, msg, cache, stats)
+                if resolved is not _RESPREAD:
+                    return resolved
+                # fall through: the pins were just invalidated; re-walk
+                # the chain so the flow is re-placed by the policy.
+            else:
+                if stats is not None:
+                    stats.classified += 1
+                    stats.cache_hits += 1
+                msg.meta["path"] = cached
+                observer = cached.observer
+                if observer is not None:
+                    observer.on_demux(msg, 1)
+                return cached
     offset = 0
     current: Router = router
     current_service = service
@@ -85,25 +144,46 @@ def classify(router: Router, msg: Msg, service: Optional[Service] = None,
     for _ in range(MAX_REFINEMENTS):
         result: DemuxResult = current.demux(msg, current_service, offset)
         if result.path is not None:
-            if getattr(result.path, "state", None) == DELETED:
+            chosen = result.path
+            group = getattr(chosen, "group", None)
+            if group is not None:
+                # Demux landed on a group member (typically the anchor
+                # holding the port/flow binding): the selection policy
+                # decides which member actually serves the message.
+                member = group.dispatch(msg)
+                if member is None:
+                    msg.meta["drop_reason"] = (
+                        f"path group #{group.gid} has no live member")
+                    group.note_dispatch_failure()
+                    if stats is not None:
+                        stats.dropped += 1
+                    return None
+                if cache is not None:
+                    # Sticky policies pin the flow to the chosen member;
+                    # others cache the demux anchor so later packets hit
+                    # in one probe but are still re-dispatched above.
+                    cache.insert(msg, member if group.policy.sticky
+                                 else chosen)
+                chosen = member
+            elif getattr(chosen, "state", None) == DELETED:
                 # Liveness guard: a demux map entry can outlive its path
                 # (e.g. across a watchdog rebuild).  A dead path is no
                 # path — treat it as a refinement miss and discard.
                 msg.meta["drop_reason"] = (
                     f"{current.name}: stale demux entry for deleted "
-                    f"path #{result.path.pid}")
+                    f"path #{chosen.pid}")
                 if stats is not None:
                     stats.dropped += 1
                 return None
             if stats is not None:
                 stats.classified += 1
-            msg.meta["path"] = result.path
-            observer = getattr(result.path, "observer", None)
+            msg.meta["path"] = chosen
+            observer = getattr(chosen, "observer", None)
             if observer is not None:
                 observer.on_demux(msg, hops)
-            if cache is not None:
-                cache.insert(msg, result.path)
-            return result.path
+            if cache is not None and group is None:
+                cache.insert(msg, chosen)
+            return chosen
         if result.forward is not None:
             offset += result.consumed
             current, current_service = result.forward

@@ -95,6 +95,11 @@ class FlowCache:
         self.annotate = annotate
         self._entries: "OrderedDict[bytes, Path]" = OrderedDict()
         self._keys_of_path: Dict[int, Set[bytes]] = {}
+        #: group id -> {pid: path} for entries whose path belongs to a
+        #: :class:`~repro.multipath.PathGroup`, so a group re-spread or a
+        #: pool drain can drop every pinned member in one call instead of
+        #: looping over members it may not even know about.
+        self._group_members: Dict[int, Dict[int, Path]] = {}
         # counters
         self.hits = 0
         self.misses = 0
@@ -164,6 +169,9 @@ class FlowCache:
         self._entries[key] = path
         self._entries.move_to_end(key)
         self._keys_of_path.setdefault(path.pid, set()).add(key)
+        gid = getattr(path, "group_id", None)
+        if gid is not None:
+            self._group_members.setdefault(gid, {})[path.pid] = path
         path.register_flow_cache(self)
         while len(self._entries) > self.capacity:
             old_key, old_path = self._entries.popitem(last=False)
@@ -177,6 +185,13 @@ class FlowCache:
 
     def invalidate_path(self, path: Path) -> int:
         """Remove every entry pointing at *path*; returns how many."""
+        gid = getattr(path, "group_id", None)
+        if gid is not None:
+            members = self._group_members.get(gid)
+            if members is not None:
+                members.pop(path.pid, None)
+                if not members:
+                    self._group_members.pop(gid, None)
         keys = self._keys_of_path.pop(path.pid, None)
         if not keys:
             return 0
@@ -189,11 +204,28 @@ class FlowCache:
             self._metric_invalidations.inc(removed)
         return removed
 
+    def invalidate_group(self, gid: int) -> int:
+        """Bulk-drop every entry pinned to a member of path group *gid*.
+
+        This is the re-spread primitive: one call unpins every flow the
+        group's selection policy placed, so the next packet of each flow
+        re-walks the refinement chain and is re-dispatched.  Pool drains
+        use it the same way.  Returns how many entries were removed.
+        """
+        members = self._group_members.pop(gid, None)
+        if not members:
+            return 0
+        removed = 0
+        for path in members.values():
+            removed += self.invalidate_path(path)
+        return removed
+
     def clear(self) -> int:
         """Drop every entry (watchdog rebuild / reconfiguration sledge)."""
         removed = len(self._entries)
         self._entries.clear()
         self._keys_of_path.clear()
+        self._group_members.clear()
         self.invalidations += removed
         if removed and self._metric_invalidations is not None:
             self._metric_invalidations.inc(removed)

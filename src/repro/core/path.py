@@ -118,6 +118,20 @@ class Path:
         #: by :meth:`register_flow_cache`, purged synchronously by
         #: :meth:`delete` so no cache can ever return a deleted path.
         self._flow_caches: List[Any] = []
+        #: Multipath membership (a :class:`~repro.multipath.PathGroup`),
+        #: or ``None`` for the common single-path case.  The classifier
+        #: consults this at the demux boundary: a demux decision landing
+        #: on any group member is re-dispatched through the group's
+        #: selection policy.  ``group_id`` survives long enough for flow
+        #: caches to index pinned entries by group even while membership
+        #: is being torn down.
+        self.group: Optional[Any] = None
+        self.group_id: Optional[int] = None
+        #: Teardown callbacks, run (once, in registration order) at the
+        #: end of :meth:`delete` — after stages are destroyed and queues
+        #: drained, so a hook that re-binds a demux port or returns an
+        #: admission grant observes the fully-released state.
+        self._delete_hooks: List[Callable[["Path"], None]] = []
         lengths = queue_lengths or {}
         self.q: List[PathQueue] = [
             PathQueue(maxlen=lengths.get(role, 32),
@@ -324,6 +338,30 @@ class Path:
         if cache not in self._flow_caches:
             self._flow_caches.append(cache)
 
+    def purge_flow_caches(self) -> int:
+        """Drop every flow-cache entry pointing at this path *without*
+        deleting it.  Path pools call this when parking a path: an idle
+        pooled path is still ESTABLISHED, so only an explicit purge stops
+        the caches from classifying live traffic onto it.  Returns how
+        many entries were removed."""
+        removed = 0
+        for cache in self._flow_caches:
+            removed += cache.invalidate_path(self)
+        self._flow_caches.clear()
+        return removed
+
+    def add_delete_hook(self, hook: Callable[["Path"], None]) -> None:
+        """Register ``hook(path)`` to run when this path is deleted.
+
+        Hooks fire exactly once, at the end of :meth:`delete`, in
+        registration order.  They are how the layers that *hold* paths —
+        admission control (grant reclaim), path pools (drop the pooled
+        entry), path groups (membership removal + demux re-binding) —
+        observe teardown without the core importing any of them.
+        """
+        if hook not in self._delete_hooks:
+            self._delete_hooks.append(hook)
+
     def note_progress(self) -> None:
         """Record useful work that does not land on an output queue (wire
         transmission, inline service).  Feeds the watchdog heartbeat."""
@@ -369,6 +407,12 @@ class Path:
                 self.note_drop(item, f"queued message discarded: "
                                      f"{drop_category}", drop_category)
         self.state = DELETED
+        # Teardown hooks run last: ports and sinks are released, so a
+        # hook re-binding a demux entry to a surviving group member (or
+        # returning an admission grant) sees the final state.
+        hooks, self._delete_hooks = self._delete_hooks, []
+        for hook in hooks:
+            hook(self)
 
     # -- accounting ----------------------------------------------------------------------------
 

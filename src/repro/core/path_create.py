@@ -88,6 +88,15 @@ def path_create(router: Router, attrs: Optional[Mapping[str, Any]] = None,
         if current is not None:
             enter_index = current.service.index if current.service else -1
 
+    # Admission grants follow the path's lifetime, not the caller's
+    # memory: the grant recorded during phase 1 is returned automatically
+    # when the path is deleted — including pooled paths drained behind
+    # the creator's back and paths whose establish fails below.
+    if admission is not None:
+        release = getattr(admission, "release", None)
+        if release is not None:
+            path.add_delete_hook(release)
+
     # Phase 2: combine the stages into the path object (chain interfaces).
     path._link_interfaces()
 

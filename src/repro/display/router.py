@@ -96,11 +96,22 @@ class DisplayStage(Stage):
             def wakeup(path, thread):
                 thread.deadline = min(output_deadline(path),
                                       input_deadline(path))
+
+            def deadline_probe():
+                return min(output_deadline(self.path),
+                           input_deadline(self.path))
         else:
             def wakeup(path, thread):
                 thread.deadline = output_deadline(path)
 
+            def deadline_probe():
+                return output_deadline(self.path)
+
         self.path.wakeup = wakeup
+        # Expose the same deadline computation to the multipath layer:
+        # the deadline-slack selection policy steers load toward group
+        # members whose next deadline is furthest away.
+        self.path.attrs["_edf_deadline_fn"] = deadline_probe
 
     def _install_rr_wakeup(self, priority: int) -> None:
         def wakeup(path, thread):

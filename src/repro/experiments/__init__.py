@@ -39,6 +39,13 @@ from .early_discard import (
 )
 from .edf_rr import EdfRrResult, format_edf_rr, run_edf_rr, run_queue_sweep
 from .micro import Fig7Stack, MicroReport, format_micro, measure_structure
+from .multipath_exp import (
+    MultipathPoint,
+    PoolChurnResult,
+    format_multipath,
+    run_multipath,
+    run_pool_churn,
+)
 from .queue_sizing import (
     QueueSizingPoint,
     format_queue_sizing,
@@ -71,4 +78,6 @@ __all__ = [
     "run_watchdog_recovery", "format_watchdog_recovery",
     "WatchdogRecoveryResult",
     "run_trace", "format_trace", "TraceReport",
+    "run_multipath", "run_pool_churn", "format_multipath",
+    "MultipathPoint", "PoolChurnResult",
 ]

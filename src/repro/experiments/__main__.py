@@ -8,7 +8,8 @@ Usage::
 
 Experiment ids: table1, table2, e3 (EDF vs RR), e4 (micro), e5 (queue
 sizing), e6 (admission), e7 (early discard), e8 (ablations), trace
-(per-path observability: hottest spans + metrics for a traced playback).
+(per-path observability: hottest spans + metrics for a traced playback),
+multipath (path groups + warm pools; an extension beyond the paper).
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ from . import (
     format_early_discard,
     format_edf_rr,
     format_micro,
+    format_multipath,
     format_queue_sizing,
     format_segregation,
     format_table1,
@@ -31,6 +33,8 @@ from . import (
     measure_structure,
     run_alf_ablation,
     run_early_discard,
+    run_multipath,
+    run_pool_churn,
     run_queue_sizing,
     run_queue_sweep,
     run_segregation_sweep,
@@ -81,6 +85,10 @@ def _trace() -> str:
     return format_trace(run_trace())
 
 
+def _multipath() -> str:
+    return format_multipath(run_multipath(), run_pool_churn())
+
+
 EXPERIMENTS = {
     "table1": _table1,
     "table2": _table2,
@@ -91,6 +99,7 @@ EXPERIMENTS = {
     "e7": _e7,
     "e8": _e8,
     "trace": _trace,
+    "multipath": _multipath,
 }
 
 

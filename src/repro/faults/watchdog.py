@@ -57,7 +57,7 @@ class PathWatchdog:
                  stall_budget_us: float = params.WATCHDOG_STALL_BUDGET_US,
                  backoff_base_us: float = params.WATCHDOG_BACKOFF_BASE_US,
                  backoff_max_us: float = params.WATCHDOG_BACKOFF_MAX_US,
-                 observatory=None, flow_cache=None):
+                 observatory=None, flow_cache=None, group=None, pool=None):
         self.engine = engine
         self.path = path
         self.rebuild = rebuild
@@ -67,6 +67,15 @@ class PathWatchdog:
         #: path is registered with; this covers a cache the stalled path
         #: never reached (e.g. it stalled before its first packet).
         self.flow_cache = flow_cache
+        #: Optional :class:`~repro.multipath.PathGroup` the watched path
+        #: belongs to: a rebuilt replacement is enrolled automatically,
+        #: so group capacity survives watchdog repairs (the stalled
+        #: member removes *itself* via its delete hook).
+        self.group = group
+        #: Optional :class:`~repro.multipath.PathPool`: a stalled path is
+        #: reported via ``pool.discard`` so a wedged path can never be
+        #: parked and handed out again.
+        self.pool = pool
         self.check_interval_us = check_interval_us
         self.stall_budget_us = stall_budget_us
         self.backoff_base_us = backoff_base_us
@@ -174,6 +183,11 @@ class PathWatchdog:
         if self.flow_cache is not None:
             self.flow_cache.invalidate_path(self.path)
         self.path.delete(drop_category="watchdog_rebuild")
+        if self.pool is not None:
+            # Already deleted above (keeping the drop category); discard
+            # just scrubs the pool's bookkeeping so the wedged path can
+            # never be re-acquired.
+            self.pool.discard(self.path)
         self.engine.schedule(backoff, self._repair)
 
     def _repair(self) -> None:
@@ -200,6 +214,12 @@ class PathWatchdog:
                             "new_pid": replacement.pid})
         self._incident("watchdog_rebuilt",
                        f"old=#{self.path.pid} new=#{replacement.pid}")
+        if self.group is not None and replacement.group is None:
+            # Enroll the replacement so the group regains its capacity
+            # (the stalled member already removed itself via its delete
+            # hook).  A rebuild callback that enrolled it itself is left
+            # alone.
+            self.group.add(replacement)
         self.adopt(replacement, awaiting_recovery=True)
         self._schedule_check(self.check_interval_us)
 

@@ -53,6 +53,20 @@ class HttpStage(Stage):
         for key in ("ip_dst_override", "udp_dport_override"):
             if key in msg.meta:
                 reply.meta[key] = msg.meta[key]
+        # Address the reply to whoever asked (the SHELL precedent): a
+        # connection path serving as a group member or a pooled spare may
+        # carry requests from clients other than its creation-time
+        # participant.  The classifiers stash ``ip_src``/``eth_src`` on
+        # the way up; a message injected straight into the path carries
+        # the parsed headers the receive stages stashed instead.
+        ip_hdr = msg.meta.get("ip_header")
+        ip_src = msg.meta.get("ip_src") or (ip_hdr.src if ip_hdr else None)
+        if "ip_dst_override" not in reply.meta and ip_src is not None:
+            reply.meta["ip_dst_override"] = ip_src
+        eth_hdr = msg.meta.get("eth_header")
+        eth_src = msg.meta.get("eth_src") or (eth_hdr.src if eth_hdr else None)
+        if "eth_dst_override" not in reply.meta and eth_src is not None:
+            reply.meta["eth_dst_override"] = eth_src
         turn_around(iface, reply, direction)
         charge(msg, reply.meta.get("cost_us", 0.0))
         return None
@@ -68,8 +82,38 @@ class HttpRouter(Router):
         super().__init__(name)
         #: Open file paths, one per document ("one per open file").
         self._file_paths: Dict[str, Path] = {}
+        #: Optional :class:`~repro.multipath.PathPool` of warm connection
+        #: paths, installed via :meth:`use_connection_pool`.
+        self._connection_pool = None
         self.requests = 0
         self.not_found = 0
+
+    # -- connection pooling ------------------------------------------------------
+
+    def use_connection_pool(self, pool) -> None:
+        """Serve connection paths from *pool*: a client connect becomes a
+        warm O(1) acquire instead of a four-phase ``path_create``, and a
+        close parks the path for the next connect with the same
+        invariants."""
+        self._connection_pool = pool
+
+    def connection_path_for(self, client: Tuple[str, int],
+                            local_port: int = 80) -> Path:
+        """Return a connection path for *client* — pooled when a pool is
+        installed, cold-created otherwise."""
+        attrs = Attrs({PA_NET_PARTICIPANTS: tuple(client),
+                       PA_LOCAL_PORT: local_port})
+        if self._connection_pool is not None:
+            return self._connection_pool.acquire(attrs)
+        return path_create(self, attrs)
+
+    def release_connection(self, path: Path) -> bool:
+        """Close a connection path: park it for reuse when pooled (True),
+        delete it otherwise (False)."""
+        if self._connection_pool is not None:
+            return self._connection_pool.release(path)
+        path.delete()
+        return False
 
     # -- file paths -------------------------------------------------------------
 

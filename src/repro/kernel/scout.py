@@ -54,6 +54,7 @@ from ..net.icmp import IcmpRouter
 from ..net.ip import PA_IP_CATCHALL, IpRouter
 from ..net.mflow import MflowRouter
 from ..net.segment import EtherSegment, NetDevice
+from ..multipath import MEMBER_REMOVED, PathGroup
 from ..net.udp import UdpRouter
 from ..observe import Observatory
 from ..shell.router import ShellRouter
@@ -91,6 +92,44 @@ class VideoSession:
 
     def __repr__(self) -> str:
         return (f"<VideoSession {self.profile.name} path#{self.path.pid} "
+                f"presented={self.frames_presented}>")
+
+
+class VideoSessionGroup:
+    """Handle on a fanned-out video: one flow, N parallel MPEG paths.
+
+    The member paths share a local port; the UDP demux anchor is the
+    first live member and the group's selection policy (plus frame-number
+    affinity, so a frame's packets reassemble on one member) spreads the
+    packets.  Presented frames are the sum over members — each member
+    drives its own framebuffer sink.
+    """
+
+    def __init__(self, group: PathGroup, sessions: List[VideoSession],
+                 profile: ClipProfile, local_port: int):
+        self.group = group
+        self.sessions = sessions
+        self.profile = profile
+        self.local_port = local_port
+
+    @property
+    def paths(self) -> List[Path]:
+        return [s.path for s in self.sessions]
+
+    @property
+    def frames_presented(self) -> int:
+        return sum(s.frames_presented for s in self.sessions)
+
+    @property
+    def missed_deadlines(self) -> int:
+        return sum(s.missed_deadlines for s in self.sessions)
+
+    def achieved_fps(self) -> float:
+        return sum(s.achieved_fps() for s in self.sessions)
+
+    def __repr__(self) -> str:
+        return (f"<VideoSessionGroup {self.profile.name} "
+                f"gid={self.group.gid} members={len(self.sessions)} "
                 f"presented={self.frames_presented}>")
 
 
@@ -413,6 +452,85 @@ class ScoutKernel:
                                thread)
         self.sessions.append(session)
         return session
+
+    # -- multipath video (one flow class, N parallel paths) -------------
+
+    def frame_affinity(self, msg: Msg):
+        """Affinity key for video fan-out: the MPEG frame number.
+
+        A frame spans multiple packets and is damaged unless they all
+        reassemble on the same member, so the group keeps every packet of
+        a frame on one path; successive frames may land anywhere.
+        """
+        if len(msg) < _MPEG_HEADER_OFFSET + PACKET_HEADER_SIZE:
+            return None
+        header = peek_packet_header(
+            msg.peek(PACKET_HEADER_SIZE, at=_MPEG_HEADER_OFFSET))
+        if header is None:
+            return None
+        return header[0]  # frame number
+
+    def start_video_group(self, profile: ClipProfile,
+                          remote: Tuple[str, int], members: int = 2,
+                          group_policy: str = "least_loaded",
+                          local_port: Optional[int] = None,
+                          early_drop_skipped: bool = True,
+                          **attr_kwargs) -> VideoSessionGroup:
+        """Fan one video flow across *members* parallel MPEG paths.
+
+        All members share one local port; the first becomes the UDP demux
+        anchor (first-live-wins binding) and the classifier re-dispatches
+        every arriving packet through the group's selection policy with
+        frame-number affinity.  When the anchor dies, a membership hook
+        re-binds the port to a survivor and flushes the group's flow-cache
+        pins, so failover needs no help from the deleter.
+        """
+        if members < 1:
+            raise ValueError("a video group needs at least one member")
+        port = self.udp.allocate_port(local_port)
+        group = PathGroup(group_policy,
+                          name=f"video-{profile.name}-p{port}",
+                          affinity_of=self.frame_affinity)
+        if self.observatory.armed:
+            group.bind_metrics(self.observatory.metrics)
+        sessions: List[VideoSession] = []
+        for _ in range(members):
+            # Fresh attrs per member: path machinery stamps bookkeeping
+            # (applied transforms, deadline probes, arrival EWMAs) onto
+            # the path's own attribute set.
+            attrs = self.build_video_attrs(profile, remote,
+                                           local_port=port, **attr_kwargs)
+            path = path_create(self.display, attrs,
+                               transforms=self.transforms,
+                               admission=self.admission)
+            group.add(path)
+            sessions.append(self._attach_video_path(path,
+                                                    early_drop_skipped))
+        group.on_change(self._rebind_group_anchor(port))
+        return VideoSessionGroup(group, sessions, profile, port)
+
+    def _rebind_group_anchor(self, port: int):
+        """Membership hook keeping the UDP demux anchor live: when a
+        member dies (watchdog rebuild, stop), promote a survivor to hold
+        the port binding and drop the group's flow-cache pins."""
+        def rebind(group: PathGroup, path: Path, event: str) -> None:
+            if event != MEMBER_REMOVED:
+                return
+            self.flow_cache.invalidate_group(group.gid)
+            for survivor in group.live_members():
+                # First-live-wins: a no-op while the anchor is alive,
+                # a promotion the moment it is not.
+                if self.udp.bind_port_to_path(port, survivor):
+                    break
+        return rebind
+
+    def stop_video_group(self, vgroup: VideoSessionGroup) -> None:
+        """Tear down every member; flow-cache pins, port bindings, group
+        membership and admission grants all unwind through the delete
+        hooks."""
+        self.flow_cache.invalidate_group(vgroup.group.gid)
+        for session in list(vgroup.sessions):
+            self.stop_video(session)
 
     def set_frame_skip(self, path: Path, modulus: int) -> None:
         """Adjust adapter-level early discard for *path* at runtime: keep

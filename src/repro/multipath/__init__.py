@@ -1,0 +1,39 @@
+"""Multipath dispatch: path groups, warm path pools, selection policies.
+
+An extension beyond the paper (which binds one flow to one path): a
+:class:`PathGroup` serves one flow *class* with N parallel paths chosen
+per-message or per-flow by a :class:`SelectionPolicy`, dispatched at the
+demux boundary (:func:`repro.core.classify.classify`); a
+:class:`PathPool` keeps pre-established paths warm, keyed on their
+canonicalized invariant sets, so high-churn workloads skip the four-phase
+creation pipeline.  See DESIGN.md §12.
+"""
+
+from .group import MEMBER_ADDED, MEMBER_REMOVED, PathGroup
+from .policies import (
+    POLICIES,
+    DeadlineSlackPolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    SelectionPolicy,
+    WeightedAccountingPolicy,
+    bottleneck_depth,
+    make_policy,
+)
+from .pool import PathPool, canonical_signature
+
+__all__ = [
+    "PathGroup",
+    "PathPool",
+    "SelectionPolicy",
+    "RoundRobinPolicy",
+    "LeastLoadedPolicy",
+    "DeadlineSlackPolicy",
+    "WeightedAccountingPolicy",
+    "POLICIES",
+    "make_policy",
+    "bottleneck_depth",
+    "canonical_signature",
+    "MEMBER_ADDED",
+    "MEMBER_REMOVED",
+]

@@ -57,7 +57,15 @@ class MflowStage(Stage):
     def destroy(self) -> None:
         router: MflowRouter = self.router  # type: ignore[assignment]
         if self.flow_key is not None:
-            router.unregister_flow(self.flow_key)
+            router.unregister_flow(self.flow_key, self.path)
+            # A dying demux anchor promotes a live path-group sibling
+            # (see UdpStage.destroy).
+            group = self.path.group
+            if group is not None:
+                for sibling in group.live_members():
+                    if sibling is not self.path and \
+                            router.register_flow(self.flow_key, sibling):
+                        break
 
     # -- send side (window advertisements travel FWD) --------------------------
 
@@ -130,11 +138,26 @@ class MflowRouter(Router):
 
     # -- flow registry --------------------------------------------------------------
 
-    def register_flow(self, key: Tuple, path) -> None:
-        self._flows[key] = path
+    def register_flow(self, key: Tuple, path) -> bool:
+        """Register *path* as the demux anchor for *key*.
 
-    def unregister_flow(self, key: Tuple) -> None:
-        self._flows.pop(key, None)
+        First live binding wins, mirroring the port maps in UDP/TCP: when
+        several same-flow paths coexist (path-group members), the earliest
+        stays the anchor; a dead or missing anchor is always replaced.
+        Returns True when *path* holds the binding.
+        """
+        current = self._flows.get(key)
+        if current is not None and current is not path \
+                and getattr(current, "state", None) != "deleted":
+            return False
+        self._flows[key] = path
+        return True
+
+    def unregister_flow(self, key: Tuple, path=None) -> None:
+        """Drop the binding for *key* — but only if *path* owns it, so a
+        group member's teardown cannot unbind a sibling's anchor."""
+        if path is None or self._flows.get(key) is path:
+            self._flows.pop(key, None)
 
     @staticmethod
     def flow_key(remote_ip, remote_port: int) -> Tuple:

@@ -97,7 +97,15 @@ class TcpStage(Stage):
 
     def destroy(self) -> None:
         router: TcpRouter = self.router  # type: ignore[assignment]
-        router.release_port(self.local_port)
+        router.release_port(self.local_port, self.path)
+        # A dying demux anchor promotes a live path-group sibling (see
+        # UdpStage.destroy).
+        group = self.path.group
+        if group is not None:
+            for sibling in group.live_members():
+                if sibling is not self.path and \
+                        router.bind_port_to_path(self.local_port, sibling):
+                    break
         self._cancel_rto()
         self._unacked.clear()
         self._reorder.clear()
@@ -320,14 +328,23 @@ class TcpRouter(Router):
         if register is not None:
             register(IPPROTO_TCP, self, self.service("up"))
 
-    def bind_port_to_path(self, port: int, path) -> None:
+    def bind_port_to_path(self, port: int, path) -> bool:
+        """First live binding wins (see ``UdpRouter.bind_port_to_path``):
+        same-port connection paths — a listener group's members, warm
+        pooled spares — share one demux anchor."""
+        current = self._port_paths.get(port)
+        if current is not None and current is not path \
+                and getattr(current, "state", None) != "deleted":
+            return False
         self._port_paths[port] = path
+        return True
 
     def bind_port(self, port: int, router: Router, service: Service) -> None:
         self._port_peers[port] = (router, service)
 
-    def release_port(self, port: int) -> None:
-        self._port_paths.pop(port, None)
+    def release_port(self, port: int, path=None) -> None:
+        if path is None or self._port_paths.get(port) is path:
+            self._port_paths.pop(port, None)
         self._port_peers.pop(port, None)
 
     def create_stage(self, enter_service: int, attrs: Attrs

@@ -45,14 +45,25 @@ class UdpStage(Stage):
 
     def establish(self, attrs: Attrs) -> None:
         """Bind the local port to this path so the classifier can map
-        incoming packets straight to it (one path per port)."""
+        incoming packets straight to it (one live anchor per port; later
+        same-port paths — path-group members, warm pooled spares — leave
+        an existing live binding alone)."""
         router: UdpRouter = self.router  # type: ignore[assignment]
         if self.local_port not in router._port_peers:
             router.bind_port_to_path(self.local_port, self.path)
 
     def destroy(self) -> None:
         router: UdpRouter = self.router  # type: ignore[assignment]
-        router.release_port(self.local_port)
+        router.release_port(self.local_port, self.path)
+        # A dying demux anchor promotes a live path-group sibling, so a
+        # group keeps receiving even when the member holding the port
+        # binding is torn down (watchdog rebuild, explicit delete).
+        group = self.path.group
+        if group is not None:
+            for sibling in group.live_members():
+                if sibling is not self.path and \
+                        router.bind_port_to_path(self.local_port, sibling):
+                    break
 
     def _send(self, iface, msg: Msg, direction: int, **kwargs):
         charge(msg, params.UDP_PROC_US)
@@ -126,13 +137,28 @@ class UdpRouter(Router):
         """Route classification refinement for *port* to an upper router."""
         self._port_peers[port] = (router, service)
 
-    def bind_port_to_path(self, port: int, path) -> None:
-        """Bind *port* directly to *path* (no upper refinement needed)."""
-        self._port_paths[port] = path
+    def bind_port_to_path(self, port: int, path) -> bool:
+        """Bind *port* directly to *path* (no upper refinement needed).
 
-    def release_port(self, port: int) -> None:
+        First live binding wins: when several same-port paths coexist (a
+        path group's members, a pool's warm spares) the earliest becomes
+        the demux anchor and the rest stand by.  A dead or missing anchor
+        is always replaced.  Returns True when *path* holds the binding.
+        """
+        current = self._port_paths.get(port)
+        if current is not None and current is not path \
+                and getattr(current, "state", None) != "deleted":
+            return False
+        self._port_paths[port] = path
+        return True
+
+    def release_port(self, port: int, path=None) -> None:
+        """Release *port*.  When *path* is given, the direct binding is
+        only dropped if *path* owns it — deleting one group member must
+        not unbind an anchor that belongs to a sibling."""
         self._port_peers.pop(port, None)
-        self._port_paths.pop(port, None)
+        if path is None or self._port_paths.get(port) is path:
+            self._port_paths.pop(port, None)
 
     def allocate_port(self, requested: Optional[int] = None) -> int:
         if requested is not None:

@@ -139,6 +139,70 @@ class TestInvalidation:
         assert cache.lookup(b"a") is None
 
 
+class TestGroupInvalidation:
+    """Bulk invalidation by path-group id — the multipath re-spread and
+    failover primitive."""
+
+    def grouped_paths(self, cache, count=2, keys_per_path=2):
+        from repro.multipath import PathGroup
+
+        group = PathGroup("round_robin")
+        members = [group.add(established_path()) for _ in range(count)]
+        tag = ord("a")
+        for member in members:
+            for _ in range(keys_per_path):
+                cache.insert(bytes([tag]), member)
+                tag += 1
+        return group, members
+
+    def test_invalidate_group_drops_every_members_keys(self):
+        cache = cache_of(capacity=8)
+        group, members = self.grouped_paths(cache)
+        other = established_path()
+        cache.insert(b"z", other)
+        assert cache.invalidate_group(group.gid) == 4
+        assert len(cache) == 1
+        assert cache.lookup(b"z") is other
+        assert cache.invalidations == 4
+
+    def test_unknown_gid_is_a_noop(self):
+        cache = cache_of()
+        cache.insert(b"a", established_path())
+        assert cache.invalidate_group(999_999) == 0
+        assert len(cache) == 1
+
+    def test_invalidate_group_is_idempotent(self):
+        cache = cache_of(capacity=8)
+        group, _members = self.grouped_paths(cache)
+        assert cache.invalidate_group(group.gid) == 4
+        assert cache.invalidate_group(group.gid) == 0
+
+    def test_member_delete_unindexes_it_from_the_group(self):
+        cache = cache_of(capacity=8)
+        group, members = self.grouped_paths(cache)
+        members[0].delete()  # purges its own keys synchronously
+        # Only the survivor's keys remain for the bulk drop.
+        assert cache.invalidate_group(group.gid) == 2
+        assert len(cache) == 0
+
+    def test_clear_also_resets_group_index(self):
+        cache = cache_of(capacity=8)
+        group, _members = self.grouped_paths(cache)
+        cache.clear()
+        assert cache.invalidate_group(group.gid) == 0
+
+    def test_stale_grouped_entry_counts_a_stale_hit(self):
+        """A grouped member deleted behind the cache's back must be
+        caught by the lookup-time liveness check, counted, and evicted —
+        same defense-in-depth as ungrouped paths."""
+        cache = cache_of(capacity=8)
+        group, members = self.grouped_paths(cache, count=1, keys_per_path=1)
+        members[0].state = DELETED  # bypass delete() and its purge
+        assert cache.lookup(b"a") is None
+        assert cache.stale_hits == 1
+        assert len(cache) == 0
+
+
 class TestAnnotate:
     def test_annotate_runs_on_hits_only(self):
         seen = []

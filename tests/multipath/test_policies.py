@@ -1,0 +1,126 @@
+"""Selection policies in isolation: given members in known states, each
+policy must pick the member its contract promises."""
+
+import pytest
+
+from repro.core import Path
+from repro.multipath import (
+    POLICIES,
+    DeadlineSlackPolicy,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    SelectionPolicy,
+    WeightedAccountingPolicy,
+    bottleneck_depth,
+    make_policy,
+)
+
+
+def established_path() -> Path:
+    path = Path()
+    path._establish()
+    return path
+
+
+class TestRegistry:
+    def test_every_policy_registered_under_its_name(self):
+        for name, cls in POLICIES.items():
+            assert cls.name == name
+            assert issubclass(cls, SelectionPolicy)
+
+    def test_make_policy_from_name_class_and_instance(self):
+        assert isinstance(make_policy("round_robin"), RoundRobinPolicy)
+        assert isinstance(make_policy(LeastLoadedPolicy), LeastLoadedPolicy)
+        instance = WeightedAccountingPolicy(respread_ratio=2.0)
+        assert make_policy(instance) is instance
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown selection policy"):
+            make_policy("fastest_guess")
+
+
+class TestRoundRobin:
+    def test_cycles_through_members(self):
+        members = [established_path() for _ in range(3)]
+        policy = RoundRobinPolicy()
+        picks = [policy.select(members, None) for _ in range(6)]
+        assert picks == members + members
+
+    def test_not_sticky(self):
+        assert not RoundRobinPolicy().sticky
+
+
+class TestLeastLoaded:
+    def test_picks_shallowest_bottleneck_queue(self):
+        idle, busy = established_path(), established_path()
+        for _ in range(5):
+            busy.q[0].try_enqueue(object())
+        assert bottleneck_depth(busy) == 5
+        assert bottleneck_depth(idle) == 0
+        policy = LeastLoadedPolicy()
+        assert policy.select([busy, idle], None) is idle
+
+    def test_bottleneck_is_the_fullest_queue(self):
+        path = established_path()
+        path.q[2].try_enqueue(object())
+        path.q[2].try_enqueue(object())
+        path.q[0].try_enqueue(object())
+        assert bottleneck_depth(path) == 2
+
+
+class TestDeadlineSlack:
+    def test_prefers_member_without_deadline(self):
+        realtime, best_effort = established_path(), established_path()
+        realtime.attrs["_edf_deadline_fn"] = lambda: 100.0
+        policy = DeadlineSlackPolicy()
+        assert policy.select([realtime, best_effort], None) is best_effort
+
+    def test_prefers_latest_deadline(self):
+        urgent, relaxed = established_path(), established_path()
+        urgent.attrs["_edf_deadline_fn"] = lambda: 10.0
+        relaxed.attrs["_edf_deadline_fn"] = lambda: 500.0
+        policy = DeadlineSlackPolicy()
+        assert policy.select([urgent, relaxed], None) is relaxed
+
+    def test_broken_probe_means_infinite_slack(self):
+        def boom():
+            raise RuntimeError("probe died")
+
+        broken, dated = established_path(), established_path()
+        broken.attrs["_edf_deadline_fn"] = boom
+        dated.attrs["_edf_deadline_fn"] = lambda: 10.0
+        assert DeadlineSlackPolicy().select([dated, broken], None) is broken
+
+    def test_equal_slack_falls_back_to_queue_depth(self):
+        a, b = established_path(), established_path()
+        a.q[0].try_enqueue(object())
+        assert DeadlineSlackPolicy().select([a, b], None) is b
+
+
+class TestWeightedAccounting:
+    def test_sticky(self):
+        assert WeightedAccountingPolicy().sticky
+
+    def test_new_flows_pinned_to_cheapest_member(self):
+        cheap, dear = established_path(), established_path()
+        dear.stats.charge_cycles(10_000)
+        policy = WeightedAccountingPolicy()
+        assert policy.select([dear, cheap], None) is cheap
+
+    def test_respread_when_imbalance_exceeds_ratio(self):
+        a, b = established_path(), established_path()
+        policy = WeightedAccountingPolicy(respread_ratio=4.0)
+        a.stats.charge_cycles(100)
+        b.stats.charge_cycles(100)
+        assert not policy.should_respread([a, b])
+        a.stats.charge_cycles(1_000)
+        assert policy.should_respread([a, b])
+
+    def test_single_member_never_respreads(self):
+        a = established_path()
+        a.stats.charge_cycles(1_000_000)
+        assert not WeightedAccountingPolicy().should_respread([a])
+
+    def test_ratio_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            WeightedAccountingPolicy(respread_ratio=1.0)
