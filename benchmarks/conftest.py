@@ -19,6 +19,8 @@ FASTPATH_RESULTS = RESULTS_DIR / "BENCH_fastpath.json"
 
 MULTIPATH_RESULTS = RESULTS_DIR / "BENCH_multipath.json"
 
+BATCHING_RESULTS = RESULTS_DIR / "BENCH_batching.json"
+
 
 def _merge_section(target: pathlib.Path, section: str, payload: dict,
                    tag: str) -> None:
@@ -67,5 +69,18 @@ def record_multipath():
 
     def record(section: str, payload: dict) -> None:
         _merge_section(MULTIPATH_RESULTS, section, payload, "BENCH_multipath")
+
+    return record
+
+
+@pytest.fixture
+def record_batching():
+    """Merge one named section into the machine-readable batching
+    results file (``benchmarks/results/BENCH_batching.json``) — the
+    throughput and overflow-ledger benchmarks accumulate into a single
+    artifact for CI to upload."""
+
+    def record(section: str, payload: dict) -> None:
+        _merge_section(BATCHING_RESULTS, section, payload, "BENCH_batching")
 
     return record

@@ -14,10 +14,18 @@ at the network adapter.
 Run:  python examples/admission_control.py   (takes ~1 min)
 """
 
-from repro.admission import CpuAdmission, FrameCostModel, MemoryAdmission
-from repro.core import AdmissionError
-from repro.experiments import Testbed
-from repro.mpeg import CANYON, FLOWER, NEPTUNE, PAPER_CLIPS, synthesize_clip
+from repro.api import (
+    CANYON,
+    FLOWER,
+    NEPTUNE,
+    PAPER_CLIPS,
+    AdmissionError,
+    CpuAdmission,
+    FrameCostModel,
+    MemoryAdmission,
+    Testbed,
+    synthesize_clip,
+)
 
 
 def measure_model() -> FrameCostModel:

@@ -18,18 +18,19 @@ and arms the full self-healing stack:
 Run:  python examples/chaos_mpeg.py
 """
 
-from repro import params
-from repro.core import path_create
-from repro.experiments import Testbed
-from repro.faults import (
+from repro.api import (
+    NEPTUNE,
     DegradationGovernor,
     FaultyLink,
+    PathBuilder,
     PathWatchdog,
     StageFault,
     StageFaultInjector,
+    Testbed,
+    params,
     profile,
+    synthesize_clip,
 )
-from repro.mpeg import NEPTUNE, synthesize_clip
 
 SEED = 7
 STALL_AT_US = 2_000_000.0
@@ -60,9 +61,11 @@ def main() -> None:
 
     def rebuild():
         attrs = kernel.build_video_attrs(NEPTUNE, remote, local_port=6100)
-        path = path_create(kernel.display, attrs,
-                           transforms=kernel.transforms,
-                           admission=kernel.admission)
+        path = (PathBuilder(kernel.display,
+                            transforms=kernel.transforms,
+                            admission=kernel.admission)
+                .invariants(attrs)
+                .build())
         sessions.append(kernel._attach_video_path(path))
         governor.path = path  # the governor follows the live path
         return path

@@ -11,9 +11,7 @@ decoder alive.
 Run:  python examples/loaded_system.py
 """
 
-from repro.experiments import Testbed
-from repro.mpeg import NEPTUNE, synthesize_clip
-from repro.sim.world import POLICY_RR
+from repro.api import NEPTUNE, POLICY_RR, Testbed, synthesize_clip
 
 FRAMES = 200
 

@@ -11,8 +11,7 @@ decodes under EDF scheduling.
 Run:  python examples/mpeg_player.py
 """
 
-from repro.experiments import Testbed
-from repro.mpeg import NEPTUNE, synthesize_clip
+from repro.api import NEPTUNE, Testbed, synthesize_clip
 
 
 def main() -> None:

@@ -14,7 +14,7 @@ misses deadlines.
 Run:  python examples/multi_stream_edf.py        (takes ~1 min)
 """
 
-from repro.experiments import run_edf_rr
+from repro.api import run_edf_rr
 
 NEPTUNE_FRAMES = 450
 OUTQ = 128

@@ -9,18 +9,20 @@ classifier.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import (
-    Attrs,
+from repro.api import (
     BWD,
     FWD,
+    EthAddr,
+    IpAddr,
     Msg,
+    PA_LOCAL_PORT,
     PA_NET_PARTICIPANTS,
+    PathBuilder,
     build_graph,
+    build_udp_frame,
     classify,
-    path_create,
+    parse_frame,
 )
-from repro.net import PA_LOCAL_PORT, build_udp_frame, parse_frame
-from repro.net.addresses import EthAddr, IpAddr
 
 # ---------------------------------------------------------------------------
 # 1. Configure a router graph with the paper's spec-file language.
@@ -51,14 +53,15 @@ def main() -> None:
     graph.router("ARP").add_entry("10.0.0.2", "02:00:00:00:00:02")
 
     # -----------------------------------------------------------------------
-    # 2. Create a path from invariants.  The attributes say *who* we talk
-    #    to; each router freezes the routing decisions those invariants
-    #    allow (IP checks the peer is on the local network, resolves its
-    #    MAC through ARP's resolver service, and so on).
+    # 2. Create a path from invariants.  The builder's attributes say
+    #    *who* we talk to; each router freezes the routing decisions those
+    #    invariants allow (IP checks the peer is on the local network,
+    #    resolves its MAC through ARP's resolver service, and so on).
     # -----------------------------------------------------------------------
-    attrs = Attrs({PA_NET_PARTICIPANTS: ("10.0.0.2", 7000),
-                   PA_LOCAL_PORT: 6100})
-    path = path_create(graph.router("TEST"), attrs)
+    path = (PathBuilder(graph.router("TEST"))
+            .invariant(PA_NET_PARTICIPANTS, ("10.0.0.2", 7000))
+            .invariant(PA_LOCAL_PORT, 6100)
+            .build())
     print(f"created {path!r}")
     print(f"  stages: {' -> '.join(path.routers())}")
     print(f"  modeled footprint: {path.modeled_size()} bytes "
@@ -86,8 +89,9 @@ def main() -> None:
                             IpAddr("10.0.0.2"), IpAddr("10.0.0.1"),
                             7000, 6100, b"welcome back")
     msg = Msg(frame)
-    found = classify(graph.router("ETH"), msg)
-    print(f"classified to path #{found.pid} "
+    result = classify(graph.router("ETH"), msg)
+    found = result.path
+    print(f"classified to path #{found.pid} via {result.source} "
           f"(same path: {found is path})")
     found.deliver(msg, BWD)
     received = graph.router("TEST").received[0]

@@ -16,28 +16,27 @@ Demonstrates three things from Section 2 of the paper:
 Run:  python examples/web_server.py
 """
 
-from repro.core import (
-    Attrs,
+from repro.api import (
     BWD,
-    Msg,
+    IPPROTO_TCP,
+    PA_LOCAL_PORT,
     PA_NET_PARTICIPANTS,
-    RouterGraph,
-    path_create,
-)
-from repro.fs import ScsiRouter, UfsRouter, VfsRouter
-from repro.http import HttpRouter
-from repro.net import (
     ArpRouter,
     EthAddr,
     EthRouter,
+    HttpRouter,
     IpAddr,
     IpHeader,
     IpRouter,
+    Msg,
+    PathBuilder,
+    RouterGraph,
+    ScsiRouter,
     TcpHeader,
     TcpRouter,
+    UfsRouter,
+    VfsRouter,
 )
-from repro.net.common import PA_LOCAL_PORT
-from repro.net.headers import IPPROTO_TCP
 
 SERVER_IP, SERVER_MAC = "10.0.0.1", "02:00:00:00:00:01"
 CLIENT_IP, CLIENT_MAC = "10.0.0.9", "02:00:00:00:00:09"
@@ -91,8 +90,10 @@ def main() -> None:
 
     # A connection path for one client ("one per TCP connection").
     http = graph.router("HTTP")
-    conn = path_create(http, Attrs({PA_NET_PARTICIPANTS: (CLIENT_IP, 51000),
-                                    PA_LOCAL_PORT: 80}))
+    conn = (PathBuilder(http)
+            .invariant(PA_NET_PARTICIPANTS, (CLIENT_IP, 51000))
+            .invariant(PA_LOCAL_PORT, 80)
+            .build())
     print(f"connection path: {' -> '.join(conn.routers())}")
 
     # Capture what goes out on the wire (responses larger than the MTU
@@ -125,8 +126,9 @@ def main() -> None:
 
     # The degenerate case of Section 2.2: a peer beyond the local network
     # cannot have its route frozen, so the path ends at IP.
-    offnet = path_create(http, Attrs({PA_NET_PARTICIPANTS:
-                                      ("192.168.7.7", 80)}))
+    offnet = (PathBuilder(http)
+              .invariant(PA_NET_PARTICIPANTS, ("192.168.7.7", 80))
+              .build())
     print(f"\npath to an off-net peer: {' -> '.join(offnet.routers())} "
           "(stops at IP: routing not frozen)")
 

@@ -14,9 +14,14 @@ The library has three layers:
   baseline kernels, :mod:`repro.admission`, and the
   :mod:`repro.experiments` harness that regenerates the paper's tables.
 
+Applications import from the stable :mod:`repro.api` facade (the
+``Scout`` entry point, the fluent ``PathBuilder``, and re-exports of
+every application-facing name); the layer modules stay importable for
+the library and tests.
+
 Quickstart::
 
-    from repro import core
+    from repro.api import Scout
     # build a router graph, create a path, deliver a message — see
     # examples/quickstart.py
 
@@ -24,6 +29,7 @@ Quickstart::
 
 from . import (
     admission,
+    api,
     core,
     display,
     experiments,
@@ -41,6 +47,6 @@ from . import (
 
 __version__ = "1.0.0"
 
-__all__ = ["core", "sim", "net", "mpeg", "display", "shell", "fs", "http",
-           "kernel", "admission", "experiments", "faults", "multipath",
-           "params", "__version__"]
+__all__ = ["api", "core", "sim", "net", "mpeg", "display", "shell", "fs",
+           "http", "kernel", "admission", "experiments", "faults",
+           "multipath", "params", "__version__"]

@@ -1,0 +1,309 @@
+"""The stable public facade: ``import repro.api`` and stop there.
+
+Everything an application, example, or experiment script needs lives in
+this module's ``__all__``: the :class:`Scout` kernel entry, the fluent
+:class:`PathBuilder` (replacing hand-built attribute dicts), the
+result-returning :func:`classify`, path creation, multipath groups and
+pools, the experiment testbed, and the names the bundled examples use.
+The deep modules (``repro.core``, ``repro.net``, ...) remain importable —
+they are the implementation surface and may reorganize between releases;
+this facade is the surface that holds still.
+
+Legacy access: attribute lookups that miss ``__all__`` fall through to
+the underlying layers with a :class:`DeprecationWarning` (see
+:func:`__getattr__`), so older scripts keep running while the warning
+points them at the supported name.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Mapping, Optional
+
+from . import params
+from .admission import CpuAdmission, FrameCostModel, MemoryAdmission
+from .core import (
+    BWD,
+    BWD_IN,
+    BWD_OUT,
+    FWD,
+    FWD_IN,
+    FWD_OUT,
+    PA_BATCH,
+    PA_FRAME_RATE,
+    PA_INQ_LEN,
+    PA_MEM_BUDGET,
+    PA_NET_PARTICIPANTS,
+    PA_OUTQ_LEN,
+    PA_PATHNAME,
+    PA_SCHED_POLICY,
+    PA_SCHED_PRIORITY,
+    PA_TRACE,
+    SOURCE_CACHE,
+    SOURCE_DEMUX,
+    SOURCE_GROUP,
+    AdmissionError,
+    Attrs,
+    ClassificationError,
+    ClassifierStats,
+    ClassifyResult,
+    FlowCache,
+    Msg,
+    MsgBatch,
+    Path,
+    PathQueue,
+    RouterGraph,
+    ScoutError,
+    build_graph,
+    classify_batch,
+    classify_ex,
+    classify_or_raise,
+    path_create,
+    path_delete,
+)
+from .core.attributes import as_attrs
+from .core.path_create import AdmissionHook
+from .display import DisplayRouter
+from .experiments import Testbed, frames_budget, run_edf_rr
+from .faults import (
+    DegradationGovernor,
+    FaultyLink,
+    PathWatchdog,
+    StageFault,
+    StageFaultInjector,
+    profile,
+)
+from .fs import ScsiRouter, UfsRouter, VfsRouter
+from .http import HttpRouter
+from .kernel import LinuxKernel, ScoutKernel
+from .mpeg import CANYON, FLOWER, NEPTUNE, PAPER_CLIPS, synthesize_clip
+from .multipath import PathGroup, PathPool
+from .net import (
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    PA_LOCAL_PORT,
+    ArpRouter,
+    EthAddr,
+    EthRouter,
+    EtherSegment,
+    IpAddr,
+    IpHeader,
+    IpRouter,
+    TcpHeader,
+    TcpRouter,
+    UdpHeader,
+    UdpRouter,
+    build_udp_frame,
+    parse_frame,
+)
+from .observe import Observatory
+from .sim import SimWorld
+from .sim.world import POLICY_EDF, POLICY_RR
+
+#: Result-returning classification is the facade's canonical spelling:
+#: ``classify(...)`` here yields a :class:`ClassifyResult` whose ``path``
+#: may be ``None`` and whose ``source`` says who decided (demux chain,
+#: flow-cache probe, group re-dispatch).  The historical path-returning
+#: form survives as :func:`repro.core.classify.classify` and, raising,
+#: as :func:`classify_or_raise`.
+classify = classify_ex
+
+
+class PathBuilder:
+    """Fluent path construction: invariants in, established path out.
+
+    Replaces hand-built :class:`Attrs` dicts::
+
+        path = (PathBuilder(graph.router("TEST"))
+                .invariant(PA_NET_PARTICIPANTS, ("10.0.0.2", 7000))
+                .invariant(PA_LOCAL_PORT, 6100)
+                .trace(observatory)
+                .build())
+
+    Each call returns the builder, so chains read as the attribute set
+    they produce; :meth:`build` runs the ordinary four-phase
+    :func:`path_create` with whatever transforms/admission hooks were
+    attached.  A builder is single-shot per :meth:`build` call but may be
+    reused — later builds see the same accumulated invariants.
+    """
+
+    def __init__(self, router: Any, transforms: Any = None,
+                 admission: Optional[AdmissionHook] = None):
+        self._router = router
+        self._attrs = Attrs()
+        self._transforms = transforms
+        self._admission = admission
+
+    def invariant(self, name: str, value: Any = True) -> "PathBuilder":
+        """Add one invariant attribute (``PA_*`` name -> value)."""
+        self._attrs[name] = value
+        return self
+
+    def invariants(self, mapping: Optional[Mapping[str, Any]] = None,
+                   **named: Any) -> "PathBuilder":
+        """Add several invariants at once (a mapping and/or keywords)."""
+        if mapping is not None:
+            for name, value in as_attrs(mapping).items():
+                self._attrs[name] = value
+        for name, value in named.items():
+            self._attrs[name] = value
+        return self
+
+    def participants(self, host: Any, port: int) -> "PathBuilder":
+        """Shorthand for the ``PA_NET_PARTICIPANTS`` invariant."""
+        return self.invariant(PA_NET_PARTICIPANTS, (str(host), int(port)))
+
+    def local_port(self, port: int) -> "PathBuilder":
+        return self.invariant(PA_LOCAL_PORT, int(port))
+
+    def trace(self, observatory: Any = True) -> "PathBuilder":
+        """Arm per-path observability (``PA_TRACE``); pass the
+        :class:`Observatory` to use, or ``True`` to let the kernel
+        substitute its own."""
+        return self.invariant(PA_TRACE, observatory)
+
+    def batch(self, limit: int) -> "PathBuilder":
+        """Let the path's thread drain up to *limit* messages per
+        scheduler dispatch (``PA_BATCH``, DESIGN.md §13)."""
+        return self.invariant(PA_BATCH, int(limit))
+
+    def admission(self, hook: Optional[AdmissionHook]) -> "PathBuilder":
+        """Gate :meth:`build` through an admission hook (or ``None``)."""
+        self._admission = hook
+        return self
+
+    def transforms(self, registry: Any) -> "PathBuilder":
+        """Apply *registry*'s transformation rules at build time."""
+        self._transforms = registry
+        return self
+
+    def attrs(self) -> Attrs:
+        """The invariant set accumulated so far (live, not a copy)."""
+        return self._attrs
+
+    def build(self) -> Path:
+        """Run four-phase path creation and return the established path."""
+        return path_create(self._router, self._attrs,
+                           transforms=self._transforms,
+                           admission=self._admission)
+
+    def __repr__(self) -> str:
+        return (f"<PathBuilder {getattr(self._router, 'name', self._router)!r} "
+                f"attrs={len(self._attrs)}>")
+
+
+class Scout:
+    """One booted Scout machine on its own virtual-time world.
+
+    The three-line entry point the facade promises::
+
+        scout = Scout(seed=7)
+        session = scout.kernel.start_video(NEPTUNE, ("10.0.0.2", 7000))
+        scout.run(5.0)
+
+    Wraps a :class:`~repro.sim.SimWorld`, an
+    :class:`~repro.net.EtherSegment` and a
+    :class:`~repro.kernel.ScoutKernel`; keyword arguments flow through to
+    the kernel (admission hooks, flow-cache capacity, display mode, ...).
+    For multi-host scenarios — remote video sources, ping flooders,
+    command clients — use :class:`Testbed`, which manages addressing for
+    a whole neighbourhood of hosts.
+    """
+
+    def __init__(self, seed: int = 0,
+                 bandwidth_mbps: float = params.ETH_BANDWIDTH_MBPS,
+                 latency_us: float = params.ETH_LINK_LATENCY_US,
+                 **kernel_kwargs: Any):
+        self.world = SimWorld(seed=seed)
+        self.segment = EtherSegment(self.world.engine,
+                                    bandwidth_mbps=bandwidth_mbps,
+                                    latency_us=latency_us,
+                                    rng=self.world.rng)
+        self.kernel = ScoutKernel(self.world, self.segment, **kernel_kwargs)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in microseconds."""
+        return self.world.now
+
+    def run(self, seconds: float) -> None:
+        """Advance virtual time by *seconds*."""
+        self.world.run_for(seconds * 1_000_000.0)
+
+    def path(self, router: Any) -> PathBuilder:
+        """A :class:`PathBuilder` rooted at *router*, pre-wired with the
+        kernel's transformation rules and admission hook."""
+        return PathBuilder(router, transforms=self.kernel.transforms,
+                           admission=self.kernel.admission)
+
+    def stats(self) -> dict:
+        return self.kernel.stats()
+
+    def __repr__(self) -> str:
+        return f"<Scout {self.kernel.ip.addr} t={self.world.now:.0f}us>"
+
+
+__all__ = [
+    # entry points
+    "Scout", "PathBuilder", "Testbed", "ScoutKernel", "LinuxKernel",
+    "SimWorld", "EtherSegment", "Observatory",
+    # path architecture
+    "path_create", "path_delete", "build_graph", "RouterGraph",
+    "Attrs", "Msg", "MsgBatch", "Path", "PathQueue", "FlowCache",
+    "FWD", "BWD", "FWD_IN", "FWD_OUT", "BWD_IN", "BWD_OUT",
+    # classification
+    "classify", "classify_ex", "classify_batch", "classify_or_raise",
+    "ClassifyResult", "ClassifierStats",
+    "SOURCE_DEMUX", "SOURCE_CACHE", "SOURCE_GROUP",
+    # multipath
+    "PathGroup", "PathPool",
+    # attributes
+    "PA_NET_PARTICIPANTS", "PA_LOCAL_PORT", "PA_PATHNAME", "PA_FRAME_RATE",
+    "PA_SCHED_POLICY", "PA_SCHED_PRIORITY", "PA_INQ_LEN", "PA_OUTQ_LEN",
+    "PA_MEM_BUDGET", "PA_TRACE", "PA_BATCH",
+    # scheduling policies
+    "POLICY_RR", "POLICY_EDF",
+    # admission
+    "CpuAdmission", "MemoryAdmission", "FrameCostModel",
+    # routers & net helpers the examples build graphs from
+    "EthRouter", "ArpRouter", "IpRouter", "UdpRouter", "TcpRouter",
+    "HttpRouter", "VfsRouter", "UfsRouter", "ScsiRouter", "DisplayRouter",
+    "EthAddr", "IpAddr", "IpHeader", "UdpHeader", "TcpHeader",
+    "IPPROTO_UDP", "IPPROTO_TCP", "build_udp_frame", "parse_frame",
+    # clips & experiments
+    "NEPTUNE", "CANYON", "FLOWER", "PAPER_CLIPS", "synthesize_clip",
+    "run_edf_rr", "frames_budget",
+    # faults / self-healing
+    "PathWatchdog", "DegradationGovernor", "FaultyLink",
+    "StageFault", "StageFaultInjector", "profile",
+    # errors
+    "ScoutError", "AdmissionError", "ClassificationError",
+    # tunables
+    "params",
+]
+
+
+def __getattr__(name: str) -> Any:
+    """Deprecation shim: resolve legacy names from the deep layers.
+
+    Anything public that the facade does not re-export — older scripts
+    reached through ``repro.api`` for names like ``MflowRouter`` during
+    the facade's introduction — still resolves, with a
+    :class:`DeprecationWarning` naming the supported import.
+    """
+    if name.startswith("_"):
+        # Never shim private/dunder probes (the import machinery asks for
+        # ``__path__``; copy/pickle ask for ``__reduce__`` and friends).
+        raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+
+    from . import core, display, fs, http, kernel, mpeg, multipath, net, sim
+
+    for layer in (core, net, sim, kernel, mpeg, display, multipath, fs, http):
+        value = getattr(layer, name, None)
+        if value is not None:
+            warnings.warn(
+                f"repro.api.{name} is deprecated: import it from "
+                f"{layer.__name__} (or use a name in repro.api.__all__)",
+                DeprecationWarning, stacklevel=2)
+            return value
+    raise AttributeError(f"module 'repro.api' has no attribute {name!r}")

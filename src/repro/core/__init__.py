@@ -10,6 +10,7 @@ with transformation rules, and incremental packet classification.
 from .attributes import (
     PA_AVG_PROC_TIME,
     PA_AVG_RTT,
+    PA_BATCH,
     PA_FRAME_RATE,
     PA_INQ_LEN,
     PA_MEM_BUDGET,
@@ -23,7 +24,17 @@ from .attributes import (
     Attrs,
     as_attrs,
 )
-from .classify import ClassifierStats, classify, classify_or_raise
+from .classify import (
+    SOURCE_CACHE,
+    SOURCE_DEMUX,
+    SOURCE_GROUP,
+    ClassifierStats,
+    ClassifyResult,
+    classify,
+    classify_batch,
+    classify_ex,
+    classify_or_raise,
+)
 from .errors import (
     AdmissionError,
     ClassificationError,
@@ -49,7 +60,7 @@ from .interfaces import (
     WinIface,
     iface_satisfies,
 )
-from .message import Msg
+from .message import Msg, MsgBatch
 from .path import CREATING, DELETED, ESTABLISHED, Path, PathStats
 from .path_create import MAX_PATH_LENGTH, path_create, path_delete
 from .queues import (
@@ -80,7 +91,8 @@ __all__ = [
     "PA_NET_PARTICIPANTS", "PA_PATHNAME", "PA_PROTID", "PA_SCHED_POLICY",
     "PA_SCHED_PRIORITY", "PA_FRAME_RATE", "PA_INQ_LEN", "PA_OUTQ_LEN",
     "PA_MEM_BUDGET", "PA_AVG_PROC_TIME", "PA_AVG_RTT", "PA_TRACE",
-    "Msg",
+    "PA_BATCH",
+    "Msg", "MsgBatch",
     "Iface", "NetIface", "RtNetIface", "NsIface", "WinIface", "FsIface",
     "ServiceType", "iface_satisfies",
     "Router", "Service", "ServiceDecl", "RouterLink", "NextHop",
@@ -94,7 +106,9 @@ __all__ = [
     "PathQueue", "LifoPathQueue", "DeadlineOrderedQueue",
     "FWD_IN", "FWD_OUT", "BWD_IN", "BWD_OUT",
     "TransformRegistry", "TransformRule", "traverses", "has_attr", "all_of",
-    "classify", "classify_or_raise", "ClassifierStats",
+    "classify", "classify_ex", "classify_batch", "classify_or_raise",
+    "ClassifierStats", "ClassifyResult",
+    "SOURCE_DEMUX", "SOURCE_CACHE", "SOURCE_GROUP",
     "FlowCache", "flow_key_ipv4_udp",
     "ScoutError", "ConfigurationError", "CyclicDependencyError",
     "ServiceTypeError", "SpecSyntaxError", "PathCreationError",

@@ -69,6 +69,12 @@ PA_AVG_RTT = "PA_AVG_RTT"
 #: path.
 PA_TRACE = "PA_TRACE"
 
+#: Batch limit for the path's thread (messages per scheduler dispatch).
+#: 1 (the default) keeps the paper's one-message-per-wakeup behaviour;
+#: N > 1 lets the thread drain up to N queued messages per dispatch via
+#: the batched execution machinery of DESIGN.md §13.
+PA_BATCH = "PA_BATCH"
+
 
 class Attrs:
     """An ordered set of name/value attribute pairs.

@@ -26,7 +26,7 @@ The Scout classifier's requirements (both honored here):
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, List, NamedTuple, Optional
 
 from .errors import ClassificationError
 from .message import Msg
@@ -35,6 +35,32 @@ from .router import DemuxResult, Router, Service
 
 #: Refinement-hop cap: a demux cycle is a router bug, not a data property.
 MAX_REFINEMENTS = 32
+
+#: Decision sources recorded in :class:`ClassifyResult`.
+SOURCE_DEMUX = "demux"              # the refinement chain decided
+SOURCE_CACHE = "cache"              # a flow-cache probe decided (incl. sticky pins)
+SOURCE_GROUP = "group-redispatch"   # a cached group anchor was re-dispatched
+
+
+class ClassifyResult(NamedTuple):
+    """The outcome of one classification decision.
+
+    ``path`` is ``None`` for a discard (the reason is in
+    ``msg.meta["drop_reason"]``).  ``source`` says who decided:
+    :data:`SOURCE_DEMUX` (the refinement chain ran), :data:`SOURCE_CACHE`
+    (a flow-cache probe, including sticky group pins), or
+    :data:`SOURCE_GROUP` (a cached group anchor whose selection policy
+    re-dispatched the message).  ``run_length`` is 1 for per-message
+    classification; :func:`classify_batch` sets it to the length of the
+    same-flow run the message belonged to.
+
+    Being a ``NamedTuple``, it unpacks like the plain tuple older
+    call sites expect: ``path, source, run = classify_ex(...)``.
+    """
+
+    path: Optional[Path]
+    source: str = SOURCE_DEMUX
+    run_length: int = 1
 
 
 class _Respread:
@@ -90,14 +116,16 @@ class ClassifierStats:
         self.cache_hits = 0
 
 
-def classify(router: Router, msg: Msg, service: Optional[Service] = None,
-             stats: Optional[ClassifierStats] = None,
-             cache=None) -> Optional[Path]:
+def classify_ex(router: Router, msg: Msg, service: Optional[Service] = None,
+                stats: Optional[ClassifierStats] = None,
+                cache=None) -> ClassifyResult:
     """Run the incremental demux chain starting at *router*.
 
-    Returns the path to use, or ``None`` when no appropriate path exists
-    (the data is to be discarded; the reason is recorded in
-    ``msg.meta["drop_reason"]`` for observability).
+    This is the canonical classifier; :func:`classify` and
+    :func:`classify_or_raise` are path-only shims over it.  Returns a
+    :class:`ClassifyResult` whose ``path`` is ``None`` when no
+    appropriate path exists (the data is to be discarded; the reason is
+    recorded in ``msg.meta["drop_reason"]`` for observability).
 
     When a *cache* (:class:`~repro.core.flowcache.FlowCache`) is
     supplied it is consulted before the refinement chain — an established
@@ -125,7 +153,9 @@ def classify(router: Router, msg: Msg, service: Optional[Service] = None,
             if group is not None:
                 resolved = _dispatch_group(group, cached, msg, cache, stats)
                 if resolved is not _RESPREAD:
-                    return resolved
+                    source = (SOURCE_CACHE if group.policy.sticky
+                              else SOURCE_GROUP)
+                    return ClassifyResult(resolved, source)
                 # fall through: the pins were just invalidated; re-walk
                 # the chain so the flow is re-placed by the policy.
             else:
@@ -136,7 +166,7 @@ def classify(router: Router, msg: Msg, service: Optional[Service] = None,
                 observer = cached.observer
                 if observer is not None:
                     observer.on_demux(msg, 1)
-                return cached
+                return ClassifyResult(cached, SOURCE_CACHE)
     offset = 0
     current: Router = router
     current_service = service
@@ -157,7 +187,7 @@ def classify(router: Router, msg: Msg, service: Optional[Service] = None,
                     group.note_dispatch_failure()
                     if stats is not None:
                         stats.dropped += 1
-                    return None
+                    return ClassifyResult(None, SOURCE_DEMUX)
                 if cache is not None:
                     # Sticky policies pin the flow to the chosen member;
                     # others cache the demux anchor so later packets hit
@@ -174,7 +204,7 @@ def classify(router: Router, msg: Msg, service: Optional[Service] = None,
                     f"path #{chosen.pid}")
                 if stats is not None:
                     stats.dropped += 1
-                return None
+                return ClassifyResult(None, SOURCE_DEMUX)
             if stats is not None:
                 stats.classified += 1
             msg.meta["path"] = chosen
@@ -183,7 +213,7 @@ def classify(router: Router, msg: Msg, service: Optional[Service] = None,
                 observer.on_demux(msg, hops)
             if cache is not None and group is None:
                 cache.insert(msg, chosen)
-            return chosen
+            return ClassifyResult(chosen, SOURCE_DEMUX)
         if result.forward is not None:
             offset += result.consumed
             current, current_service = result.forward
@@ -194,10 +224,24 @@ def classify(router: Router, msg: Msg, service: Optional[Service] = None,
         msg.meta["drop_reason"] = result.reason or f"{current.name}: no path"
         if stats is not None:
             stats.dropped += 1
-        return None
+        return ClassifyResult(None, SOURCE_DEMUX)
     raise ClassificationError(
         f"classification did not converge after {MAX_REFINEMENTS} "
         f"refinements (last router: {current.name})")
+
+
+def classify(router: Router, msg: Msg, service: Optional[Service] = None,
+             stats: Optional[ClassifierStats] = None,
+             cache=None) -> Optional[Path]:
+    """Path-only shim over :func:`classify_ex` (the historical surface).
+
+    Returns the path to use, or ``None`` when no appropriate path exists
+    (the data is to be discarded; the reason is recorded in
+    ``msg.meta["drop_reason"]``).  Callers that care *how* the decision
+    was made — demux chain, flow-cache probe, or group re-dispatch — use
+    :func:`classify_ex` and read :class:`ClassifyResult`.
+    """
+    return classify_ex(router, msg, service, stats, cache).path
 
 
 def classify_or_raise(router: Router, msg: Msg,
@@ -208,3 +252,83 @@ def classify_or_raise(router: Router, msg: Msg,
     if path is None:
         raise ClassificationError(msg.meta.get("drop_reason", "no path"))
     return path
+
+
+def classify_batch(router: Router, msgs: Iterable[Msg],
+                   service: Optional[Service] = None,
+                   stats: Optional[ClassifierStats] = None,
+                   cache=None) -> List[ClassifyResult]:
+    """Classify a batch of arrivals, amortizing decisions over runs.
+
+    Consecutive messages sharing a flow-cache key form a *run*: each
+    message's key is computed exactly once (to find run boundaries), the
+    run head takes the ordinary :func:`classify_ex` walk, and followers
+    resolve through :meth:`FlowCache.lookup_key
+    <repro.core.flowcache.FlowCache.lookup_key>` with the precomputed
+    key — one demux decision covers the whole run.
+
+    **Accounting is exact per message.**  Followers bump the same
+    counters a per-message :func:`classify` would (``stats.classified``,
+    ``stats.cache_hits``, the cache's hit counter and metric mirror, the
+    ``annotate`` hook, and each path observer's ``on_demux``), and
+    non-sticky group anchors re-dispatch *every* message through the
+    selection policy, so round-robin spreads and drop ledgers are
+    indistinguishable from classifying the batch one message at a time.
+    A follower that cannot ride the head's decision (no cache, the head
+    was discarded, the entry vanished, or a sticky re-spread fired
+    mid-run) falls back to its own full walk.
+
+    Returns one :class:`ClassifyResult` per message, in arrival order,
+    each carrying the length of the run it belonged to.
+    """
+    arrivals = list(msgs)
+    results: List[ClassifyResult] = []
+    n = len(arrivals)
+    keys = None
+    if cache is not None:
+        key_of = cache.key_of
+        keys = [key_of(m) for m in arrivals]
+    i = 0
+    while i < n:
+        key = keys[i] if keys is not None else None
+        j = i + 1
+        if key is not None:
+            while j < n and keys[j] == key:
+                j += 1
+        run = j - i
+        head_result = classify_ex(router, arrivals[i], service, stats, cache)
+        if run > 1:
+            head_result = head_result._replace(run_length=run)
+        results.append(head_result)
+        for k in range(i + 1, j):
+            follower = arrivals[k]
+            cached = (cache.lookup_key(key, follower)
+                      if head_result.path is not None else None)
+            if cached is None:
+                # No decision to share (head discarded, entry evicted, or
+                # the path died mid-run): full per-message walk.
+                results.append(classify_ex(router, follower, service, stats,
+                                           cache)._replace(run_length=run))
+                continue
+            group = cached.group
+            if group is not None:
+                resolved = _dispatch_group(group, cached, follower, cache,
+                                           stats)
+                if resolved is _RESPREAD:
+                    results.append(classify_ex(
+                        router, follower, service, stats,
+                        cache)._replace(run_length=run))
+                    continue
+                source = SOURCE_CACHE if group.policy.sticky else SOURCE_GROUP
+                results.append(ClassifyResult(resolved, source, run))
+                continue
+            if stats is not None:
+                stats.classified += 1
+                stats.cache_hits += 1
+            follower.meta["path"] = cached
+            observer = cached.observer
+            if observer is not None:
+                observer.on_demux(follower, 1)
+            results.append(ClassifyResult(cached, SOURCE_CACHE, run))
+        i = j
+    return results

@@ -127,6 +127,19 @@ class FlowCache:
         key = self.key_of(msg)
         if key is None:
             return None
+        return self.lookup_key(key, msg)
+
+    def lookup_key(self, key: bytes, msg: Any) -> Optional[Path]:
+        """:meth:`lookup` with a precomputed *key*.
+
+        Batch classification (:func:`repro.core.classify.classify_batch`)
+        computes every message's key once to group arrivals into runs;
+        run followers probe with that key instead of re-slicing the
+        header.  Accounting (hits/misses/stale evictions, metric mirrors,
+        the ``annotate`` hook, LRU recency) is identical to
+        :meth:`lookup`, so batched and per-message counters reconcile
+        exactly.
+        """
         path = self._entries.get(key)
         if path is None:
             self.misses += 1

@@ -16,7 +16,7 @@ from typing import Any, Callable, Dict, List, Optional
 from .attributes import Attrs
 from .errors import PathStateError
 from .queues import BWD_IN, BWD_OUT, FWD_IN, FWD_OUT, PathQueue, QUEUE_ROLE_NAMES
-from .stage import BWD, FWD, Stage, run_compiled
+from .stage import BWD, FWD, Stage, run_compiled, run_compiled_batch
 
 _pid_counter = itertools.count(1)
 
@@ -247,9 +247,12 @@ class Path:
                 # probes) — flattening stops here; it recurses onward.
                 if not chain:
                     return None  # entry brackets everything: plain recursion
-                chain.append((iface, fn, False))
+                chain.append((iface, fn, False, None))
                 return tuple(chain)
-            chain.append((iface, fn, True))
+            stage = iface.stage
+            fn_batch = stage.deliver_batch_fn(direction) \
+                if stage is not None else None
+            chain.append((iface, fn, True, fn_batch))
             iface = iface.next
         return tuple(chain)
 
@@ -285,6 +288,58 @@ class Path:
             return iface.deliver(iface, msg, direction, **kwargs)
         finally:
             observer.end_traversal(token)
+
+    def deliver_batch(self, msgs: Any, direction: int = FWD,
+                      **kwargs: Any) -> List[Any]:
+        """Deliver a whole run of messages (a ``MsgBatch`` or any
+        iterable of messages) through the path in *direction*.
+
+        The per-path books stay exact per message — the message counters
+        advance by the batch length, every stage still charges and drops
+        per message — but the dispatch bookkeeping around the traversal
+        (state check, compile check, trampoline setup) is paid **once per
+        batch**.  Returns the per-message traversal results in order.
+
+        Exactness fallback rules (DESIGN.md §13):
+
+        * an *observed* path (``PA_TRACE``) traverses per message so the
+          recorded spans nest exactly as they would unbatched;
+        * an uncompilable direction falls back to per-message recursion;
+        * a bracketing stage inside the compiled chain recurses from that
+          stage on, per message (handled by ``run_compiled_batch``).
+        """
+        if self.state == DELETED:
+            raise PathStateError(f"path {self.pid} has been deleted")
+        batch = list(msgs)
+        count = len(batch)
+        if direction == FWD:
+            self.stats.messages_fwd += count
+        else:
+            self.stats.messages_bwd += count
+        if not count:
+            return []
+        observer = self.observer
+        if observer is None:
+            if self._compiled_gen != self.chain_generation:
+                self.compile_chains()
+            chain = self._compiled[direction]
+            if chain is not None:
+                return run_compiled_batch(chain, batch, direction, kwargs)
+            iface = self.entry_iface(direction)
+            return [iface.deliver(iface, msg, direction, **kwargs)
+                    for msg in batch]
+        # Observed paths keep the recursive per-message route so stage
+        # spans stay exact per message — batching never blurs the trace.
+        iface = self.entry_iface(direction)
+        results = []
+        for msg in batch:
+            token = observer.begin_traversal(msg, direction)
+            try:
+                results.append(iface.deliver(iface, msg, direction,
+                                             **kwargs))
+            finally:
+                observer.end_traversal(token)
+        return results
 
     def inject_at(self, stage: Stage, msg: Any, direction: int,
                   **kwargs: Any) -> Any:

@@ -16,7 +16,7 @@ depending on the simulator.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Iterator, List, Optional
+from typing import Any, Callable, Deque, Iterable, Iterator, List, Optional
 
 from .errors import QueueFullError
 
@@ -134,6 +134,38 @@ class PathQueue:
     def peek(self) -> Any:
         """Return the next item without removing it."""
         return self._items[0]
+
+    # -- batch operations ---------------------------------------------------
+
+    def try_enqueue_batch(self, items: Iterable[Any]) -> int:
+        """Enqueue every item in *items*; returns how many were accepted.
+
+        Rejected items count as drops and fire the drop listeners exactly
+        as individual :meth:`try_enqueue` rejections would — batching
+        amortizes dispatch, never accounting.
+        """
+        accepted = 0
+        for item in items:
+            if self.try_enqueue(item):
+                accepted += 1
+        return accepted
+
+    def dequeue_batch(self, limit: Optional[int] = None) -> List[Any]:
+        """Remove and return up to *limit* items (all queued when ``None``).
+
+        Order follows the queue discipline — a
+        :class:`DeadlineOrderedQueue` drains in deadline order, item by
+        item.  Statistics and dequeue listeners stay exact per item, so
+        blocked-producer wakeups and queue-wait spans are indistinguishable
+        from *limit* individual dequeues; the caller's scheduler interaction
+        is what collapses to one operation per batch.
+        """
+        if limit is None:
+            limit = len(self._items)
+        out: List[Any] = []
+        while len(out) < limit and self._items:
+            out.append(self.dequeue())
+        return out
 
     def drain(self, reason: str = "cleared") -> List[Any]:
         """Discard everything queued and return the discarded items.

@@ -127,8 +127,9 @@ class Framebuffer:
                 self._drain_max_rate(sink, now)
 
     def _drain_max_rate(self, sink: VideoSink, now: float) -> None:
-        while not sink.queue.is_empty():
-            sink.queue.dequeue()
+        # One batched dequeue retires everything queued; queue statistics
+        # and dequeue listeners stay exact per frame (DESIGN.md §13).
+        for _frame in sink.queue.dequeue_batch():
             self._count_presentation(sink, now)
 
     def _drain_realtime(self, sink: VideoSink, now: float) -> None:

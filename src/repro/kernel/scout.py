@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .. import params
 from ..core.attributes import (
+    PA_BATCH,
     PA_FRAME_RATE,
     PA_INQ_LEN,
     PA_NET_PARTICIPANTS,
@@ -32,7 +33,7 @@ from ..core.attributes import (
     PA_TRACE,
     Attrs,
 )
-from ..core.classify import ClassifierStats, classify
+from ..core.classify import ClassifierStats, classify, classify_batch
 from ..core.flowcache import FlowCache
 from ..core.graph import RouterGraph
 from ..core.message import Msg
@@ -58,7 +59,7 @@ from ..multipath import MEMBER_REMOVED, PathGroup
 from ..net.udp import UdpRouter
 from ..observe import Observatory
 from ..shell.router import ShellRouter
-from ..sim.threads import Compute, Dequeue, WaitSpace, YIELD
+from ..sim.threads import Compute, Dequeue, DequeueBatch, WaitSpace, YIELD
 from ..sim.world import POLICY_EDF, POLICY_RR, SimWorld
 from .transforms import default_transforms
 
@@ -241,6 +242,40 @@ class ScoutKernel:
         # is a single probe — the speedup the flow cache exists to buy.
         hops = self.classifier_stats.refinements - refinements_before + 1
         self.world.cpu.extend_interrupt(hops * params.CLASSIFY_PER_HOP_US)
+        self._admit(path, msg)
+
+    def rx_burst(self, frames) -> int:
+        """Interrupt-time receive for a burst of frames (DESIGN.md §13).
+
+        Classification runs through
+        :func:`~repro.core.classify.classify_batch`, so consecutive
+        frames of one flow share a single demux decision; each frame then
+        takes the same admission step (early discard, input-queue
+        deposit, memory charge, drop ledger) it would take through
+        :meth:`_rx` one at a time.  The modeled interrupt cost is the
+        exact sum of the per-frame costs — one probe per cache-riding
+        frame, per-hop cost for chain walks — charged in one
+        ``extend_interrupt`` call.  Returns how many frames were
+        deposited on a path input queue.
+        """
+        now = self.world.now
+        msgs = [Msg(frame, meta={"rx_time": now}) for frame in frames]
+        refinements_before = self.classifier_stats.refinements
+        results = classify_batch(self.eth, msgs, stats=self.classifier_stats,
+                                 cache=self.flow_cache)
+        hops_total = (self.classifier_stats.refinements - refinements_before
+                      + len(msgs))
+        self.world.cpu.extend_interrupt(
+            hops_total * params.CLASSIFY_PER_HOP_US)
+        deposited = 0
+        for msg, result in zip(msgs, results):
+            if self._admit(result.path, msg):
+                deposited += 1
+        return deposited
+
+    def _admit(self, path: Optional[Path], msg: Msg) -> bool:
+        """Post-classification admission, identical for single frames and
+        bursts; returns True when the message reached an input queue."""
         if path is None:
             self.unclassified_drops += 1
             msg.meta.setdefault("drop_reason", "no path wants this frame")
@@ -248,13 +283,13 @@ class ScoutKernel:
                 self.observatory.metrics.counter(
                     "kernel_unclassified_drops").inc()
             self.world.cpu.extend_interrupt(params.EARLY_DROP_US)
-            return
+            return False
         if self._should_early_drop(path, msg):
             self.early_drops += 1
             path.note_drop(msg, "early discard of skipped frame",
                            "early_discard")
             self.world.cpu.extend_interrupt(params.EARLY_DROP_US)
-            return
+            return False
         self._note_arrival(path)
         if self.inline_icmp and path is self.icmp_path:
             # Ablation: no early segregation for ICMP — serve the request
@@ -262,14 +297,15 @@ class ScoutKernel:
             path.deliver(msg, BWD)
             self.world.cpu.extend_interrupt(take_cost(msg))
             self.icmp_inline_served += 1
-            return
+            return False
         queue = path.input_queue(BWD)
         if not queue.try_enqueue(msg):
             self.inq_overflow_drops += 1
             path.note_drop(msg, "path input queue full", "inq_overflow")
             self.world.cpu.extend_interrupt(params.EARLY_DROP_US)
-            return
+            return False
         path.stats.charge_memory(msg.footprint())
+        return True
 
     def _annotate_flow_hit(self, msg: Msg, key: bytes) -> None:
         """Reproduce the ``msg.meta`` annotations the skipped demux chain
@@ -285,6 +321,12 @@ class ScoutKernel:
         meta["ip_proto"] = head[23]
         meta["udp_ports"] = (int.from_bytes(head[34:36], "big"),
                              int.from_bytes(head[36:38], "big"))
+        # The key matched the exact framing, addressing and port bytes,
+        # so every header stage may take its validated fast receive —
+        # each stage pops its own flag (DESIGN.md §13).
+        meta["eth_validated"] = True
+        meta["ip_validated"] = True
+        meta["udp_validated"] = True
 
     def _note_arrival(self, path: Path) -> None:
         """Maintain the path's average packet inter-arrival time, which
@@ -333,6 +375,32 @@ class ScoutKernel:
             path.stats.release_memory(msg.footprint())
             yield YIELD
 
+    def _video_thread_body_batched(self, path: Path, batch_limit: int):
+        """Video path thread draining up to *batch_limit* messages per
+        scheduler dispatch (DESIGN.md §13).
+
+        One ``DequeueBatch`` replaces up to *batch_limit* dequeue/compute/
+        yield rounds; the accumulated per-message costs are paid in a
+        single ``Compute`` and memory charges are released per message, so
+        the path's accounting matches the per-message body exactly.  One
+        output slot is reserved up front; should the display queue fill
+        mid-batch, the overflowing deposits take the ledgered
+        ``outq_overflow`` drop instead of blocking the batch.
+        """
+        inq = path.input_queue(BWD)
+        outq = path.output_queue(BWD)
+        while path.state != DELETED:
+            msgs = yield DequeueBatch(inq, batch_limit)
+            yield WaitSpace(outq)
+            self._traverse_batch(path, msgs)
+            cost = 0.0
+            for msg in msgs:
+                cost += take_cost(msg)
+                path.stats.release_memory(msg.footprint())
+            if cost > 0:
+                yield Compute(cost)
+            yield YIELD
+
     def _service_thread_body(self, path: Path):
         inq = path.input_queue(BWD)
         while path.state != DELETED:
@@ -351,6 +419,27 @@ class ScoutKernel:
             path.inject_at(path.stage_of(entry), msg, BWD)
         else:
             path.deliver(msg, BWD)
+
+    @classmethod
+    def _traverse_batch(cls, path: Path, msgs: List[Msg]) -> None:
+        """Run a dequeued batch through the path.
+
+        The whole batch rides :meth:`~repro.core.path.Path.deliver_batch`
+        (one compiled-trampoline save/restore) unless some message needs a
+        mid-path injection (a reassembled datagram entering at IP) — those
+        cannot vectorize, so the batch falls back to per-message traversal
+        to preserve arrival order exactly.
+        """
+        if any("entry_router" in msg.meta for msg in msgs):
+            for msg in msgs:
+                cls._traverse(path, msg)
+        else:
+            # Mark everything but the tail so stages that turn per-packet
+            # feedback around (MFLOW window advs, TCP cumulative ACKs) can
+            # coalesce it to one message per batch.
+            for msg in msgs[:-1]:
+                msg.meta["batch_followup"] = True
+            path.deliver_batch(msgs, BWD)
 
     def _make_service_path(self, router, attrs: Attrs, policy: str,
                            priority: int, name: str) -> Path:
@@ -397,7 +486,8 @@ class ScoutKernel:
                           checksum: bool = False,
                           prebuffer: int = 0,
                           deadline_mode: str = "output",
-                          trace: bool = False) -> Attrs:
+                          trace: bool = False,
+                          batch: int = 1) -> Attrs:
         """The invariants SHELL (or a test) supplies for an MPEG path."""
         from ..display.router import PA_DEADLINE_MODE, PA_PREBUFFER
 
@@ -418,6 +508,7 @@ class ScoutKernel:
             PA_OUTQ_LEN: outq_len,
             PA_FRAME_SKIP: skip,
             PA_UDP_CHECKSUM: checksum,
+            PA_BATCH: batch,
         })
         if trace:
             attrs[PA_TRACE] = self.observatory
@@ -441,7 +532,10 @@ class ScoutKernel:
             self._skip_filters[path.pid] = skip
         policy = attrs.get(PA_SCHED_POLICY, POLICY_EDF)
         priority = int(attrs.get(PA_SCHED_PRIORITY, 0))
-        thread = self.world.spawn(self._video_thread_body(path),
+        batch = int(attrs.get(PA_BATCH, 1) or 1)
+        body = (self._video_thread_body_batched(path, batch) if batch > 1
+                else self._video_thread_body(path))
+        thread = self.world.spawn(body,
                                   name=f"video-path{path.pid}",
                                   policy=policy, priority=priority,
                                   path=path)

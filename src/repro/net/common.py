@@ -50,6 +50,9 @@ def peek_cost(msg: Msg) -> float:
     return msg.meta.get(COST_KEY, 0.0)
 
 
+_forward = None
+
+
 def forward_or_deposit(iface, msg: Msg, direction: int, **kwargs):
     """Forward *msg* to the next interface, or — when this stage is the
     end of the path — deposit it on the path's output queue.
@@ -60,10 +63,12 @@ def forward_or_deposit(iface, msg: Msg, direction: int, **kwargs):
     responsible for connecting to "the routers that manage the path
     queues", which in the library means the output queue itself.
     """
-    from ..core.stage import forward  # local import: avoid cycle at load
-
+    global _forward
+    if _forward is None:  # resolved lazily: importing at load would cycle
+        from ..core.stage import forward as _forward_impl
+        _forward = _forward_impl
     if iface.next is not None:
-        return forward(iface, msg, direction, **kwargs)
+        return _forward(iface, msg, direction, **kwargs)
     stage = iface.stage
     if not stage.path.output_queue(direction).try_enqueue(msg):
         stage.path.note_drop(msg, "path output queue full", "outq_overflow")

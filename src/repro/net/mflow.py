@@ -46,6 +46,7 @@ class MflowStage(Stage):
         self.stale_drops = 0
         self.gaps = 0
         self.window_advs_sent = 0
+        self.window_advs_coalesced = 0
         self.set_deliver(FWD, self._send)
         self.set_deliver(BWD, self._receive)
 
@@ -98,7 +99,15 @@ class MflowStage(Stage):
         self.next_expected = header.seq + 1
         self.last_delivered_seq = header.seq
         msg.meta["mflow_header"] = header
-        self._advertise_window(iface, header, msg, direction)
+        if msg.meta.pop("batch_followup", False):
+            # Batched run (DESIGN.md §13): defer the advertisement to the
+            # batch tail.  The tail's advertisement covers the whole run —
+            # it advertises ``last_delivered_seq`` plus the input queue's
+            # free slots *after* the run drained, which is exactly what
+            # per-message advertising would have converged to.
+            self.window_advs_coalesced += 1
+        else:
+            self._advertise_window(iface, header, msg, direction)
         return forward_or_deposit(iface, msg, direction, **kwargs)
 
     def _advertise_window(self, iface, header: MflowHeader, data_msg: Msg,

@@ -68,6 +68,7 @@ class TcpStage(Stage):
         self.send_seq = 0
         self.recv_next = 0
         self.acks_sent = 0
+        self.acks_coalesced = 0
         self.dup_drops = 0
         # -- retransmission state (active only with an engine attached) --
         #: seq -> segment, insertion-ordered (seq is monotonic).
@@ -247,8 +248,15 @@ class TcpStage(Stage):
         result = None
         deliverable: List[Tuple[Msg, TcpHeader]] = [(msg, header)]
         deliverable.extend(self._drain_reorder())
-        # One cumulative ACK covers the whole contiguous run.
-        self._acknowledge(iface, msg, direction)
+        if msg.meta.pop("batch_followup", False):
+            # Batched run (DESIGN.md §13): the ACK is cumulative, so the
+            # batch tail's ACK retires everything the run delivered —
+            # delayed-ACK coalescing at the batch boundary.  Control ACKs
+            # (duplicate re-ACKs, gap dup-ACKs) are never deferred.
+            self.acks_coalesced += 1
+        else:
+            # One cumulative ACK covers the whole contiguous run.
+            self._acknowledge(iface, msg, direction)
         for ready, ready_header in deliverable:
             ready.meta["tcp_header"] = ready_header
             result = forward_or_deposit(iface, ready, direction, **kwargs)

@@ -26,6 +26,7 @@ class TestStage(Stage):
         super().__init__(router, enter_service, exit_service)
         self.set_deliver(FWD, self._send)
         self.set_deliver(BWD, self._sink)
+        self.set_deliver_batch(BWD, self._sink_batch)
 
     def _send(self, iface, msg: Msg, direction: int, **kwargs):
         charge(msg, 1.0)
@@ -38,6 +39,20 @@ class TestStage(Stage):
         if not self.path.output_queue(direction).try_enqueue(msg):
             router.sink_overflows += 1
         return None
+
+    def _sink_batch(self, iface, msgs, direction: int, **kwargs):
+        """Vectorized sink (DESIGN.md §13): absorb the whole run with
+        the same per-message recording, charge, and overflow accounting
+        as :meth:`_sink`."""
+        router: TestRouter = self.router  # type: ignore[assignment]
+        received = router.received
+        outq = self.path.output_queue(direction)
+        for msg in msgs:
+            charge(msg, 1.0)
+            received.append(msg)
+            if not outq.try_enqueue(msg):
+                router.sink_overflows += 1
+        return []
 
 
 @register_router("TestRouter")

@@ -16,6 +16,7 @@ from .threads import (
     YIELD,
     Compute,
     Dequeue,
+    DequeueBatch,
     Enqueue,
     Op,
     SimThread,
@@ -28,7 +29,7 @@ __all__ = [
     "Engine", "Event",
     "CPU", "CPU_MHZ", "cycles_to_us", "us_to_cycles",
     "Scheduler", "Policy", "FixedPriorityRR", "EDF",
-    "SimThread", "Op", "Compute", "Dequeue", "Enqueue", "WaitSpace",
+    "SimThread", "Op", "Compute", "Dequeue", "DequeueBatch", "Enqueue", "WaitSpace",
     "Sleep", "YIELD",
     "READY", "RUNNING", "BLOCKED", "DONE",
     "SimWorld", "POLICY_RR", "POLICY_EDF",

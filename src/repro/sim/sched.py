@@ -29,6 +29,7 @@ from .threads import (
     RUNNING,
     Compute,
     Dequeue,
+    DequeueBatch,
     Enqueue,
     Op,
     Sleep,
@@ -245,6 +246,14 @@ class Scheduler:
                     self._block(thread, op, self._deq_waiters)
                     return
                 next_op = self._advance(thread, op.queue.dequeue())
+            elif isinstance(op, DequeueBatch):
+                if op.queue.is_empty():
+                    self._block(thread, op, self._deq_waiters)
+                    return
+                # One scheduler operation moves the whole run: the thread
+                # paid one wakeup and one dispatch for up to `limit` items.
+                next_op = self._advance(thread,
+                                        op.queue.dequeue_batch(op.limit))
             elif isinstance(op, Enqueue):
                 if op.queue.is_full():
                     self._block(thread, op, self._enq_waiters)

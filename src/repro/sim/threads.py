@@ -71,6 +71,29 @@ class Dequeue(Op):
         return f"Dequeue({self.queue.name})"
 
 
+class DequeueBatch(Op):
+    """Take up to *limit* items from *queue* in one scheduler operation,
+    blocking while it is empty (``yield``'s value is a non-empty list).
+
+    This is the batching hook of DESIGN.md §13: a path thread that
+    processes arrivals in runs pays one scheduler dispatch — one wakeup,
+    one context switch, one ready-queue transit — per *batch* instead of
+    per message.  The queue's own statistics stay exact per item.
+    """
+
+    __slots__ = ("queue", "limit")
+
+    def __init__(self, queue: PathQueue, limit: Optional[int] = None):
+        if limit is not None and limit < 1:
+            raise ValueError("batch limit must be positive (or None)")
+        self.queue = queue
+        self.limit = limit
+
+    def __repr__(self) -> str:
+        cap = "all" if self.limit is None else str(self.limit)
+        return f"DequeueBatch({self.queue.name}, limit={cap})"
+
+
 class Enqueue(Op):
     """Deposit *item* on *queue*, blocking while it is full."""
 

@@ -1,0 +1,99 @@
+"""Tests for the DequeueBatch scheduler op: one thread dispatch drains a
+run of queued items (DESIGN.md §13)."""
+
+import pytest
+
+from repro.core import PathQueue
+from repro.sim import Compute, DequeueBatch, Enqueue, SimWorld
+
+
+def world():
+    return SimWorld(seed=1)
+
+
+class TestDequeueBatchOp:
+    def test_validates_limit(self):
+        q = PathQueue()
+        with pytest.raises(ValueError):
+            DequeueBatch(q, 0)
+        with pytest.raises(ValueError):
+            DequeueBatch(q, -3)
+        assert "all" in repr(DequeueBatch(q))
+        assert "4" in repr(DequeueBatch(q, 4))
+
+    def test_returns_everything_queued(self):
+        w = world()
+        q = PathQueue(maxlen=8)
+        for item in "abc":
+            q.enqueue(item)
+        got = []
+
+        def body():
+            got.append((yield DequeueBatch(q)))
+
+        w.spawn(body(), name="drain")
+        w.run_until_idle()
+        assert got == [["a", "b", "c"]]
+        assert q.is_empty()
+
+    def test_limit_caps_one_wakeup(self):
+        w = world()
+        q = PathQueue(maxlen=8)
+        for item in "abcd":
+            q.enqueue(item)
+        got = []
+
+        def body():
+            while True:
+                got.append((yield DequeueBatch(q, 3)))
+                if q.is_empty():
+                    return
+
+        w.spawn(body(), name="drain")
+        w.run_until_idle()
+        assert got == [["a", "b", "c"], ["d"]]
+
+    def test_blocks_on_empty_queue_until_producer_enqueues(self):
+        w = world()
+        q = PathQueue(maxlen=8)
+        log = []
+
+        def consumer():
+            batch = yield DequeueBatch(q)
+            log.append(("woke", w.now, batch))
+
+        def producer():
+            yield Compute(40.0)
+            yield Enqueue(q, "late")
+
+        w.spawn(consumer(), name="consumer")
+        w.spawn(producer(), name="producer")
+        w.run_until_idle()
+        assert log == [("woke", 40.0, ["late"])]
+
+    def test_one_dispatch_per_batch(self):
+        """A batched consumer wakes once for N queued items; a
+        per-message consumer wakes N times."""
+
+        def wakeups(batched):
+            w = world()
+            q = PathQueue(maxlen=16)
+            for i in range(6):
+                q.enqueue(i)
+            count = [0]
+
+            def body():
+                from repro.sim import Dequeue
+                while not q.is_empty():
+                    count[0] += 1
+                    if batched:
+                        yield DequeueBatch(q)
+                    else:
+                        yield Dequeue(q)
+
+            w.spawn(body(), name="c")
+            w.run_until_idle()
+            return count[0]
+
+        assert wakeups(batched=True) == 1
+        assert wakeups(batched=False) == 6
