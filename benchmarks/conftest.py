@@ -21,6 +21,8 @@ MULTIPATH_RESULTS = RESULTS_DIR / "BENCH_multipath.json"
 
 BATCHING_RESULTS = RESULTS_DIR / "BENCH_batching.json"
 
+ADVERSARY_RESULTS = RESULTS_DIR / "BENCH_adversary.json"
+
 
 def _merge_section(target: pathlib.Path, section: str, payload: dict,
                    tag: str) -> None:
@@ -82,5 +84,18 @@ def record_batching():
 
     def record(section: str, payload: dict) -> None:
         _merge_section(BATCHING_RESULTS, section, payload, "BENCH_batching")
+
+    return record
+
+
+@pytest.fixture
+def record_adversary():
+    """Merge one named section into the machine-readable adversary
+    results file (``benchmarks/results/BENCH_adversary.json``) — one
+    section per strategy x scheduler stability verdict, accumulated
+    into a single artifact for CI to upload."""
+
+    def record(section: str, payload: dict) -> None:
+        _merge_section(ADVERSARY_RESULTS, section, payload, "BENCH_adversary")
 
     return record

@@ -1,6 +1,7 @@
 """Admission control: per-path memory and CPU accounting (Section 4.4)."""
 
 from .control import (
+    BackpressureShedder,
     CpuAdmission,
     FrameCostModel,
     MemoryAdmission,
@@ -9,4 +10,5 @@ from .control import (
 )
 
 __all__ = ["MemoryAdmission", "CpuAdmission", "FrameCostModel",
+           "BackpressureShedder",
            "path_memory_footprint", "theoretical_frame_us"]

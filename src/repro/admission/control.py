@@ -231,6 +231,94 @@ class CpuAdmission:
         return None
 
 
+class BackpressureShedder:
+    """Arrival-time admission driven by bottleneck-queue occupancy.
+
+    Creation-time admission (:class:`MemoryAdmission` /
+    :class:`CpuAdmission`) decides whether a *path* may exist; this is
+    the per-message complement for overload: backpressure from the
+    bottleneck queues propagated to the admission point.  The shedder
+    watches a set of queues and, once the deepest one crosses
+    ``high_occupancy``, sheds every arrival until it falls back below
+    ``low_occupancy`` (hysteresis, so the decision does not chatter at
+    the threshold).
+
+    Because the check runs *before* each enqueue against live depth, the
+    watched queues obey a hard bound: depth never exceeds
+    ``floor(high_occupancy * maxlen) + 1`` while the shedder is the only
+    producer — the bound the adversarial stability verdict checks.
+
+    ``on_pressure(fn)`` listeners observe shed-state transitions
+    (``fn(shedding: bool)``); the degradation governor's ``pressure_fn``
+    hook and the watchdog's ``overload_check`` are wired to
+    :attr:`shedding` so crafted overload degrades quality instead of
+    provoking rebuild storms.
+    """
+
+    #: Drop/shed category recorded for messages refused at admission.
+    CATEGORY = "backpressure_shed"
+
+    def __init__(self, queues=(), high_occupancy: float = 0.75,
+                 low_occupancy: float = 0.5):
+        if not 0 < low_occupancy <= high_occupancy <= 1:
+            raise ValueError("need 0 < low_occupancy <= high_occupancy <= 1")
+        self.queues = list(queues)
+        self.high_occupancy = high_occupancy
+        self.low_occupancy = low_occupancy
+        self.shedding = False
+        self.shed_count = 0
+        self.admitted = 0
+        self.transitions = 0
+        self._listeners = []
+
+    def watch(self, queue) -> None:
+        if queue not in self.queues:
+            self.queues.append(queue)
+
+    def on_pressure(self, fn) -> None:
+        """Register ``fn(shedding)`` to run on every state transition."""
+        self._listeners.append(fn)
+
+    def _occupancy(self) -> float:
+        worst = 0.0
+        for queue in self.queues:
+            if queue.maxlen:
+                occupancy = len(queue) / queue.maxlen
+                if occupancy > worst:
+                    worst = occupancy
+        return worst
+
+    def depth_bound(self) -> int:
+        """The hard per-queue depth bound the shedder enforces."""
+        maxlen = max((q.maxlen or 0 for q in self.queues), default=0)
+        return int(self.high_occupancy * maxlen) + 1
+
+    def admit(self) -> bool:
+        """Admit or shed the arrival about to be enqueued."""
+        occupancy = self._occupancy()
+        if self.shedding:
+            if occupancy <= self.low_occupancy:
+                self._transition(False)
+        elif occupancy >= self.high_occupancy:
+            self._transition(True)
+        if self.shedding:
+            self.shed_count += 1
+            return False
+        self.admitted += 1
+        return True
+
+    def _transition(self, shedding: bool) -> None:
+        self.shedding = shedding
+        self.transitions += 1
+        for fn in self._listeners:
+            fn(shedding)
+
+    def __repr__(self) -> str:
+        return (f"<BackpressureShedder queues={len(self.queues)} "
+                f"shedding={self.shedding} shed={self.shed_count} "
+                f"admitted={self.admitted}>")
+
+
 def theoretical_frame_us(profile: ClipProfile) -> float:
     """Ground-truth per-frame cost from the simulator's own cost model —
     what the fitted model should approximate."""

@@ -21,7 +21,12 @@ import warnings
 from typing import Any, Mapping, Optional
 
 from . import params
-from .admission import CpuAdmission, FrameCostModel, MemoryAdmission
+from .admission import (
+    BackpressureShedder,
+    CpuAdmission,
+    FrameCostModel,
+    MemoryAdmission,
+)
 from .core import (
     BWD,
     BWD_IN,
@@ -66,11 +71,17 @@ from .core.path_create import AdmissionHook
 from .display import DisplayRouter
 from .experiments import Testbed, frames_budget, run_edf_rr
 from .faults import (
+    AdversaryInjector,
+    AdversarySpec,
+    ArrivalEnvelope,
     DegradationGovernor,
+    DropLedger,
     FaultyLink,
     PathWatchdog,
+    StabilityVerdict,
     StageFault,
     StageFaultInjector,
+    VerdictEngine,
     profile,
 )
 from .fs import ScsiRouter, UfsRouter, VfsRouter
@@ -96,7 +107,7 @@ from .net import (
     build_udp_frame,
     parse_frame,
 )
-from .observe import Observatory
+from .observe import Observatory, StarvationDetector
 from .sim import SimWorld
 from .sim.world import POLICY_EDF, POLICY_RR
 
@@ -265,6 +276,7 @@ __all__ = [
     "POLICY_RR", "POLICY_EDF",
     # admission
     "CpuAdmission", "MemoryAdmission", "FrameCostModel",
+    "BackpressureShedder",
     # routers & net helpers the examples build graphs from
     "EthRouter", "ArpRouter", "IpRouter", "UdpRouter", "TcpRouter",
     "HttpRouter", "VfsRouter", "UfsRouter", "ScsiRouter", "DisplayRouter",
@@ -276,6 +288,10 @@ __all__ = [
     # faults / self-healing
     "PathWatchdog", "DegradationGovernor", "FaultyLink",
     "StageFault", "StageFaultInjector", "profile",
+    # adversarial traffic & stability verdicts
+    "AdversarySpec", "AdversaryInjector", "ArrivalEnvelope",
+    "DropLedger", "StabilityVerdict", "VerdictEngine",
+    "StarvationDetector",
     # errors
     "ScoutError", "AdmissionError", "ClassificationError",
     # tunables

@@ -44,6 +44,11 @@ class PathQueue:
             raise ValueError("maxlen must be non-negative or None")
         self.maxlen = maxlen
         self.name = name
+        #: Reason reported to drop listeners when :meth:`try_enqueue`
+        #: rejects an item.  Harnesses that need overflow drops told apart
+        #: from organic ones (e.g. adversarial injection) override this so
+        #: the drop trail carries the distinction without re-deriving it.
+        self.overflow_reason = "overflow"
         self._items: Deque[Any] = deque()
         # statistics
         self.enqueued = 0
@@ -99,7 +104,7 @@ class PathQueue:
         if self.is_full():
             self.dropped += 1
             for listener in self._drop_listeners:
-                listener(self, item, "overflow")
+                listener(self, item, self.overflow_reason)
             return False
         self._insert(item)
         self.enqueued += 1

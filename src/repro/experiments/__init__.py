@@ -15,6 +15,12 @@ from .ablation import (
     run_alf_ablation,
     run_segregation_sweep,
 )
+from .adversary_exp import (
+    AdversaryRunResult,
+    format_adversary,
+    run_adversary,
+    run_adversary_matrix,
+)
 from .admission_exp import (
     AdmissionDecision,
     ClipSample,
@@ -80,4 +86,6 @@ __all__ = [
     "run_trace", "format_trace", "TraceReport",
     "run_multipath", "run_pool_churn", "format_multipath",
     "MultipathPoint", "PoolChurnResult",
+    "run_adversary", "run_adversary_matrix", "format_adversary",
+    "AdversaryRunResult",
 ]

@@ -9,7 +9,8 @@ Usage::
 Experiment ids: table1, table2, e3 (EDF vs RR), e4 (micro), e5 (queue
 sizing), e6 (admission), e7 (early discard), e8 (ablations), trace
 (per-path observability: hottest spans + metrics for a traced playback),
-multipath (path groups + warm pools; an extension beyond the paper).
+multipath (path groups + warm pools; an extension beyond the paper),
+adversary (worst-case traffic vs stability verdicts).
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ from . import (
     admission_scenario,
     fit_model,
     format_admission,
+    format_adversary,
     format_alf,
     format_early_discard,
     format_edf_rr,
@@ -31,6 +33,7 @@ from . import (
     format_table2,
     format_trace,
     measure_structure,
+    run_adversary_matrix,
     run_alf_ablation,
     run_early_discard,
     run_multipath,
@@ -89,6 +92,10 @@ def _multipath() -> str:
     return format_multipath(run_multipath(), run_pool_churn())
 
 
+def _adversary() -> str:
+    return format_adversary(run_adversary_matrix())
+
+
 EXPERIMENTS = {
     "table1": _table1,
     "table2": _table2,
@@ -100,6 +107,7 @@ EXPERIMENTS = {
     "e8": _e8,
     "trace": _trace,
     "multipath": _multipath,
+    "adversary": _adversary,
 }
 
 

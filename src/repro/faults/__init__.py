@@ -17,9 +17,31 @@ Everything injected is driven by a :class:`FaultPlan`'s own seeded
 generator: the same plan and workload replay byte-identically.
 """
 
+from .adversary import (
+    ADVERSARY_OVERFLOW,
+    BACKPRESSURE_SHED,
+    DELIVERED,
+    END_OF_RUN,
+    AdversaryInjector,
+    AdversaryStrategy,
+    ArrivalEnvelope,
+    CacheThrashStrategy,
+    DeadlineCliffStrategy,
+    DropLedger,
+    GroupChaserStrategy,
+    QueueStormStrategy,
+    STRATEGIES,
+    StabilityVerdict,
+    StrideStarvationStrategy,
+    TargetView,
+    VerdictEngine,
+    closed_form_depth_bound,
+    make_strategy,
+)
 from .degrade import DegradationGovernor
 from .link import FaultyLink
 from .plan import (
+    AdversarySpec,
     FaultPlan,
     LinkFaults,
     PROFILES,
@@ -32,8 +54,15 @@ from .stagefault import InjectedFault, QueueStormer, StageFaultInjector
 from .watchdog import PathWatchdog
 
 __all__ = [
-    "FaultPlan", "LinkFaults", "StageFault", "QueueStorm",
+    "FaultPlan", "LinkFaults", "StageFault", "QueueStorm", "AdversarySpec",
     "PROFILES", "profile", "profile_names",
     "FaultyLink", "StageFaultInjector", "QueueStormer", "InjectedFault",
     "PathWatchdog", "DegradationGovernor",
+    "AdversaryInjector", "AdversaryStrategy", "ArrivalEnvelope",
+    "DeadlineCliffStrategy", "StrideStarvationStrategy",
+    "CacheThrashStrategy", "QueueStormStrategy", "GroupChaserStrategy",
+    "STRATEGIES", "make_strategy", "TargetView",
+    "DropLedger", "StabilityVerdict", "VerdictEngine",
+    "closed_form_depth_bound",
+    "DELIVERED", "BACKPRESSURE_SHED", "ADVERSARY_OVERFLOW", "END_OF_RUN",
 ]

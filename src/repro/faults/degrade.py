@@ -60,11 +60,17 @@ class DegradationGovernor:
                  max_skip: int = 8,
                  healthy_checks: int = 3,
                  admission=None, profile=None, fps: Optional[float] = None,
-                 observatory=None):
+                 observatory=None, pressure_fn=None):
         self.engine = engine
         self.kernel = kernel
         self.path = path
         self.observatory = observatory
+        #: Optional external pressure signal (``() -> bool``), e.g. a
+        #: :class:`~repro.admission.BackpressureShedder`'s ``shedding``
+        #: flag: backpressure from bottleneck queues elsewhere in the
+        #: system escalates degradation even while this path's own input
+        #: queue still looks calm.
+        self.pressure_fn = pressure_fn
         self.check_interval_us = check_interval_us
         self.high_occupancy = high_occupancy
         self.low_occupancy = low_occupancy
@@ -130,9 +136,12 @@ class DegradationGovernor:
         drops = self._pressure_drops()
         new_drops = drops - self._last_drops
         self._last_drops = drops
+        external = bool(self.pressure_fn()) if self.pressure_fn else False
         pressured = (occupancy >= self.high_occupancy
-                     or new_drops >= self.drop_threshold)
-        calm = occupancy <= self.low_occupancy and new_drops == 0
+                     or new_drops >= self.drop_threshold
+                     or external)
+        calm = (occupancy <= self.low_occupancy and new_drops == 0
+                and not external)
         if pressured:
             self._calm_streak = 0
             self._escalate(occupancy, new_drops)

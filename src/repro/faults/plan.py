@@ -91,6 +91,44 @@ class QueueStorm:
 
 
 @dataclass(frozen=True)
+class AdversarySpec:
+    """A worst-case traffic adversary, pure data.
+
+    The model is the rate-:math:`\\rho`, burst-window-:math:`w` adversary
+    of *Source Routing and Scheduling in Packet Networks* (PAPERS.md): in
+    any interval of length :math:`T` the adversary may inject at most
+    :math:`\\rho T + w` messages, but it controls *when* within that
+    envelope, which flows the messages belong to, and (for EDF targets)
+    what deadlines they carry.  ``strategy`` names one of the built-in
+    attack shapes in :mod:`repro.faults.adversary`; every random decision
+    the strategy makes draws from the owning plan's generator.
+    """
+
+    #: Strategy registry key (see ``repro.faults.adversary.STRATEGIES``).
+    strategy: str = "deadline_cliff"
+    #: Sustained injection rate, messages per virtual microsecond.
+    rho_per_us: float = 0.02
+    #: Burst allowance: extra messages injectable in any window.
+    w: int = 16
+    #: Injection horizon in virtual time.
+    duration_us: float = 120_000.0
+    #: Distinct flow identities the adversary cycles through.
+    flows: int = 4
+    #: Payload size of injected messages.
+    payload_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.rho_per_us <= 0:
+            raise ValueError("rho_per_us must be positive")
+        if self.w < 1:
+            raise ValueError("burst window w must be at least 1")
+        if self.duration_us <= 0:
+            raise ValueError("duration_us must be positive")
+        if self.flows < 1:
+            raise ValueError("need at least one flow")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything an experiment injects, with its own seed."""
 
@@ -99,6 +137,7 @@ class FaultPlan:
     link: LinkFaults = field(default_factory=LinkFaults)
     stage_faults: Tuple[StageFault, ...] = ()
     storms: Tuple[QueueStorm, ...] = ()
+    adversary: Optional[AdversarySpec] = None
 
     def rng(self) -> np.random.Generator:
         """A fresh generator over this plan's seed: injection decisions
@@ -129,6 +168,16 @@ PROFILES = {
     "corrupt5": FaultPlan(name="corrupt5",
                           link=LinkFaults(corrupt_rate=0.05)),
 }
+
+#: Adversarial-traffic profiles: one per built-in strategy, overloading
+#: a 40 us/message service point (mu = 0.025 msgs/us) at rho = 0.04 so
+#: the backpressure and ledger machinery is genuinely exercised.
+for _strategy in ("deadline_cliff", "stride_starve", "cache_thrash",
+                  "queue_storm", "group_chaser"):
+    PROFILES[f"adv_{_strategy}"] = FaultPlan(
+        name=f"adv_{_strategy}",
+        adversary=AdversarySpec(strategy=_strategy, rho_per_us=0.04, w=24))
+del _strategy
 
 
 def profile(name: str, seed: Optional[int] = None) -> FaultPlan:

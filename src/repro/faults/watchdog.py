@@ -57,11 +57,32 @@ class PathWatchdog:
                  stall_budget_us: float = params.WATCHDOG_STALL_BUDGET_US,
                  backoff_base_us: float = params.WATCHDOG_BACKOFF_BASE_US,
                  backoff_max_us: float = params.WATCHDOG_BACKOFF_MAX_US,
-                 observatory=None, flow_cache=None, group=None, pool=None):
+                 observatory=None, flow_cache=None, group=None, pool=None,
+                 overload_check: Optional[Callable[[], bool]] = None,
+                 min_rebuild_interval_us: Optional[float] = None):
         self.engine = engine
         self.path = path
         self.rebuild = rebuild
         self.observatory = observatory
+        #: Optional overload discriminator (e.g. a
+        #: :class:`~repro.admission.BackpressureShedder`'s ``shedding``
+        #: flag).  A flat progress signature with this returning True is
+        #: *overload*, not a stall: adversarial arrival phase can starve
+        #: a healthy path of output without any stage being hung, and
+        #: tearing it down would only amplify the attack.  The watchdog
+        #: then defers (resetting its stall clock) instead of rebuilding
+        #: and leaves relief to admission/degradation.
+        self.overload_check = overload_check
+        #: Hard floor between consecutive rebuilds: however the stall
+        #: clock is provoked, the watchdog will not tear the path down
+        #: again within this window of the previous rebuild — crafted
+        #: arrival phase cannot turn the repair loop into a rebuild
+        #: storm.  Defaults to a multiple of the stall budget so the
+        #: guard scales with the configured detection timescale.
+        #: (Backoff still applies on top for *failed* repairs.)
+        self.min_rebuild_interval_us = (
+            min_rebuild_interval_us if min_rebuild_interval_us is not None
+            else params.WATCHDOG_MIN_REBUILD_FACTOR * stall_budget_us)
         #: Optional :class:`~repro.core.flowcache.FlowCache` to purge on
         #: every stall.  ``Path.delete`` already invalidates the caches a
         #: path is registered with; this covers a cache the stalled path
@@ -90,8 +111,11 @@ class PathWatchdog:
         self._consecutive_repairs = 0
         self._stall_detected_at: Optional[float] = None
         self._awaiting_recovery = False
+        self._last_rebuild_at: Optional[float] = None
         # accounting
         self.stalls_detected = 0
+        self.overload_deferrals = 0
+        self.rebuilds_suppressed = 0
         self.rebuilds = 0
         self.rebuild_failures = 0
         self.recovery_latencies_us: List[float] = []
@@ -138,8 +162,27 @@ class PathWatchdog:
             if self._flat_since is None:
                 self._flat_since = self.engine.now
             elif self.engine.now - self._flat_since >= self.stall_budget_us:
-                self._on_stall(progress, demand)
-                return  # _repair schedules the next check itself
+                if self.overload_check is not None and self.overload_check():
+                    # Overload, not a stall: defer to admission /
+                    # degradation and restart the stall clock.
+                    self.overload_deferrals += 1
+                    self._flat_since = None
+                    self.events.append({"type": "overload_deferred",
+                                        "time_us": self.engine.now,
+                                        "pid": path.pid})
+                    self._incident("watchdog_overload_deferred",
+                                   f"demand={demand} progress={progress}")
+                elif (self._last_rebuild_at is not None
+                      and self.engine.now - self._last_rebuild_at
+                      < self.min_rebuild_interval_us):
+                    # Inside the rebuild cool-down: crafted arrival phase
+                    # cannot provoke a rebuild storm.  Keep the stall
+                    # clock running; if it is a real stall it survives
+                    # the cool-down and is repaired then.
+                    self.rebuilds_suppressed += 1
+                else:
+                    self._on_stall(progress, demand)
+                    return  # _repair schedules the next check itself
         self._schedule_check(self.check_interval_us)
 
     def _note_progress(self, progress: int, demand: int) -> None:
@@ -209,6 +252,7 @@ class PathWatchdog:
             self.engine.schedule(backoff, self._repair)
             return
         self.rebuilds += 1
+        self._last_rebuild_at = self.engine.now
         self.events.append({"type": "rebuilt", "time_us": self.engine.now,
                             "old_pid": self.path.pid,
                             "new_pid": replacement.pid})

@@ -96,13 +96,38 @@ class RoundRobinPolicy(SelectionPolicy):
 
 class LeastLoadedPolicy(SelectionPolicy):
     """Send each message to the member with the shallowest bottleneck
-    queue — join-the-shortest-queue over :func:`bottleneck_depth`."""
+    queue — join-the-shortest-queue over :func:`bottleneck_depth`.
+
+    ``hysteresis`` dampens the re-dispatch oscillation an adversary can
+    otherwise induce: with 0 (the default) every message chases the
+    instantaneous minimum, so an attacker alternating bursts can make the
+    policy ping-pong between members in lockstep with its own arrivals.
+    With ``hysteresis=h`` the previous choice is kept unless some other
+    member is shallower by *more than* ``h`` messages, so small crafted
+    imbalances no longer flip the decision.
+    """
 
     name = "least_loaded"
     sticky = False
 
+    def __init__(self, hysteresis: int = 0):
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+        self.hysteresis = hysteresis
+        self._last: Optional[Path] = None
+        self.switches = 0
+
     def select(self, members: Sequence[Path], msg: Any) -> Path:
-        return min(members, key=bottleneck_depth)
+        best = min(members, key=bottleneck_depth)
+        last = self._last
+        if (self.hysteresis and last is not None and last in members
+                and bottleneck_depth(last)
+                <= bottleneck_depth(best) + self.hysteresis):
+            return last
+        if last is not None and best is not last:
+            self.switches += 1
+        self._last = best
+        return best
 
 
 class DeadlineSlackPolicy(SelectionPolicy):

@@ -20,6 +20,7 @@ from .metrics import (
     MetricsRegistry,
 )
 from .probe import Observatory, PathObserver
+from .starvation import StarvationDetector
 from .trace import (
     DEMUX,
     DROP,
@@ -35,5 +36,5 @@ __all__ = [
     "TraceRecorder", "Span",
     "STAGE", "TRAVERSAL", "QUEUE_WAIT", "DEMUX", "DROP", "INCIDENT",
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "DEFAULT_BOUNDS",
-    "Observatory", "PathObserver",
+    "Observatory", "PathObserver", "StarvationDetector",
 ]

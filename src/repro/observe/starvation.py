@@ -1,0 +1,153 @@
+"""Per-flow starvation detection: admitted work must keep making progress.
+
+The stability guarantee the adversarial harness checks is *no
+starvation*: every flow with admitted-but-unserved messages makes
+progress (a delivery) within a configurable horizon of virtual time.
+The detector is event-fed — the owner calls :meth:`on_admit` when a
+message of a flow is accepted onto a queue and :meth:`on_deliver` when
+one is consumed — and samples periodically on the engine, so a flow that
+sits waiting between events is still caught.
+
+Violations are recorded per flow (first occurrence wins, so the report
+is stable) and, when an :class:`~repro.observe.Observatory` is supplied,
+surfaced as ``starvation`` incidents with the flow and the observed gap
+— the same incident stream the watchdog and governor already feed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class StarvationDetector:
+    """Watch per-flow progress gaps against a horizon.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine for the sampling timer (virtual time).
+    horizon_us:
+        A flow waiting longer than this with pending work is starved.
+    observatory:
+        Optional :class:`~repro.observe.Observatory`; violations are
+        recorded as incidents and the starved-flow count as a gauge.
+    check_interval_us:
+        Sampling period; defaults to a quarter horizon so a violation is
+        detected within 1.25 horizons of its onset.
+    """
+
+    def __init__(self, engine, horizon_us: float,
+                 observatory: Optional[Any] = None,
+                 check_interval_us: Optional[float] = None):
+        if horizon_us <= 0:
+            raise ValueError("horizon must be positive")
+        self.engine = engine
+        self.horizon_us = horizon_us
+        self.observatory = observatory
+        self.check_interval_us = (check_interval_us if check_interval_us
+                                  is not None else horizon_us / 4.0)
+        #: flow -> messages admitted but not yet delivered.
+        self._pending: Dict[Any, int] = {}
+        #: flow -> virtual time the current wait-for-progress began.
+        self._waiting_since: Dict[Any, float] = {}
+        #: flow -> gap observed at its first violation.
+        self._violations: Dict[Any, float] = {}
+        self.worst_gap_us = 0.0
+        self._timer = None
+        self._running = False
+
+    # -- event feed ---------------------------------------------------------
+
+    def on_admit(self, flow: Any) -> None:
+        """A message of *flow* was accepted (enqueued) for service."""
+        pending = self._pending.get(flow, 0)
+        self._pending[flow] = pending + 1
+        if pending == 0:
+            self._waiting_since[flow] = self.engine.now
+
+    def on_deliver(self, flow: Any) -> None:
+        """A message of *flow* was served: progress, the gap clock resets."""
+        self._observe_gap(flow)
+        pending = self._pending.get(flow, 0) - 1
+        if pending <= 0:
+            self._pending.pop(flow, None)
+            self._waiting_since.pop(flow, None)
+        else:
+            self._pending[flow] = pending
+            self._waiting_since[flow] = self.engine.now
+
+    def note_gap(self, flow: Any, gap_us: float) -> None:
+        """Record an externally measured progress gap (e.g. a victim
+        thread timing its own wakeups) against the same horizon."""
+        if gap_us > self.worst_gap_us:
+            self.worst_gap_us = gap_us
+        if gap_us > self.horizon_us:
+            self._record_violation(flow, gap_us)
+
+    # -- sampling -----------------------------------------------------------
+
+    def start(self) -> "StarvationDetector":
+        if not self._running:
+            self._running = True
+            self._timer = self.engine.schedule(self.check_interval_us,
+                                               self._check)
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _check(self) -> None:
+        self._timer = None
+        if not self._running:
+            return
+        self.scan()
+        self._timer = self.engine.schedule(self.check_interval_us,
+                                           self._check)
+
+    def scan(self) -> None:
+        """One sampling pass over every flow with pending work."""
+        for flow in list(self._waiting_since):
+            self._observe_gap(flow)
+
+    def _observe_gap(self, flow: Any) -> None:
+        since = self._waiting_since.get(flow)
+        if since is None:
+            return
+        gap = self.engine.now - since
+        if gap > self.worst_gap_us:
+            self.worst_gap_us = gap
+        if gap > self.horizon_us:
+            self._record_violation(flow, gap)
+
+    def _record_violation(self, flow: Any, gap_us: float) -> None:
+        if flow in self._violations:
+            return
+        self._violations[flow] = gap_us
+        if self.observatory is not None:
+            self.observatory.incident(
+                "starvation",
+                detail=f"flow={flow} gap_us={gap_us:.0f} "
+                       f"horizon_us={self.horizon_us:.0f}")
+            self.observatory.metrics.gauge("starved_flows").set(
+                len(self._violations))
+
+    # -- results ------------------------------------------------------------
+
+    def starved_flows(self) -> List[Any]:
+        """Flows that ever exceeded the horizon, in first-starved order
+        of flow identity (sorted for determinism)."""
+        return sorted(self._violations, key=str)
+
+    def violation_gaps(self) -> Dict[Any, float]:
+        return dict(self._violations)
+
+    def pending(self, flow: Any) -> int:
+        return self._pending.get(flow, 0)
+
+    def __repr__(self) -> str:
+        return (f"<StarvationDetector horizon={self.horizon_us:.0f}us "
+                f"watched={len(self._pending)} "
+                f"starved={len(self._violations)}>")

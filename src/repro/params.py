@@ -153,6 +153,12 @@ WATCHDOG_STALL_BUDGET_US = 200_000.0
 WATCHDOG_BACKOFF_BASE_US = 10_000.0
 WATCHDOG_BACKOFF_MAX_US = 1_000_000.0
 
+#: Rebuild cool-down, as a multiple of the watchdog's stall budget:
+#: however the stall clock is provoked, the watchdog never tears a path
+#: down twice within ``factor * stall_budget`` — the guard that keeps
+#: adversarially phased arrivals from inducing a rebuild storm.
+WATCHDOG_MIN_REBUILD_FACTOR = 2.0
+
 #: Video source window probe: when the MFLOW window stays closed this
 #: long (advertisements lost, or the receiving path being rebuilt), the
 #: source forces one packet through anyway — the analogue of TCP's

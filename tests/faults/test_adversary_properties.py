@@ -1,0 +1,97 @@
+"""Property-based stability guarantees (Hypothesis).
+
+The unit tests pin specific adversary configurations; the properties
+here quantify over them.  For *any* strategy, seed and admissible
+``(rho, w)`` with utilisation below one:
+
+* every granted schedule stays inside the arrival curve
+  ``rho * T + w`` over every window (checked exactly, sliding window);
+* a single-member run with no shedder never exceeds the closed-form
+  backlog bound ``ceil(w / (1 - rho * service)) + 1``;
+* the drop ledger accounts every injected serial exactly once — no
+  leaks, no double counting — and the metrics registry agrees.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments import run_adversary
+from repro.faults import (
+    STRATEGIES,
+    AdversaryInjector,
+    AdversarySpec,
+    TargetView,
+    closed_form_depth_bound,
+)
+from repro.faults.plan import FaultPlan
+from repro.sim.world import SimWorld
+
+STRATEGY_NAMES = sorted(STRATEGIES)
+
+# Keep utilisation under one: service_us = 40 below, so rho <= 0.02
+# gives u <= 0.8 and a finite closed-form bound.
+admissible = st.fixed_dictionaries({
+    "strategy": st.sampled_from(STRATEGY_NAMES),
+    "seed": st.integers(min_value=0, max_value=2**16),
+    "rho_per_us": st.floats(min_value=0.005, max_value=0.02,
+                            allow_nan=False, allow_infinity=False),
+    "w": st.integers(min_value=2, max_value=16),
+})
+
+SERVICE_US = 40.0
+
+
+def run_once(params):
+    return run_adversary(strategy=params["strategy"], scheduler="edf",
+                         seed=params["seed"], members=1,
+                         rho_per_us=params["rho_per_us"], w=params["w"],
+                         duration_us=25_000.0, horizon_us=20_000.0,
+                         service_us=SERVICE_US, shed=False,
+                         queue_capacity=256)
+
+
+class TestDepthBoundProperty:
+
+    @settings(max_examples=15, deadline=None)
+    @given(params=admissible)
+    def test_depth_never_exceeds_closed_form_bound(self, params):
+        bound = closed_form_depth_bound(params["rho_per_us"], params["w"],
+                                        SERVICE_US)
+        assert bound is not None  # admissible draws keep u < 1
+        result = run_once(params)
+        assert result.depth_bound == bound
+        assert result.max_queue_depth <= bound
+        assert result.verdict.ok
+
+    @settings(max_examples=15, deadline=None)
+    @given(params=admissible)
+    def test_ledger_exact_and_metrics_reconciled(self, params):
+        result = run_once(params)
+        assert result.verdict.leaked == 0
+        assert result.verdict.double_counted == 0
+        accounted = (result.delivered + result.shed + result.overflowed
+                     + result.end_of_run)
+        assert accounted == result.injected
+        assert result.metrics_reconciled
+
+    @settings(max_examples=10, deadline=None)
+    @given(params=admissible)
+    def test_schedule_inside_envelope(self, params):
+        """Drive the injector bare (no stack) and replay the exact
+        sliding-window envelope check over whatever it produced."""
+        spec = AdversarySpec(strategy=params["strategy"],
+                             rho_per_us=params["rho_per_us"],
+                             w=params["w"], duration_us=25_000.0)
+        plan = FaultPlan(name="prop", seed=params["seed"], adversary=spec)
+        world = SimWorld(seed=params["seed"])
+        view = TargetView(now=lambda: world.engine.now,
+                          member_depths=lambda: [(0, 0)],
+                          flow_on_member=lambda flow: 0,
+                          service_us=SERVICE_US,
+                          drain_period_us=SERVICE_US,
+                          cache_capacity=8)
+        injector = AdversaryInjector(world.engine, spec, plan.rng(),
+                                     inject=lambda event: None, view=view)
+        injector.start()
+        world.run_for(spec.duration_us + 1.0)
+        assert injector.injected > 0
+        injector.assert_envelope()  # raises on any window violation

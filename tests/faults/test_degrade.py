@@ -156,3 +156,39 @@ class TestLifecycle:
             path._inq.enqueue(i)
         run_checks(engine, 5)
         assert governor.escalations == 0
+
+
+class TestExternalPressure:
+    """The pressure_fn hook: backpressure shedding upstream counts as
+    pressure even when this path's own queue and drops look calm."""
+
+    def test_external_pressure_escalates(self):
+        pressured = [True]
+        engine, path, kernel, governor = make_governor(
+            pressure_fn=lambda: pressured[0])
+        governor.start()
+        run_checks(engine, 1)  # empty queue, zero drops — but shedding
+        assert governor.skip == 2
+        assert governor.escalations == 1
+
+    def test_external_pressure_blocks_recovery(self):
+        pressured = [True]
+        engine, path, kernel, governor = make_governor(
+            pressure_fn=lambda: pressured[0])
+        governor.start()
+        # Queue stays empty, drops stay zero: without the external
+        # signal the governor would never escalate, let alone saturate.
+        run_checks(engine, 10)
+        assert governor.skip == 8  # sustained shedding saturates
+        assert governor.deescalations == 0
+        pressured[0] = False
+        # One step back per healthy_checks calm periods: 8 -> 4 -> 2 -> 1.
+        run_checks(engine, 10)
+        assert governor.skip == 1
+
+    def test_no_pressure_fn_means_no_external_signal(self):
+        engine, path, kernel, governor = make_governor()
+        governor.start()
+        run_checks(engine, 3)
+        assert governor.skip == 1
+        assert governor.escalations == 0

@@ -199,3 +199,84 @@ class TestAdoption:
         tick(engine, lambda: setattr(fresh, "demand", fresh.demand + 1))
         engine.run_until(1_500.0)
         assert dog.stalls_detected == 1  # monitoring the adopted path
+
+
+class TestOverloadDiscrimination:
+    """Flat progress under admission-confirmed overload is not a stall."""
+
+    def test_overload_defers_instead_of_rebuilding(self):
+        engine, path = Engine(), FakePath()
+        overloaded = [True]
+        dog = make_watchdog(engine, path, FakePath,
+                            overload_check=lambda: overloaded[0]).start()
+        tick(engine, lambda: setattr(path, "demand", path.demand + 1))
+        engine.run_until(1_000.0)
+        assert dog.overload_deferrals >= 2
+        assert dog.stalls_detected == 0
+        assert dog.rebuilds == 0
+        assert path.state != DELETED
+        assert any(e["type"] == "overload_deferred" for e in dog.events)
+
+    def test_real_stall_repaired_once_overload_clears(self):
+        engine, path = Engine(), FakePath()
+        overloaded = [True]
+        dog = make_watchdog(engine, path, FakePath,
+                            overload_check=lambda: overloaded[0]).start()
+        tick(engine, lambda: setattr(dog.path, "demand",
+                                     dog.path.demand + 1))
+        engine.schedule(300.0, lambda: overloaded.__setitem__(0, False))
+        engine.run_until(1_000.0)
+        assert dog.overload_deferrals >= 1  # while the shedder was on
+        assert dog.stalls_detected >= 1     # flat + no overload = stall
+        assert dog.rebuilds >= 1
+
+    def test_deferral_restarts_the_stall_clock(self):
+        """Each deferral resets _flat_since: the stall budget must elapse
+        again in full before the next decision point."""
+        engine, path = Engine(), FakePath()
+        checks = []
+
+        def check():
+            checks.append(engine.now)
+            return True
+        dog = make_watchdog(engine, path, FakePath,
+                            overload_check=check).start()
+        tick(engine, lambda: setattr(path, "demand", path.demand + 1))
+        engine.run_until(500.0)
+        assert len(checks) >= 2
+        gaps = [b - a for a, b in zip(checks, checks[1:])]
+        assert all(gap >= dog.stall_budget_us for gap in gaps)
+
+
+class TestRebuildStormPrevention:
+    def test_cool_down_scales_with_stall_budget(self):
+        engine, path = Engine(), FakePath()
+        dog = make_watchdog(engine, path, FakePath)
+        from repro import params
+        assert dog.min_rebuild_interval_us == (
+            params.WATCHDOG_MIN_REBUILD_FACTOR * dog.stall_budget_us)
+        explicit = make_watchdog(engine, path, FakePath,
+                                 min_rebuild_interval_us=7.0)
+        assert explicit.min_rebuild_interval_us == 7.0
+
+    def test_rapid_restalls_are_suppressed_inside_cool_down(self):
+        engine, path = Engine(), FakePath()
+        dog = make_watchdog(engine, path, FakePath,
+                            min_rebuild_interval_us=100_000.0).start()
+        # Demand forever, progress never: every incarnation wedges
+        # instantly, which without the cool-down is a rebuild storm.
+        tick(engine, lambda: setattr(dog.path, "demand",
+                                     dog.path.demand + 1))
+        engine.run_until(5_000.0)
+        assert dog.rebuilds == 1  # the first repair
+        assert dog.rebuilds_suppressed >= 2  # everything after waits
+
+    def test_cool_down_expiry_allows_the_next_rebuild(self):
+        engine, path = Engine(), FakePath()
+        dog = make_watchdog(engine, path, FakePath,
+                            min_rebuild_interval_us=300.0).start()
+        tick(engine, lambda: setattr(dog.path, "demand",
+                                     dog.path.demand + 1))
+        engine.run_until(5_000.0)
+        assert dog.rebuilds >= 3          # storms throttled, not stopped
+        assert dog.rebuilds_suppressed >= 1
