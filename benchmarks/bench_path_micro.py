@@ -72,58 +72,6 @@ def test_demux_chain_scales_with_depth(benchmark):
     benchmark(classify_big_packet)
 
 
-def test_compiled_vs_pointer_chase_traversal(benchmark, record_fastpath):
-    """Delivery through the precompiled stage tuple versus the recursive
-    interface pointer chase, over the real Figure 7 receive chain.
-
-    ``Path.deliver`` runs the compiled loop; forcing ``entry_iface``
-    delivery bypasses it and recurses stage to stage.  Both numbers are
-    recorded to ``BENCH_fastpath.json``: in this Python model per-stage
-    protocol work dominates, so the loop buys roughly parity here — the
-    structural win (one indirection instead of a chain of them) is the
-    paper's, the measured win of this PR is the flow cache's.
-    """
-    import time
-
-    from repro.core.stage import BWD
-
-    stack = Fig7Stack()
-    path = stack.create_udp_path(local_port=6100)
-    frame = stack.udp_frame(6100)
-    outq = path.output_queue(BWD)
-    assert path._compiled[BWD] is not None  # the loop really runs
-
-    def compiled_deliver():
-        path.deliver(Msg(frame), BWD)
-        outq.dequeue()
-
-    def pointer_chase():
-        iface = path.entry_iface(BWD)
-        iface.deliver(iface, Msg(frame), BWD)
-        outq.dequeue()
-
-    loops = 3000
-    for fn in (compiled_deliver, pointer_chase):  # interpreter warm-up
-        fn()
-    start = time.perf_counter()
-    for _ in range(loops):
-        pointer_chase()
-    chase_us = (time.perf_counter() - start) / loops * 1e6
-
-    benchmark(compiled_deliver)
-    compiled_us = benchmark.stats.stats.mean * 1e6
-    record_fastpath("traversal", {
-        "compiled_us": round(compiled_us, 4),
-        "pointer_chase_us": round(chase_us, 4),
-        "ratio_chase_over_compiled": round(chase_us / compiled_us, 2),
-        "stages": len(path._compiled[BWD]),
-        "loops": loops,
-    })
-    # Both routes deliver identically; the compiled loop must never be a
-    # significant regression over the recursion it replaces.
-    assert compiled_us <= 2.0 * chase_us
-
-
 def test_message_header_pushpop_cost(benchmark):
     """The per-packet hot path: push three headers, pop three headers."""
     payload = b"z" * 1400

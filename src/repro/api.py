@@ -43,6 +43,7 @@ from .core import (
     PA_PATHNAME,
     PA_SCHED_POLICY,
     PA_SCHED_PRIORITY,
+    PA_SPECIALIZE,
     PA_TRACE,
     SOURCE_CACHE,
     SOURCE_DEMUX,
@@ -178,6 +179,14 @@ class PathBuilder:
         scheduler dispatch (``PA_BATCH``, DESIGN.md §13)."""
         return self.invariant(PA_BATCH, int(limit))
 
+    def specialize(self, enabled: bool = True) -> "PathBuilder":
+        """Opt this path in (or, with ``False``, explicitly out) of the
+        specialized execution tier: the compile phase may ``exec``-
+        generate one fused function per chain direction (``PA_SPECIALIZE``,
+        DESIGN.md §15).  Unset, the ``REPRO_SPECIALIZE`` environment
+        default decides."""
+        return self.invariant(PA_SPECIALIZE, bool(enabled))
+
     def admission(self, hook: Optional[AdmissionHook]) -> "PathBuilder":
         """Gate :meth:`build` through an admission hook (or ``None``)."""
         self._admission = hook
@@ -271,7 +280,7 @@ __all__ = [
     # attributes
     "PA_NET_PARTICIPANTS", "PA_LOCAL_PORT", "PA_PATHNAME", "PA_FRAME_RATE",
     "PA_SCHED_POLICY", "PA_SCHED_PRIORITY", "PA_INQ_LEN", "PA_OUTQ_LEN",
-    "PA_MEM_BUDGET", "PA_TRACE", "PA_BATCH",
+    "PA_MEM_BUDGET", "PA_TRACE", "PA_BATCH", "PA_SPECIALIZE",
     # scheduling policies
     "POLICY_RR", "POLICY_EDF",
     # admission

@@ -42,6 +42,15 @@ _FLOW_KEY_BYTES = 42
 _ETHERTYPE_IPV4 = b"\x08\x00"
 _IPPROTO_UDP = 17
 
+#: The validated-fast-receive ``msg.meta`` stamps (DESIGN.md §13) an
+#: ``annotate`` hook installs on a flow-cache hit.  A stamp asserts the
+#: corresponding layer's checks already passed during classification, so
+#: the stage may skip validation; the specialized execution tier
+#: (DESIGN.md §15) additionally requires *all* of them per message before
+#: running a fused ETH/IP/UDP body.  Kernel and benchmarks share this
+#: tuple so the stamp names can never drift apart.
+VALIDATED_STAMPS = ("eth_validated", "ip_validated", "udp_validated")
+
 
 def flow_key_ipv4_udp(msg: Any) -> Optional[bytes]:
     """Exact-match flow key for non-fragmented IPv4/UDP frames.

@@ -97,6 +97,32 @@ class Msg:
         self._length -= nbytes
         return bytes(out)
 
+    def strip(self, nbytes: int) -> None:
+        """Remove the first *nbytes* bytes without materializing them.
+
+        Identical post-state to :meth:`pop` — the specialized execution
+        tier uses it to coalesce several stages' header strips into one
+        operation when nobody needs the stripped bytes.
+        """
+        if nbytes < 0:
+            raise ValueError("cannot strip a negative number of bytes")
+        if nbytes > self._length:
+            raise ValueError(
+                f"cannot strip {nbytes} bytes from a {self._length}-byte message"
+            )
+        need = nbytes
+        while need:
+            chunk = self._chunks[0]
+            avail = len(chunk) - self._offset
+            if need >= avail:
+                self._chunks.pop(0)
+                self._offset = 0
+                need -= avail
+            else:
+                self._offset += need
+                need = 0
+        self._length -= nbytes
+
     def peek(self, nbytes: int, at: int = 0) -> bytes:
         """Return *nbytes* bytes starting at offset *at* without consuming.
 

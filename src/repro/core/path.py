@@ -20,6 +20,10 @@ from .stage import BWD, FWD, Stage, run_compiled, run_compiled_batch
 
 _pid_counter = itertools.count(1)
 
+#: Meta key traversal probes read the per-message cost account from.
+#: Matches ``repro.net.common.COST_KEY`` (core cannot import net).
+_COST_KEY = "cost_us"
+
 #: Path lifecycle states.
 CREATING, ESTABLISHED, DELETED = "creating", "established", "deleted"
 
@@ -114,6 +118,33 @@ class Path:
         self.chain_generation = 0
         self._compiled: List[Optional[tuple]] = [None, None]
         self._compiled_gen = -1
+        #: Third execution tier (interpreted -> compiled -> specialized):
+        #: when ``specialize`` is set (path_create's ``PA_SPECIALIZE`` /
+        #: ``specialize=`` / ``REPRO_SPECIALIZE`` resolution), each
+        #: compiled chain is additionally handed to
+        #: :func:`repro.core.specialize.specialize_chain`, which may
+        #: ``exec``-generate one fused function for the whole recognized
+        #: stage prefix.  The slots are rebuilt by :meth:`compile_chains`,
+        #: so the same ``chain_generation`` mismatch that recompiles the
+        #: chain also discards a stale specialized function — interposition
+        #: deoptimizes before the next message.  ``interpret_only`` forces
+        #: tier 0 (pointer-chase recursion) regardless; the differential
+        #: harness uses it to pin tiers against each other.
+        self.specialize = False
+        self.interpret_only = False
+        self._specialized: List[Optional[Callable]] = [None, None]
+        #: Messages whose traversal ran entirely inside a generated
+        #: function (kept off ``PathStats`` so the books stay structurally
+        #: identical across tiers).
+        self.specialized_msgs = 0
+        #: Per-direction traversal probes: ``probe(msg, elapsed_us)``
+        #: called after each traversal with the cost the traversal
+        #: accumulated on the message's account.  Unlike a
+        #: ``wrap_deliver`` interposition this observes at the *path*
+        #: boundary, so it composes with every execution tier — the
+        #: Section 4.2 proc-time probe uses it without forcing the chain
+        #: back to interpretation.
+        self._probes: List[List[Callable[[Any, float], None]]] = [[], []]
         #: Flow caches holding entries that point at this path; populated
         #: by :meth:`register_flow_cache`, purged synchronously by
         #: :meth:`delete` so no cache can ever return a deleted path.
@@ -226,6 +257,13 @@ class Path:
         """
         self._compiled = [self._compile_direction(FWD),
                           self._compile_direction(BWD)]
+        if self.specialize and self.observer is None:
+            from .specialize import specialize_chain
+            self._specialized = [
+                specialize_chain(self, FWD, self._compiled[FWD]),
+                specialize_chain(self, BWD, self._compiled[BWD])]
+        else:
+            self._specialized = [None, None]
         self._compiled_gen = self.chain_generation
 
     def _compile_direction(self, direction: int) -> Optional[tuple]:
@@ -270,16 +308,35 @@ class Path:
             self.stats.messages_fwd += 1
         else:
             self.stats.messages_bwd += 1
+        probes = self._probes[direction]
+        if probes:
+            before = msg.meta.get(_COST_KEY, 0.0)
+            result = self._traverse_one(msg, direction, kwargs)
+            elapsed = msg.meta.get(_COST_KEY, 0.0) - before
+            for probe in probes:
+                probe(msg, elapsed)
+            return result
+        return self._traverse_one(msg, direction, kwargs)
+
+    def _traverse_one(self, msg: Any, direction: int, kwargs: dict) -> Any:
         observer = self.observer
-        if observer is None:
-            # The compiled fast path: one tuple walk instead of a
+        if observer is None and not self.interpret_only:
+            # The tiered fast path: a generated per-path function when
+            # one applies, else one tuple walk instead of a
             # pointer-chasing recursion.  Observed paths keep the
             # recursive route so stage spans nest exactly as before.
             if self._compiled_gen != self.chain_generation:
                 self.compile_chains()
+            spec = self._specialized[direction]
+            if spec is not None:
+                out = spec((msg,), kwargs)
+                if out is not None:
+                    self.specialized_msgs += 1
+                    return out[0]
             chain = self._compiled[direction]
             if chain is not None:
                 return run_compiled(chain, msg, direction, kwargs)
+        if observer is None:
             iface = self.entry_iface(direction)
             return iface.deliver(iface, msg, direction, **kwargs)
         iface = self.entry_iface(direction)
@@ -318,13 +375,33 @@ class Path:
             self.stats.messages_bwd += count
         if not count:
             return []
+        probes = self._probes[direction]
+        if probes:
+            befores = [msg.meta.get(_COST_KEY, 0.0) for msg in batch]
+            results = self._traverse_batch(batch, count, direction, kwargs)
+            for msg, before in zip(batch, befores):
+                elapsed = msg.meta.get(_COST_KEY, 0.0) - before
+                for probe in probes:
+                    probe(msg, elapsed)
+            return results
+        return self._traverse_batch(batch, count, direction, kwargs)
+
+    def _traverse_batch(self, batch: List[Any], count: int, direction: int,
+                        kwargs: dict) -> List[Any]:
         observer = self.observer
-        if observer is None:
+        if observer is None and not self.interpret_only:
             if self._compiled_gen != self.chain_generation:
                 self.compile_chains()
+            spec = self._specialized[direction]
+            if spec is not None:
+                out = spec(batch, kwargs)
+                if out is not None:
+                    self.specialized_msgs += count
+                    return out
             chain = self._compiled[direction]
             if chain is not None:
                 return run_compiled_batch(chain, batch, direction, kwargs)
+        if observer is None:
             iface = self.entry_iface(direction)
             return [iface.deliver(iface, msg, direction, **kwargs)
                     for msg in batch]
@@ -340,6 +417,18 @@ class Path:
             finally:
                 observer.end_traversal(token)
         return results
+
+    def add_traversal_probe(self, direction: int,
+                            probe: Callable[[Any, float], None]) -> None:
+        """Attach ``probe(msg, elapsed_us)`` to every traversal in
+        *direction*.
+
+        *elapsed_us* is the cost the traversal accumulated on the
+        message's own account (its ``cost_us`` meta delta).  Probes fire
+        after the traversal completes, outside the stage chain, so they
+        never change what the chain compiles — or specializes — to.
+        """
+        self._probes[direction].append(probe)
 
     def inject_at(self, stage: Stage, msg: Any, direction: int,
                   **kwargs: Any) -> Any:

@@ -1,0 +1,329 @@
+"""Per-path specialization: ``exec``-generated fused fast-path functions.
+
+Scout's central claim is that making paths explicit lets the system
+*specialize* them: "if a path contains a sequence of interfaces for which
+there is optimized code available, then the function pointers in the
+interfaces can be updated to point to this optimized code" (Section 4.1).
+The compiled chain (:meth:`~repro.core.path.Path.compile_chains`) removed
+the pointer chase; this module removes the *per-stage function calls*
+themselves.  For a chain whose stages are all recognized — the standard
+ETH/IP/UDP/MFLOW receive bodies and the TEST sink, installed un-interposed
+— a per-path Python function is generated at compile time and executed by
+``Path.deliver``/``deliver_batch`` as the third execution tier:
+
+    interpreted (pointer-chase recursion)
+      -> compiled (flattened chain, one call per stage per message)
+        -> specialized (one generated function per path, straight-line)
+
+The generator exploits exactly the invariants that are fixed at
+path-create time or proven per message by the flow cache:
+
+* **validated headers** — every message in the run carries the
+  ``*_validated`` stamps a :class:`~repro.core.flowcache.FlowCache` hit
+  installed, so the per-stage length/address/port checks are dead
+  branches and header *objects* are never materialized; the IP total
+  length (the one per-packet field that still matters, for padding trim)
+  is read with a single prebound :class:`struct.Struct` access;
+* **absent intercepts** — each fused stage's deliver function is the
+  pristine bound method (see :meth:`Stage.has_pristine_deliver`), so
+  there is nothing to call between stages: header strips coalesce into
+  one ``Msg.strip`` and the per-stage ``charge()`` calls into local
+  float adds written back once;
+* **fixed configuration** — no UDP checksum pass, interior stages
+  actually interior, the sink actually last.
+
+What the generator must NOT assume is anything that can change *between*
+messages: padded frames (IP total length shorter than the payload) take a
+per-message bail-out through :func:`run_compiled` on the full chain, and
+MFLOW's sequencing branches (stale drop, gap, window advertisement,
+batched-advertisement coalescing) are emitted inline, calling back into
+stage methods for the rare cases.
+
+**Deopt protocol.**  A generated function is valid for exactly one
+``chain_generation``.  ``set_deliver``/``set_deliver_batch``/
+``wrap_deliver`` bump the generation, and ``Path.deliver``/
+``deliver_batch`` compare generations *before* consulting the specialized
+slot — so interposition (probes, fault injectors, transformations)
+deoptimizes to the exact slow path before the next message is seen.
+Recompilation then re-runs recognition: a wrapped stage fails the
+pristine check and the prefix shortens (or specialization is dropped).
+Observed paths (``PA_TRACE``) never specialize, mirroring the compiled
+tier.
+
+Stage recognition is a registry: the net modules register a *specializer*
+per stage class (:func:`register_specializer`), keeping each stage's
+inlined semantics next to the scalar code it must mirror; the assembler
+here only knows how to fuse fragments.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from .message import Msg
+from .stage import DIRECTION_NAMES, run_compiled
+
+#: Fusing fewer stages than this is not worth a generated function: the
+#: per-batch guard and dispatch would eat the win.  ETH+IP+UDP is the
+#: shortest prefix that pays.
+MIN_PREFIX = 3
+
+#: Environment variable forcing the default for paths created without an
+#: explicit ``specialize=`` / ``PA_SPECIALIZE`` choice (the CI matrix leg
+#: runs the whole tier-1 suite with it set to ``1``).
+ENV_VAR = "REPRO_SPECIALIZE"
+
+_TRUTHY = ("1", "true", "on", "yes")
+
+_REGISTRY: Dict[Type, Callable[..., Optional["StageFragment"]]] = {}
+
+
+def default_enabled() -> bool:
+    """The process-wide default for paths that did not choose: the
+    ``REPRO_SPECIALIZE`` environment variable, read at path-create time
+    so tests can flip it per monkeypatch."""
+    return os.environ.get(ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def register_specializer(stage_cls: Type,
+                         specializer: Callable[..., Optional["StageFragment"]]
+                         ) -> None:
+    """Register *specializer* as the recognizer/emitter for *stage_cls*.
+
+    ``specializer(stage, iface, fn, fn_batch, direction, terminal)`` is
+    called during chain recognition and returns a :class:`StageFragment`
+    when the stage can be fused — or ``None`` to stop the prefix there
+    (interposed function, wrong direction, disqualifying configuration).
+    """
+    _REGISTRY[stage_cls] = specializer
+
+
+class StageFragment:
+    """One recognized stage's contribution to a fused function.
+
+    Parameters
+    ----------
+    stamps:
+        ``msg.meta`` validation flags this stage consumes.  Guarded for
+        the whole run (missing stamp -> decline) and deleted per message.
+    pop:
+        Fixed header bytes this stage strips.  Consecutive fragments'
+        pops coalesce into a single ``Msg.strip``.
+    cost_expr:
+        ``cost_expr(ctx)`` -> expression string for the stage's per-
+        message charge, evaluated once per batch (like the vectorized
+        deliver functions, so live ``params`` monkeypatching stays
+        visible).  ``None`` emits no charge.
+    bail:
+        ``bail(ctx)`` -> lines emitted *before any mutation* that may
+        route a message through ``ctx.bail_action()`` — the exact
+        compiled chain — when a per-message condition the fused body
+        does not handle holds (e.g. link-layer padding trim).
+    body:
+        ``body(ctx)`` -> lines emitted at the stage's position with all
+        pending strips flushed (the message front is this stage's
+        payload).  For control-flow-heavy stages (MFLOW) and terminals.
+    epilogue:
+        ``epilogue(ctx)`` -> lines emitted after the loop with ``_live``
+        bound to the number of messages that took the fused body (bulk
+        counter updates).
+    terminal:
+        True when the stage absorbs every message (sink); must be the
+        chain's last entry.
+    """
+
+    __slots__ = ("stamps", "pop", "cost_expr", "bail", "body", "epilogue",
+                 "terminal")
+
+    def __init__(self, stamps: Sequence[str] = (), pop: int = 0,
+                 cost_expr: Optional[Callable] = None,
+                 bail: Optional[Callable] = None,
+                 body: Optional[Callable] = None,
+                 epilogue: Optional[Callable] = None,
+                 terminal: bool = False):
+        self.stamps = tuple(stamps)
+        self.pop = pop
+        self.cost_expr = cost_expr
+        self.bail = bail
+        self.body = body
+        self.epilogue = epilogue
+        self.terminal = terminal
+
+
+class GenContext:
+    """Name binding and layout state handed to fragment emitters."""
+
+    def __init__(self, namespace: Dict[str, Any], direction: int):
+        self.ns = namespace
+        self.direction = direction
+        #: Cumulative header bytes stripped by earlier fragments — the
+        #: absolute offset of the current fragment's header in the
+        #: original frame (fragments read raw bytes through it).
+        self.offset = 0
+        self._seq = 0
+        self._needs_raw = False
+
+    def bind(self, value: Any, hint: str = "v") -> str:
+        """Bind *value* into the generated function's namespace and
+        return its (unique) name."""
+        name = "_%s_%d" % ("".join(ch if ch.isalnum() else "_"
+                                   for ch in hint), self._seq)
+        self._seq += 1
+        self.ns[name] = value
+        return name
+
+    def need_raw(self) -> str:
+        """Request the per-message ``_raw = m.to_bytes()`` prologue (a
+        zero-copy view for the common single-chunk frame) and return the
+        variable name."""
+        self._needs_raw = True
+        return "_raw"
+
+    def bail_action(self) -> List[str]:
+        """The per-message deoptimization: run this message through the
+        exact compiled chain instead of the fused body."""
+        return ["_bail += 1",
+                "results[_i] = _run_one(_chain, m, %d, kwargs)"
+                % self.direction,
+                "continue"]
+
+
+def specialize_chain(path: Any, direction: int,
+                     chain: Optional[tuple]) -> Optional[Callable]:
+    """Generate a fused function for *chain*, or ``None`` when no
+    worthwhile prefix is recognized.
+
+    The returned callable has the contract ``spec(msgs, kwargs) ->
+    Optional[list]``: ``None`` declines the run (a message is missing a
+    validation stamp, or kwargs were passed) and the caller falls back
+    to the compiled tier; otherwise the per-message results list is
+    returned exactly as :func:`run_compiled_batch` would produce it.
+    """
+    if chain is None or len(chain) < MIN_PREFIX:
+        return None
+    frags: List[StageFragment] = []
+    for index, (iface, fn, intercept, fn_batch) in enumerate(chain):
+        if not intercept:
+            break  # bracketing stage: the tail runner recurses through it
+        stage = iface.stage
+        specializer = _REGISTRY.get(type(stage)) if stage is not None else None
+        if specializer is None:
+            break
+        frag = specializer(stage, iface, fn, fn_batch, direction,
+                           terminal=(index == len(chain) - 1))
+        if frag is None:
+            break
+        frags.append(frag)
+        if frag.terminal:
+            break
+    if len(frags) < MIN_PREFIX:
+        return None
+    if not frags[-1].terminal and len(frags) == len(chain):
+        return None  # last stage would forward off the end: wiring bug
+    tail = None if frags[-1].terminal else chain[len(frags):]
+    return _assemble(path, direction, chain, frags, tail)
+
+
+def _assemble(path: Any, direction: int, chain: tuple,
+              frags: List[StageFragment],
+              tail: Optional[tuple]) -> Callable:
+    ns: Dict[str, Any] = {"_Msg": Msg, "_run_one": run_compiled,
+                          "_chain": chain}
+    ctx = GenContext(ns, direction)
+
+    stamps = [s for f in frags for s in f.stamps]
+    min_len = sum(f.pop for f in frags)
+
+    # Per-message guard terms: every stamp present and the fixed header
+    # region actually there (a hand-stamped runt must decline, not crash
+    # differently from the scalar path).
+    guard = " and ".join(["_mt.get(%r)" % s for s in stamps]
+                         + (["len(m) >= %d" % min_len] if min_len else []))
+
+    batch_prologue: List[str] = []   # once per call (live cost reads)
+    body: List[str] = []             # per message, indent-relative lines
+    epilogue: List[str] = []
+
+    cost_vars: List[Tuple[StageFragment, str]] = []
+    for i, frag in enumerate(frags):
+        if frag.cost_expr is not None:
+            var = "_cost_%d" % i
+            batch_prologue.append("%s = %s" % (var, frag.cost_expr(ctx)))
+            cost_vars.append((frag, var))
+        else:
+            cost_vars.append((frag, ""))
+
+    # --- early, pre-mutation section: bail predicates ------------------
+    offset = 0
+    for frag in frags:
+        ctx.offset = offset
+        if frag.bail is not None:
+            body.extend(frag.bail(ctx))
+        offset += frag.pop
+
+    # --- stamp consumption + cost accumulator --------------------------
+    for s in stamps:
+        body.append("del meta[%r]" % s)
+    body.append("c = meta.get('cost_us', 0.0)")
+
+    # --- per-stage fused bodies ----------------------------------------
+    pending = 0
+    offset = 0
+
+    def flush() -> None:
+        nonlocal pending
+        if pending:
+            body.append("m.strip(%d)" % pending)
+            pending = 0
+
+    for frag, cost_var in cost_vars:
+        ctx.offset = offset
+        if cost_var:
+            body.append("c += %s" % cost_var)
+        pending += frag.pop
+        offset += frag.pop
+        if frag.body is not None:
+            flush()
+            body.extend(frag.body(ctx))
+    if not frags[-1].terminal:
+        flush()
+        body.append("meta['cost_us'] = c")
+        body.append("results[_i] = _run_one(_tail, m, %d, kwargs)"
+                    % direction)
+        ns["_tail"] = tail
+
+    for frag in frags:
+        if frag.epilogue is not None:
+            epilogue.extend(frag.epilogue(ctx))
+
+    lines = ["def _specialized(msgs, kwargs):",
+             "    if kwargs:",
+             "        return None",
+             "    for m in msgs:",
+             "        _mt = m.meta",
+             "        if not (%s):" % guard,
+             "            return None",
+             "    _n = len(msgs)",
+             "    _bail = 0",
+             "    results = [None] * _n"]
+    lines += ["    " + line for line in batch_prologue]
+    lines.append("    for _i, m in enumerate(msgs):")
+    lines.append("        meta = m.meta")
+    if ctx._needs_raw:
+        lines.append("        _raw = m.to_bytes()")
+    lines += ["        " + line for line in body]
+    if epilogue:
+        lines.append("    _live = _n - _bail")
+        lines += ["    " + line for line in epilogue]
+    lines.append("    return results")
+
+    source = "\n".join(lines)
+    code = compile(source, "<specialized path%s %s>"
+                   % (getattr(path, "pid", "?"), DIRECTION_NAMES[direction]),
+                   "exec")
+    exec(code, ns)  # noqa: S102 - the whole point of this module
+    fn = ns["_specialized"]
+    fn.__specialized_source__ = source
+    fn.__specialized_stages__ = len(frags)
+    return fn

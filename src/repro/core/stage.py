@@ -137,6 +137,31 @@ class Stage:
     def deliver_fn(self, direction: int) -> Optional[Callable[..., Any]]:
         return getattr(self.end[direction], "deliver", None)
 
+    def has_pristine_deliver(self, direction: int, func: Callable[..., Any],
+                             batch_func: Optional[Callable[..., Any]] = None
+                             ) -> bool:
+        """True when the installed deliver function for *direction* is the
+        un-interposed bound method whose underlying function is *func*,
+        and the batch slot is either empty or (when *batch_func* is
+        given) the pristine vectorized method.
+
+        This is the recognition test the specialized execution tier runs
+        before fusing a stage's body into generated code: any wrapper or
+        replacement — probes, fault injectors, transformations — fails
+        it, so the fused function can only ever contain semantics that
+        are actually installed.  Interposition *after* generation is
+        caught separately by the ``chain_generation`` bump the setters
+        above perform (the deopt protocol, DESIGN.md §15).
+        """
+        installed = self.deliver_fn(direction)
+        if getattr(installed, "__func__", None) is not func:
+            return False
+        batch = self._deliver_batch[direction]
+        if batch is None:
+            return True
+        return (batch_func is not None
+                and getattr(batch, "__func__", None) is batch_func)
+
     def wrap_deliver(self, direction: int,
                      wrapper: Callable[[Callable[..., Any]],
                                        Callable[..., Any]]) -> bool:

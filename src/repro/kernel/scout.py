@@ -30,11 +30,12 @@ from ..core.attributes import (
     PA_PATHNAME,
     PA_SCHED_POLICY,
     PA_SCHED_PRIORITY,
+    PA_SPECIALIZE,
     PA_TRACE,
     Attrs,
 )
 from ..core.classify import ClassifierStats, classify, classify_batch
-from ..core.flowcache import FlowCache
+from ..core.flowcache import VALIDATED_STAMPS, FlowCache
 from ..core.graph import RouterGraph
 from ..core.message import Msg
 from ..core.path import DELETED, Path
@@ -146,8 +147,15 @@ class ScoutKernel:
                  icmp_priority: int = 1,
                  inline_icmp: bool = False,
                  vsync_hz: float = params.VSYNC_HZ,
-                 flow_cache_capacity: int = 128):
+                 flow_cache_capacity: int = 128,
+                 specialize: Optional[bool] = None):
         self.world = world
+        #: Kernel-wide default for the specialized execution tier
+        #: (DESIGN.md §15), handed to every path_create below; a
+        #: per-path ``PA_SPECIALIZE`` attribute still overrides it and
+        #: ``None`` defers to the ``REPRO_SPECIALIZE`` environment
+        #: default.
+        self.specialize = specialize
         self.segment = segment
         self.transforms = transforms if transforms is not None \
             else default_transforms()
@@ -323,10 +331,11 @@ class ScoutKernel:
                              int.from_bytes(head[36:38], "big"))
         # The key matched the exact framing, addressing and port bytes,
         # so every header stage may take its validated fast receive —
-        # each stage pops its own flag (DESIGN.md §13).
-        meta["eth_validated"] = True
-        meta["ip_validated"] = True
-        meta["udp_validated"] = True
+        # each stage pops its own flag (DESIGN.md §13) — and a fully
+        # stamped message is what the specialized tier's fused functions
+        # guard on (DESIGN.md §15).
+        for stamp in VALIDATED_STAMPS:
+            meta[stamp] = True
 
     def _note_arrival(self, path: Path) -> None:
         """Maintain the path's average packet inter-arrival time, which
@@ -444,7 +453,8 @@ class ScoutKernel:
     def _make_service_path(self, router, attrs: Attrs, policy: str,
                            priority: int, name: str) -> Path:
         path = path_create(router, attrs, transforms=self.transforms,
-                           admission=self.admission)
+                           admission=self.admission,
+                           specialize=self.specialize)
         self.world.spawn(self._service_thread_body(path),
                          name=f"{name}-path{path.pid}", policy=policy,
                          priority=priority, path=path)
@@ -487,7 +497,8 @@ class ScoutKernel:
                           prebuffer: int = 0,
                           deadline_mode: str = "output",
                           trace: bool = False,
-                          batch: int = 1) -> Attrs:
+                          batch: int = 1,
+                          specialize: Optional[bool] = None) -> Attrs:
         """The invariants SHELL (or a test) supplies for an MPEG path."""
         from ..display.router import PA_DEADLINE_MODE, PA_PREBUFFER
 
@@ -512,6 +523,8 @@ class ScoutKernel:
         })
         if trace:
             attrs[PA_TRACE] = self.observatory
+        if specialize is not None:
+            attrs[PA_SPECIALIZE] = specialize
         return attrs
 
     def start_video(self, profile: ClipProfile, remote: Tuple[str, int],
@@ -520,7 +533,8 @@ class ScoutKernel:
         """Create an MPEG path + thread; returns the live session."""
         attrs = self.build_video_attrs(profile, remote, **attr_kwargs)
         path = path_create(self.display, attrs, transforms=self.transforms,
-                           admission=self.admission)
+                           admission=self.admission,
+                           specialize=self.specialize)
         return self._attach_video_path(path, early_drop_skipped)
 
     def _attach_video_path(self, path: Path,
@@ -596,7 +610,8 @@ class ScoutKernel:
                                            local_port=port, **attr_kwargs)
             path = path_create(self.display, attrs,
                                transforms=self.transforms,
-                               admission=self.admission)
+                               admission=self.admission,
+                               specialize=self.specialize)
             group.add(path)
             sessions.append(self._attach_video_path(path,
                                                     early_drop_skipped))

@@ -13,9 +13,11 @@ Two rules straight out of the paper:
 * **measure-proc-time** (Section 4.2): "the initial function in the
   ETH-stage of the router is modified to measure processing time and to
   update the path attribute that keeps track of the average processing
-  time."  The rule wraps the ETH stage's receive deliver; because stage
-  delivery is synchronous, the cost accumulated by the whole traversal is
-  visible when the wrapped call returns.
+  time."  The rule attaches a traversal probe at the path boundary —
+  since ETH is the BWD entry stage, the cost delta observed around the
+  whole traversal is exactly what wrapping ETH's initial function would
+  see, but the probe stays outside the stage chain so the chain remains
+  compilable (and specializable, DESIGN.md §15).
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ from ..core.attributes import PA_AVG_PROC_TIME
 from ..core.stage import BWD, brackets_downstream
 from ..core.transform import TransformRegistry, TransformRule, all_of, traverses
 from ..mpeg.router import PA_VIDEO_PROFILE
-from ..net.common import COST_KEY, charge
+from ..net.common import charge
 
 #: Fused checksum touches the payload once inside the decoder's existing
 #: read loop instead of in a separate pass: model it at half the
@@ -71,22 +73,16 @@ def make_measure_proc_time_rule() -> TransformRule:
         return PA_VIDEO_PROFILE in path.attrs and "ETH" in path.routers()
 
     def install_probe(path) -> None:
-        eth_stage = path.stage_of("ETH")
-        original = eth_stage.deliver_fn(BWD)
-
-        # The probe reads the traversal's accumulated cost after the
-        # downstream call returns, so the rest of the chain must run
-        # inside its frame — it cannot be flattened past.
-        @brackets_downstream
-        def measured(iface, msg, direction, **kwargs):
-            before = msg.meta.get(COST_KEY, 0.0)
-            result = original(iface, msg, direction, **kwargs)
-            elapsed = msg.meta.get(COST_KEY, 0.0) - before
-            path.stats.record_proc_time(elapsed)
+        # ETH is the path's BWD entry stage, so a probe at the path
+        # boundary observes the same accumulated-cost delta the paper's
+        # "initial function in the ETH-stage" modification would — while
+        # leaving every deliver pointer untouched, which keeps the chain
+        # compilable and specializable.
+        def measured(msg, elapsed_us):
+            path.stats.record_proc_time(elapsed_us)
             path.attrs[PA_AVG_PROC_TIME] = path.stats.avg_proc_time_us
-            return result
 
-        eth_stage.set_deliver(BWD, measured)
+        path.add_traversal_probe(BWD, measured)
 
     return TransformRule("measure-proc-time", guard, install_probe)
 

@@ -16,6 +16,7 @@ from .. import params
 from ..core.attributes import Attrs
 from ..core.message import Msg
 from ..core.router import DemuxResult, NextHop, Router, Service
+from ..core.specialize import StageFragment, register_specializer
 from ..core.stage import BWD, FWD, Stage, forward
 from ..core.graph import register_router
 from .addresses import EthAddr
@@ -95,6 +96,32 @@ class EthStage(Stage):
             charge(m, cost)
             m.pop(size)
         return msgs
+
+
+def _specialize_eth(stage: EthStage, iface, fn, fn_batch, direction: int,
+                    terminal: bool) -> Optional[StageFragment]:
+    """Fuse the validated receive branch of :meth:`EthStage._receive`:
+    per-stage charge, stamp consumption, header strip.  Anything else —
+    send side, an interposed function, a chain ending at ETH — declines.
+    """
+    if direction != BWD or terminal:
+        return None
+    if not stage.has_pristine_deliver(BWD, EthStage._receive,
+                                      EthStage._receive_batch):
+        return None
+    router = stage.router
+
+    def cost_expr(ctx):
+        return "%s.ETH_PROC_US" % ctx.bind(params, "params")
+
+    def epilogue(ctx):
+        return ["%s.rx_validated += _live" % ctx.bind(router, "eth_router")]
+
+    return StageFragment(stamps=("eth_validated",), pop=EthHeader.SIZE,
+                         cost_expr=cost_expr, epilogue=epilogue)
+
+
+register_specializer(EthStage, _specialize_eth)
 
 
 @register_router("EthRouter")

@@ -15,6 +15,7 @@ the IP protocol can rerun the classifier to find the next path".
 from __future__ import annotations
 
 import itertools
+import struct
 from typing import Callable, Dict, Optional, Tuple
 
 from .. import params
@@ -22,6 +23,7 @@ from ..core.attributes import PA_NET_PARTICIPANTS, Attrs
 from ..core.graph import register_router
 from ..core.message import Msg
 from ..core.router import DemuxResult, NextHop, Router, Service
+from ..core.specialize import StageFragment, register_specializer
 from ..core.stage import BWD, FWD, Stage, forward
 from .addresses import IpAddr
 from .common import PA_ETH_DST, PA_ETHERTYPE, charge, forward_or_deposit
@@ -280,6 +282,50 @@ class IpStage(Stage):
     def destroy(self) -> None:
         for key in list(self._buffers):
             self._free_buffer(key)
+
+
+#: One prebound struct for the only per-packet IP field the validated
+#: branch still reads: the big-endian total length at header offset 2.
+_IP_TOTAL_LENGTH = struct.Struct("!H")
+
+
+def _specialize_ip(stage: "IpStage", iface, fn, fn_batch, direction: int,
+                   terminal: bool) -> Optional[StageFragment]:
+    """Fuse the validated receive branch of :meth:`IpStage._receive`.
+
+    The padding-trim case (link-layer padding beyond the IP total length)
+    rebinds the message to a freshly copied ``Msg`` with a *copied* meta
+    dict — semantics the straight-line fused body deliberately does not
+    carry — so padded frames bail to the exact compiled chain per
+    message, before any mutation.
+    """
+    if direction != BWD or terminal or iface.next is None:
+        return None
+    if not stage.has_pristine_deliver(BWD, IpStage._receive,
+                                      IpStage._receive_batch):
+        return None
+    router = stage.router
+
+    def cost_expr(ctx):
+        return "%s.IP_PROC_US" % ctx.bind(params, "params")
+
+    def bail(ctx):
+        unpack = ctx.bind(_IP_TOTAL_LENGTH.unpack_from, "ip_len")
+        raw = ctx.need_raw()
+        lines = ["_plen = %s(%s, %d)[0] - %d"
+                 % (unpack, raw, ctx.offset + 2, IpHeader.SIZE),
+                 "if len(m) - %d > _plen:" % (ctx.offset + IpHeader.SIZE)]
+        lines += ["    " + line for line in ctx.bail_action()]
+        return lines
+
+    def epilogue(ctx):
+        return ["%s.rx_validated += _live" % ctx.bind(router, "ip_router")]
+
+    return StageFragment(stamps=("ip_validated",), pop=IpHeader.SIZE,
+                         cost_expr=cost_expr, bail=bail, epilogue=epilogue)
+
+
+register_specializer(IpStage, _specialize_ip)
 
 
 @register_router("IpRouter")

@@ -29,6 +29,7 @@ from ..core.graph import register_router
 from ..core.message import Msg
 from ..core.queues import BWD_IN
 from ..core.router import DemuxResult, NextHop, Router, Service
+from ..core.specialize import StageFragment, register_specializer
 from ..core.stage import BWD, FWD, Stage, forward, turn_around
 from .common import charge, forward_or_deposit
 from .headers import MflowHeader
@@ -133,6 +134,71 @@ class MflowStage(Stage):
         # The advertisement's traversal cost lands on the data message's
         # account so the path thread pays for it in one Compute.
         charge(data_msg, wadv.meta.get("cost_us", 0.0))
+
+
+def _specialize_mflow(stage: MflowStage, iface, fn, fn_batch, direction: int,
+                      terminal: bool) -> Optional[StageFragment]:
+    """Fuse :meth:`MflowStage._receive` — including every sequencing
+    branch, inline.
+
+    MFLOW has no validation stamp: nothing upstream proves anything about
+    its header, so the fused body keeps the scalar length check, drop
+    reasons, gap/stale accounting, the ``batch_followup`` advertisement
+    coalescing, and the call back into :meth:`_advertise_window` for the
+    non-coalesced case (which charges the advertisement's traversal onto
+    the data message's account — hence the cost flush/reload around it).
+    """
+    if direction != BWD or terminal or iface.next is None:
+        return None
+    if not stage.has_pristine_deliver(BWD, MflowStage._receive):
+        return None
+
+    def cost_expr(ctx):
+        return "%s.MFLOW_PROC_US" % ctx.bind(params, "params")
+
+    def body(ctx):
+        st = ctx.bind(stage, "mflow")
+        hdr = ctx.bind(MflowHeader, "MflowHeader")
+        ifc = ctx.bind(iface, "mflow_iface")
+        size = MflowHeader.SIZE
+        return [
+            "if len(m) < %d:" % size,
+            "    meta['cost_us'] = c",
+            "    %s.note_drop(m, 'short MFLOW packet', 'malformed')" % st,
+            "    continue",
+            "_h = %s.unpack(m.peek(%d))" % (hdr, size),
+            "m.strip(%d)" % size,
+            "if _h.is_window_adv:",
+            "    meta['cost_us'] = c",
+            "    %s.note_drop(m, 'window advertisement at sink',"
+            " 'protocol')" % st,
+            "    continue",
+            "_seq = _h.seq",
+            "_exp = %s.next_expected" % st,
+            "if _seq < _exp:",
+            "    %s.stale_drops += 1" % st,
+            "    meta['cost_us'] = c",
+            "    %s.note_drop(m, 'stale seq %%d < %%d' %% (_seq, _exp),"
+            " 'stale_seq')" % st,
+            "    continue",
+            "if _seq > _exp:",
+            "    %s.gaps += 1" % st,
+            "%s.next_expected = _seq + 1" % st,
+            "%s.last_delivered_seq = _seq" % st,
+            "meta['mflow_header'] = _h",
+            "if meta.pop('batch_followup', False):",
+            "    %s.window_advs_coalesced += 1" % st,
+            "else:",
+            "    meta['cost_us'] = c",
+            "    %s._advertise_window(%s, _h, m, %d)"
+            % (st, ifc, ctx.direction),
+            "    c = meta['cost_us']",
+        ]
+
+    return StageFragment(cost_expr=cost_expr, body=body)
+
+
+register_specializer(MflowStage, _specialize_mflow)
 
 
 @register_router("MflowRouter")

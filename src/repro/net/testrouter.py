@@ -15,6 +15,7 @@ from ..core.attributes import Attrs
 from ..core.graph import register_router
 from ..core.message import Msg
 from ..core.router import DemuxResult, NextHop, Router, Service
+from ..core.specialize import StageFragment, register_specializer
 from ..core.stage import BWD, FWD, Stage, forward
 from .common import charge
 
@@ -53,6 +54,45 @@ class TestStage(Stage):
             if not outq.try_enqueue(msg):
                 router.sink_overflows += 1
         return []
+
+
+def _specialize_test_sink(stage: TestStage, iface, fn, fn_batch,
+                          direction: int,
+                          terminal: bool) -> Optional[StageFragment]:
+    """Fuse :meth:`TestStage._sink`: charge, record, per-message enqueue.
+
+    Only valid as the chain's last entry — the sink absorbs everything.
+    ``try_enqueue`` stays a per-message call (its drop accounting and
+    queue listeners — scheduler wakeups, watchdog liveness — must fire
+    exactly as the scalar sink would make them fire).
+    """
+    if direction != BWD or not terminal:
+        return None
+    if not stage.has_pristine_deliver(BWD, TestStage._sink,
+                                      TestStage._sink_batch):
+        return None
+    if stage.path is None:
+        return None
+    router = stage.router
+    # Path queues are created once in Path.__init__ and never replaced,
+    # so the bound enqueue method is safe to bake in.
+    outq = stage.path.output_queue(direction)
+
+    def body(ctx):
+        tr = ctx.bind(router, "test_router")
+        enq = ctx.bind(outq.try_enqueue, "enqueue")
+        return ["meta['cost_us'] = c",
+                "%s.received.append(m)" % tr,
+                "if not %s(m):" % enq,
+                "    %s.sink_overflows += 1" % tr]
+
+    def cost_expr(ctx):
+        return "1.0"
+
+    return StageFragment(cost_expr=cost_expr, body=body, terminal=True)
+
+
+register_specializer(TestStage, _specialize_test_sink)
 
 
 @register_router("TestRouter")

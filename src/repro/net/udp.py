@@ -22,6 +22,7 @@ from ..core.attributes import PA_NET_PARTICIPANTS, PA_PROTID, Attrs
 from ..core.graph import register_router
 from ..core.message import Msg
 from ..core.router import DemuxResult, NextHop, Router, Service
+from ..core.specialize import StageFragment, register_specializer
 from ..core.stage import BWD, FWD, Stage, forward
 from .common import PA_LOCAL_PORT, PA_UDP_CHECKSUM, charge, forward_or_deposit
 from .checksum import internet_checksum
@@ -145,6 +146,36 @@ class UdpStage(Stage):
             charge(m, cost)
             m.pop(size)
         return msgs
+
+
+def _specialize_udp(stage: UdpStage, iface, fn, fn_batch, direction: int,
+                    terminal: bool) -> Optional[StageFragment]:
+    """Fuse the validated no-checksum receive branch of
+    :meth:`UdpStage._receive`: charge, stamp consumption, header strip.
+    Checksummed paths verify per message (and materialize the header),
+    so they decline — as does a UDP-terminated chain, whose deposit
+    semantics belong to the scalar branch.
+    """
+    if direction != BWD or terminal or iface.next is None \
+            or stage.use_checksum:
+        return None
+    if not stage.has_pristine_deliver(BWD, UdpStage._receive,
+                                      UdpStage._receive_batch):
+        return None
+
+    def cost_expr(ctx):
+        return "%s.UDP_PROC_US" % ctx.bind(params, "params")
+
+    def epilogue(ctx):
+        # rx_validated lives on the stage for UDP (per-path, not per
+        # router) — mirror the scalar branch exactly.
+        return ["%s.rx_validated += _live" % ctx.bind(stage, "udp_stage")]
+
+    return StageFragment(stamps=("udp_validated",), pop=UdpHeader.SIZE,
+                         cost_expr=cost_expr, epilogue=epilogue)
+
+
+register_specializer(UdpStage, _specialize_udp)
 
 
 @register_router("UdpRouter")

@@ -18,6 +18,7 @@ import pathlib
 import pytest
 
 from repro.experiments import run_adversary
+from repro.experiments.adversary_exp import run_adversary_matrix
 
 FAULTS_DIR = (pathlib.Path(__file__).resolve().parents[2]
               / "src" / "repro" / "faults")
@@ -46,6 +47,41 @@ class TestDigestDeterminism:
         kwargs = dict(RUN_KW, strategy=strategy)
         assert (run_adversary(seed=11, **kwargs).digest
                 == run_adversary(seed=11, **kwargs).digest)
+
+
+class TestSpecializationInvariance:
+    """The execution tier is not allowed to be an input: the adversary
+    matrix must produce byte-identical digests whether the paths run the
+    compiled chains or exec-generated fused functions (DESIGN.md §15).
+    A digest drift here would mean the specialized tier changed a drop,
+    a queue depth, or a delivery order somewhere under worst-case load —
+    exactly the regression the differential harness exists to catch."""
+
+    MATRIX_KW = dict(members=2, duration_us=30_000.0,
+                     horizon_us=20_000.0)
+
+    def _matrix_digests(self, monkeypatch, enabled):
+        monkeypatch.setenv("REPRO_SPECIALIZE", "1" if enabled else "0")
+        results = run_adversary_matrix(
+            strategies=("queue_storm", "deadline_cliff"),
+            schedulers=("edf", "stride"), seed=7, **self.MATRIX_KW)
+        return [(r.strategy, r.scheduler, r.digest, r.injected,
+                 r.delivered, r.max_queue_depth) for r in results]
+
+    def test_matrix_digests_identical_with_specialization_on_and_off(
+            self, monkeypatch):
+        assert self._matrix_digests(monkeypatch, enabled=False) \
+            == self._matrix_digests(monkeypatch, enabled=True)
+
+    def test_single_run_digest_unaffected_by_specialization(
+            self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPECIALIZE", "0")
+        off = run_adversary(seed=7, **RUN_KW)
+        monkeypatch.setenv("REPRO_SPECIALIZE", "1")
+        on = run_adversary(seed=7, **RUN_KW)
+        assert on.digest == off.digest
+        assert (on.injected, on.delivered, on.max_queue_depth) \
+            == (off.injected, off.delivered, off.max_queue_depth)
 
 
 class TestSourceAudit:
