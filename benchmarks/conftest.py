@@ -23,6 +23,8 @@ BATCHING_RESULTS = RESULTS_DIR / "BENCH_batching.json"
 
 ADVERSARY_RESULTS = RESULTS_DIR / "BENCH_adversary.json"
 
+MULTIHOP_RESULTS = RESULTS_DIR / "BENCH_multihop.json"
+
 
 def _merge_section(target: pathlib.Path, section: str, payload: dict,
                    tag: str) -> None:
@@ -97,5 +99,18 @@ def record_adversary():
 
     def record(section: str, payload: dict) -> None:
         _merge_section(ADVERSARY_RESULTS, section, payload, "BENCH_adversary")
+
+    return record
+
+
+@pytest.fixture
+def record_multihop():
+    """Merge one named section into the machine-readable multi-hop
+    results file (``benchmarks/results/BENCH_multihop.json``) — the
+    differential-delivery and lossy-link goodput benchmarks accumulate
+    into a single artifact for CI to upload."""
+
+    def record(section: str, payload: dict) -> None:
+        _merge_section(MULTIHOP_RESULTS, section, payload, "BENCH_multihop")
 
     return record

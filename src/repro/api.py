@@ -87,7 +87,7 @@ from .faults import (
 )
 from .fs import ScsiRouter, UfsRouter, VfsRouter
 from .http import HttpRouter
-from .kernel import LinuxKernel, ScoutKernel
+from .kernel import LinuxKernel, RouterKernel, ScoutKernel
 from .mpeg import CANYON, FLOWER, NEPTUNE, PAPER_CLIPS, synthesize_clip
 from .multipath import PathGroup, PathPool
 from .net import (
@@ -98,9 +98,12 @@ from .net import (
     EthAddr,
     EthRouter,
     EtherSegment,
+    ForwardRouter,
     IpAddr,
     IpHeader,
     IpRouter,
+    Route,
+    RouteTable,
     TcpHeader,
     TcpRouter,
     UdpHeader,
@@ -108,6 +111,7 @@ from .net import (
     build_udp_frame,
     parse_frame,
 )
+from .topo import HostNode, Inventory, ProvisionedPath, Topology
 from .observe import Observatory, StarvationDetector
 from .sim import SimWorld
 from .sim.world import POLICY_EDF, POLICY_RR
@@ -267,6 +271,9 @@ __all__ = [
     # entry points
     "Scout", "PathBuilder", "Testbed", "ScoutKernel", "LinuxKernel",
     "SimWorld", "EtherSegment", "Observatory",
+    # multi-hop forwarding & the discovery control plane
+    "Topology", "ProvisionedPath", "HostNode", "Inventory",
+    "RouterKernel", "ForwardRouter", "Route", "RouteTable",
     # path architecture
     "path_create", "path_delete", "build_graph", "RouterGraph",
     "Attrs", "Msg", "MsgBatch", "Path", "PathQueue", "FlowCache",

@@ -45,6 +45,14 @@ from .early_discard import (
 )
 from .edf_rr import EdfRrResult, format_edf_rr, run_edf_rr, run_queue_sweep
 from .micro import Fig7Stack, MicroReport, format_micro, measure_structure
+from .multihop_exp import (
+    LossGoodput,
+    MultihopRun,
+    build_three_hop,
+    format_multihop,
+    run_loss_amplification,
+    run_multihop,
+)
 from .multipath_exp import (
     MultipathPoint,
     PoolChurnResult,
@@ -86,6 +94,8 @@ __all__ = [
     "run_trace", "format_trace", "TraceReport",
     "run_multipath", "run_pool_churn", "format_multipath",
     "MultipathPoint", "PoolChurnResult",
+    "run_multihop", "run_loss_amplification", "format_multihop",
+    "build_three_hop", "MultihopRun", "LossGoodput",
     "run_adversary", "run_adversary_matrix", "format_adversary",
     "AdversaryRunResult",
 ]

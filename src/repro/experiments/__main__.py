@@ -10,7 +10,8 @@ Experiment ids: table1, table2, e3 (EDF vs RR), e4 (micro), e5 (queue
 sizing), e6 (admission), e7 (early discard), e8 (ablations), trace
 (per-path observability: hottest spans + metrics for a traced playback),
 multipath (path groups + warm pools; an extension beyond the paper),
-adversary (worst-case traffic vs stability verdicts).
+adversary (worst-case traffic vs stability verdicts), multihop (3-hop
+heterogeneous-MTU forwarding with path-MTU discovery).
 """
 
 from __future__ import annotations
@@ -26,6 +27,7 @@ from . import (
     format_early_discard,
     format_edf_rr,
     format_micro,
+    format_multihop,
     format_multipath,
     format_queue_sizing,
     format_segregation,
@@ -36,6 +38,8 @@ from . import (
     run_adversary_matrix,
     run_alf_ablation,
     run_early_discard,
+    run_loss_amplification,
+    run_multihop,
     run_multipath,
     run_pool_churn,
     run_queue_sizing,
@@ -96,6 +100,10 @@ def _adversary() -> str:
     return format_adversary(run_adversary_matrix())
 
 
+def _multihop() -> str:
+    return format_multihop(run_multihop(), run_loss_amplification())
+
+
 EXPERIMENTS = {
     "table1": _table1,
     "table2": _table2,
@@ -108,6 +116,7 @@ EXPERIMENTS = {
     "trace": _trace,
     "multipath": _multipath,
     "adversary": _adversary,
+    "multihop": _multihop,
 }
 
 

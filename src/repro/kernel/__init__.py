@@ -7,6 +7,7 @@ from .hosts import (
     TcpSinkHost,
     VideoSourceHost,
 )
+from .router import RouterKernel, RouterPort
 from .scout import ScoutKernel, VideoSession
 from .specs import FIG3_SPEC, FIG9_SPEC
 from .transforms import (
@@ -20,6 +21,7 @@ from .transforms import (
 
 __all__ = [
     "ScoutKernel", "VideoSession",
+    "RouterKernel", "RouterPort",
     "LinuxKernel", "LinuxSocket", "LinuxVideoSession",
     "VideoSourceHost", "PingFlooderHost", "CommandClientHost",
     "TcpSinkHost",

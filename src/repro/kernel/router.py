@@ -1,0 +1,193 @@
+"""The router kernel: a Scout appliance built around forwarding paths.
+
+Where :class:`~repro.kernel.scout.ScoutKernel` is the paper's end-host
+configuration (Figure 9), :class:`RouterKernel` is its router appliance:
+N NICs on N segments, one :class:`~repro.net.forward.ForwardRouter`, and
+one short forwarding path per ingress port.  The runtime behaviours are
+the same two that define Scout — interrupt-time classification deposits
+each arriving frame directly on its port's forwarding-path queue, and a
+per-path thread does the TTL/route/rewrite work under the world's
+scheduler — so a three-hop chain of routers is just three more kernels
+in the same sim world.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from .. import params
+from ..core.attributes import PA_INQ_LEN, Attrs
+from ..core.classify import ClassifierStats, classify
+from ..core.message import Msg
+from ..core.graph import RouterGraph
+from ..core.path import DELETED, Path
+from ..core.path_create import path_create
+from ..net.addresses import IpAddr
+from ..net.common import take_cost
+from ..net.eth import EthRouter
+from ..net.forward import PA_FWD_INGRESS, ForwardRouter
+from ..net.segment import EtherSegment, NetDevice
+from ..sim.threads import Compute, Dequeue, YIELD
+from ..sim.world import POLICY_RR, SimWorld
+from ..core.stage import BWD
+
+#: Distinct MAC prefix for auto-assigned router ports.
+_mac_counter = itertools.count(1)
+
+
+def _auto_mac() -> str:
+    n = next(_mac_counter)
+    return f"02:00:5e:00:{(n >> 8) & 0xFF:02x}:{n & 0xFF:02x}"
+
+
+class RouterPort:
+    """Bookkeeping for one attached NIC."""
+
+    __slots__ = ("name", "segment", "device", "eth", "ip", "mtu", "path",
+                 "thread")
+
+    def __init__(self, name: str, segment: EtherSegment,
+                 device: NetDevice, eth: EthRouter, ip: IpAddr, mtu: int):
+        self.name = name
+        self.segment = segment
+        self.device = device
+        self.eth = eth
+        self.ip = ip
+        self.mtu = mtu
+        self.path: Optional[Path] = None
+        self.thread = None
+
+
+class RouterKernel:
+    """A booted Scout router appliance in a sim world."""
+
+    def __init__(self, world: SimWorld, name: str = "RTR",
+                 inq_len: int = 64, priority: int = 1):
+        self.world = world
+        self.name = name
+        self.inq_len = inq_len
+        self.priority = priority
+        self.graph = RouterGraph()
+        self.fwd: ForwardRouter = self.graph.add(ForwardRouter("FWD"))
+        self.ports: Dict[str, RouterPort] = {}
+        self.classifier_stats = ClassifierStats()
+        self.unclassified_drops = 0
+        self.inq_overflow_drops = 0
+        self._booted = False
+
+    # -- construction ------------------------------------------------------
+
+    def add_port(self, name: str, segment: EtherSegment, ip,
+                 mtu: int = params.ETH_MTU,
+                 mac: Optional[str] = None) -> RouterPort:
+        """Attach one NIC to *segment* before :meth:`boot`."""
+        if self._booted:
+            raise RuntimeError(f"{self.name}: ports must be added "
+                               "before boot")
+        if name in self.ports:
+            raise ValueError(f"{self.name}: duplicate port {name!r}")
+        mac = mac or _auto_mac()
+        eth = self.graph.add(
+            EthRouter(f"ETH-{name}", mac=mac, mtu=mtu))
+        device = NetDevice(mac, self.world.cpu,
+                           name=f"{self.name}.{name}")
+        # Advertise the port's IP on the device so end hosts'
+        # ARP-from-segment learning resolves their gateway.
+        device.ip = IpAddr(ip)
+        segment.attach(device)
+        eth.attach_device(device)
+        self.fwd.add_port(name, eth, ip)
+        self.graph.connect(f"FWD.{name}", f"ETH-{name}.up")
+        port = RouterPort(name, segment, device, eth, IpAddr(ip), mtu)
+        self.ports[name] = port
+        return port
+
+    def boot(self) -> None:
+        """Initialize the graph, learn neighbours, and bring up one
+        forwarding path + thread per port."""
+        if self._booted:
+            return
+        self.graph.boot()
+        self._booted = True
+        for port in self.ports.values():
+            self.fwd.learn_arp(port.name, port.segment)
+        for port in self.ports.values():
+            attrs = Attrs({PA_FWD_INGRESS: port.name,
+                           PA_INQ_LEN: self.inq_len})
+            port.path = path_create(self.fwd, attrs)
+            port.thread = self.world.spawn(
+                self._forward_thread_body(port.path),
+                name=f"{self.name}-fwd-{port.name}",
+                policy=POLICY_RR, priority=self.priority, path=port.path)
+            port.device.rx_handler = self._make_rx(port)
+
+    def add_route(self, network, prefix_len: int, port: str,
+                  gateway=None):
+        return self.fwd.add_route(network, prefix_len, port, gateway)
+
+    # -- interrupt-time receive -------------------------------------------
+
+    def _make_rx(self, port: RouterPort):
+        eth = port.eth
+
+        def rx(frame: bytes) -> None:
+            msg = Msg(frame, meta={"rx_time": self.world.now})
+            before = self.classifier_stats.refinements
+            path = classify(eth, msg, stats=self.classifier_stats)
+            hops = self.classifier_stats.refinements - before + 1
+            self.world.cpu.extend_interrupt(
+                hops * params.CLASSIFY_PER_HOP_US)
+            if path is None:
+                self.unclassified_drops += 1
+                self.world.cpu.extend_interrupt(params.EARLY_DROP_US)
+                return
+            if not path.input_queue(BWD).try_enqueue(msg):
+                self.inq_overflow_drops += 1
+                path.note_drop(msg, "forwarding queue full",
+                               "inq_overflow")
+                self.world.cpu.extend_interrupt(params.EARLY_DROP_US)
+                return
+            path.stats.charge_memory(msg.footprint())
+
+        return rx
+
+    # -- path thread -------------------------------------------------------
+
+    @staticmethod
+    def _forward_thread_body(path: Path):
+        inq = path.input_queue(BWD)
+        while path.state != DELETED:
+            msg = yield Dequeue(inq)
+            path.deliver(msg, BWD)
+            cost = take_cost(msg)
+            if cost > 0:
+                yield Compute(cost)
+            path.stats.release_memory(msg.footprint())
+            yield YIELD
+
+    # -- introspection -----------------------------------------------------
+
+    def paths(self) -> List[Path]:
+        return [p.path for p in self.ports.values() if p.path is not None]
+
+    def drop_ledger(self) -> Dict[str, int]:
+        """Aggregate drop accounting across every forwarding path plus
+        the kernel-level classification drops."""
+        ledger: Dict[str, int] = {}
+        for path in self.paths():
+            for category, count in path.stats.drop_reasons.items():
+                ledger[category] = ledger.get(category, 0) + count
+        if self.unclassified_drops:
+            ledger["unclassified"] = self.unclassified_drops
+        return ledger
+
+    def stats(self) -> Dict[str, int]:
+        stats = dict(self.fwd.stats())
+        stats["unclassified_drops"] = self.unclassified_drops
+        stats["inq_overflow_drops"] = self.inq_overflow_drops
+        return stats
+
+    def __repr__(self) -> str:
+        ports = ",".join(f"{p.name}={p.ip}" for p in self.ports.values())
+        return f"<RouterKernel {self.name} {ports}>"

@@ -15,6 +15,7 @@ from .common import (
     take_cost,
 )
 from .eth import EthRouter, EthStage
+from .forward import PA_FWD_INGRESS, ForwardRouter, ForwardStage, Route, RouteTable
 from .headers import (
     ETHERTYPE_ARP,
     ETHERTYPE_IP,
@@ -55,6 +56,8 @@ __all__ = [
     "EthRouter", "EthStage", "ArpRouter", "IpRouter", "IpStage",
     "UdpRouter", "UdpStage", "IcmpRouter", "TcpRouter", "TcpStage",
     "MflowRouter", "MflowStage", "TestRouter", "TestStage",
+    "ForwardRouter", "ForwardStage", "Route", "RouteTable",
+    "PA_FWD_INGRESS",
     "PA_IP_CATCHALL", "PA_LOCAL_PORT", "PA_ETH_DST", "PA_ETHERTYPE",
     "PA_UDP_CHECKSUM", "COST_KEY",
     "charge", "take_cost", "peek_cost",

@@ -55,7 +55,10 @@ class EthStage(Stage):
         dst = msg.meta.get("eth_dst_override") or self.dst_mac \
             or EthAddr.BROADCAST
         msg.push(EthHeader(dst, router.mac, self.ethertype).pack())
-        router.transmit(msg)
+        if not router.transmit(msg):
+            self.note_drop(msg, f"frame exceeds {router.name} MTU "
+                                f"{router.mtu}", "oversize_frame")
+            return
         if self.path is not None:
             # Wire transmission is useful output that never touches an
             # output queue; mark it so the watchdog sees send paths live.
@@ -140,6 +143,8 @@ class EthRouter(Router):
         self._ethertype_peers: dict = {}
         # statistics
         self.tx_frames = 0
+        #: Frames refused at transmit because they exceed the link MTU.
+        self.tx_oversize = 0
         #: Frames that took the flow-validated fast receive (DESIGN.md §13).
         self.rx_validated = 0
 
@@ -183,9 +188,22 @@ class EthRouter(Router):
 
     # -- transmission -------------------------------------------------------------------
 
-    def transmit(self, msg: Msg) -> None:
-        """Hand a fully framed message to the adapter."""
+    def transmit(self, msg: Msg) -> bool:
+        """Hand a fully framed message to the adapter.
+
+        Enforces the link MTU the way a real driver does: a frame whose
+        payload exceeds it is refused (returns False) rather than put on
+        the wire — heterogeneous-MTU topologies depend on this check
+        being per-link, not per-host.
+        """
         if self.device is None:
             raise RuntimeError(f"{self.name} has no attached device")
+        frame = msg.to_bytes()
+        if len(frame) > self.mtu + EthHeader.SIZE:
+            self.tx_oversize += 1
+            msg.meta.setdefault("drop_reason",
+                                f"frame exceeds {self.name} MTU {self.mtu}")
+            return False
         self.tx_frames += 1
-        self.device.send(msg.to_bytes())
+        self.device.send(frame)
+        return True

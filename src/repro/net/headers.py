@@ -26,6 +26,7 @@ IPPROTO_UDP = 17
 
 # IP flags
 IP_FLAG_MORE_FRAGMENTS = 0x1
+IP_FLAG_DONT_FRAGMENT = 0x2
 
 
 class EthHeader:
@@ -78,6 +79,12 @@ class IpHeader:
     @property
     def more_fragments(self) -> bool:
         return bool(self.flags & IP_FLAG_MORE_FRAGMENTS)
+
+    @property
+    def dont_fragment(self) -> bool:
+        """True when the sender forbids in-flight fragmentation (the
+        DF bit path-MTU discovery rides on, RFC 1191)."""
+        return bool(self.flags & IP_FLAG_DONT_FRAGMENT)
 
     @property
     def is_fragment(self) -> bool:
@@ -145,6 +152,18 @@ class IcmpHeader:
 
     ECHO_REQUEST = 8
     ECHO_REPLY = 0
+    #: Destination Unreachable; with :data:`CODE_FRAG_NEEDED` it is the
+    #: "Fragmentation Needed and DF set" error PMTUD listens for.  Per
+    #: RFC 1191 the next-hop MTU rides in the last two header bytes —
+    #: the field this simplified header calls ``seq``.
+    DEST_UNREACH = 3
+    CODE_FRAG_NEEDED = 4
+    #: Time Exceeded (TTL expired in transit at a forwarding hop).
+    TIME_EXCEEDED = 11
+
+    #: How much of the offending datagram an ICMP error quotes: the IP
+    #: header plus the first 8 payload bytes (RFC 792).
+    ERROR_QUOTE_BYTES = 8
 
     __slots__ = ("icmp_type", "code", "ident", "seq")
 
@@ -167,8 +186,9 @@ class IcmpHeader:
         return cls(icmp_type, ident, seq, code=code)
 
     def __repr__(self) -> str:
-        kind = {8: "echo-req", 0: "echo-reply"}.get(self.icmp_type,
-                                                    str(self.icmp_type))
+        kind = {8: "echo-req", 0: "echo-reply", 3: "dest-unreach",
+                11: "time-exceeded"}.get(self.icmp_type,
+                                         str(self.icmp_type))
         return f"Icmp({kind} id={self.ident} seq={self.seq})"
 
 

@@ -19,7 +19,7 @@ from ..core.message import Msg
 from ..core.router import DemuxResult, NextHop, Router, Service
 from ..core.stage import BWD, FWD, Stage, forward, turn_around
 from .common import charge
-from .headers import IcmpHeader, IPPROTO_ICMP
+from .headers import IcmpHeader, IpHeader, IPPROTO_ICMP
 from .ip import PA_IP_CATCHALL
 
 
@@ -43,6 +43,17 @@ class IcmpStage(Stage):
             return None
         header = IcmpHeader.unpack(msg.peek(IcmpHeader.SIZE))
         msg.pop(IcmpHeader.SIZE)
+        if header.icmp_type == IcmpHeader.ECHO_REPLY:
+            # Record the reply for whoever is probing (the PMTUD prober
+            # polls this table to learn a probe got through).
+            router.echo_replies_received += 1
+            router.replies_seen[(header.ident, header.seq)] = len(msg)
+            return None
+        if header.icmp_type == IcmpHeader.DEST_UNREACH:
+            return self._receive_unreachable(header, msg)
+        if header.icmp_type == IcmpHeader.TIME_EXCEEDED:
+            router.time_exceeded_received += 1
+            return None
         if header.icmp_type != IcmpHeader.ECHO_REQUEST:
             self.note_drop(msg, f"unhandled ICMP type {header.icmp_type}",
                            "protocol")
@@ -62,6 +73,32 @@ class IcmpStage(Stage):
         charge(msg, reply.meta.get("cost_us", 0.0))
         return None  # the request is fully absorbed
 
+    def _receive_unreachable(self, header: IcmpHeader, msg: Msg):
+        """Destination Unreachable: the Fragmentation Needed variant is
+        PMTUD's feedback signal (RFC 1191) — the error quotes the
+        offending datagram's IP header, whose ``dst`` names the path
+        whose MTU estimate must shrink; the next-hop MTU rides in the
+        header's last 16 bits (our ``seq`` field)."""
+        router: IcmpRouter = self.router  # type: ignore[assignment]
+        if header.code != IcmpHeader.CODE_FRAG_NEEDED:
+            router.unreachable_received += 1
+            return None
+        if len(msg) < IpHeader.SIZE:
+            self.note_drop(msg, "frag-needed with no quoted header",
+                           "malformed")
+            return None
+        try:
+            quoted = IpHeader.unpack(msg.peek(IpHeader.SIZE))
+        except ValueError:
+            self.note_drop(msg, "frag-needed quotes a bad header",
+                           "malformed")
+            return None
+        router.frag_needed_received += 1
+        note = getattr(router.ip_router, "note_frag_needed", None)
+        if note is not None:
+            note(quoted.dst, header.seq)
+        return None
+
 
 @register_router("IcmpRouter")
 class IcmpRouter(Router):
@@ -73,13 +110,23 @@ class IcmpRouter(Router):
         super().__init__(name)
         #: The wide echo path, bound by the kernel after boot.
         self.echo_path = None
+        #: The IP router below (set at init); PMTUD feedback lands there.
+        self.ip_router = None
         self.echo_requests = 0
         self.echo_replies = 0
+        self.echo_replies_received = 0
+        #: ``(ident, seq) -> payload bytes`` of echo replies seen, for
+        #: the PMTUD prober to poll.
+        self.replies_seen = {}
+        self.frag_needed_received = 0
+        self.unreachable_received = 0
+        self.time_exceeded_received = 0
 
     def init(self) -> None:
         super().init()
         down = self.service("down").sole_link()
         ip_router, _service = down.peer_of(self.service("down"))
+        self.ip_router = ip_router
         register = getattr(ip_router, "register_proto", None)
         if register is not None:
             register(IPPROTO_ICMP, self, self.service("down"))
@@ -103,7 +150,10 @@ class IcmpRouter(Router):
         if len(msg) < offset + IcmpHeader.SIZE:
             return DemuxResult.drop(f"{self.name}: short ICMP packet")
         header = IcmpHeader.unpack(msg.peek(IcmpHeader.SIZE, at=offset))
-        if header.icmp_type != IcmpHeader.ECHO_REQUEST:
+        if header.icmp_type not in (IcmpHeader.ECHO_REQUEST,
+                                    IcmpHeader.ECHO_REPLY,
+                                    IcmpHeader.DEST_UNREACH,
+                                    IcmpHeader.TIME_EXCEEDED):
             return DemuxResult.drop(
                 f"{self.name}: unhandled ICMP type {header.icmp_type}")
         return DemuxResult.found(self.echo_path)

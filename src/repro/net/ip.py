@@ -27,7 +27,12 @@ from ..core.specialize import StageFragment, register_specializer
 from ..core.stage import BWD, FWD, Stage, forward
 from .addresses import IpAddr
 from .common import PA_ETH_DST, PA_ETHERTYPE, charge, forward_or_deposit
-from .headers import ETHERTYPE_IP, IP_FLAG_MORE_FRAGMENTS, IpHeader
+from .headers import (
+    ETHERTYPE_IP,
+    IP_FLAG_DONT_FRAGMENT,
+    IP_FLAG_MORE_FRAGMENTS,
+    IpHeader,
+)
 
 #: Attribute marking the wide catch-all path that accepts any datagram
 #: (used for the fragment-reassembly path).
@@ -38,7 +43,8 @@ def _next_ident16(counter=itertools.count(1)) -> int:
 
 
 class _ReassemblyBuffer:
-    """Fragments of one datagram, keyed by (src, ident) at the stage."""
+    """Fragments of one datagram, keyed by the RFC 791 reassembly id
+    ``(src, dst, proto, ident)`` at the stage."""
 
     __slots__ = ("pieces", "total_end", "expiry")
 
@@ -47,10 +53,24 @@ class _ReassemblyBuffer:
         self.total_end: Optional[int] = None  # set when the MF=0 piece lands
         self.expiry = None  # engine Event for the reassembly timeout
 
-    def add(self, offset: int, payload: bytes, more_fragments: bool) -> None:
-        self.pieces[offset] = payload
+    def add(self, offset: int, payload: bytes, more_fragments: bool) -> bool:
+        """Absorb one fragment; False rejects a corrupting piece.
+
+        Duplicates never shrink coverage: a retransmitted shorter piece
+        at a covered offset is ignored in favour of the longer one.  A
+        final fragment (MF=0) fixes the datagram's total length once; a
+        second final piece claiming a *different* end is a conflicting
+        train and is rejected rather than silently moving ``total_end``.
+        """
         if not more_fragments:
-            self.total_end = offset + len(payload)
+            end = offset + len(payload)
+            if self.total_end is not None and self.total_end != end:
+                return False
+            self.total_end = end
+        existing = self.pieces.get(offset)
+        if existing is None or len(payload) > len(existing):
+            self.pieces[offset] = payload
+        return True
 
     def complete(self) -> bool:
         if self.total_end is None:
@@ -87,12 +107,18 @@ class IpStage(Stage):
 
     def __init__(self, router: "IpRouter", enter_service: Optional[Service],
                  exit_service: Optional[Service], proto: int,
-                 remote_ip: Optional[IpAddr], catchall: bool):
+                 remote_ip: Optional[IpAddr], catchall: bool,
+                 next_hop_ip: Optional[IpAddr] = None):
         super().__init__(router, enter_service, exit_service)
         self.proto = proto
         self.remote_ip = remote_ip
+        #: Where frames for ``remote_ip`` go at the link layer: the peer
+        #: itself when on-net, the configured gateway otherwise.
+        self.next_hop_ip = next_hop_ip if next_hop_ip is not None \
+            else remote_ip
         self.catchall = catchall
-        self._buffers: Dict[Tuple[IpAddr, int], _ReassemblyBuffer] = {}
+        self._buffers: Dict[Tuple[IpAddr, IpAddr, int, int],
+                            _ReassemblyBuffer] = {}
         self.fragments_sent = 0
         self.datagrams_reassembled = 0
         self.set_deliver(FWD, self._send)
@@ -100,13 +126,16 @@ class IpStage(Stage):
         self.set_deliver_batch(BWD, self._receive_batch)
 
     def establish(self, attrs: Attrs) -> None:
-        """Resolve the peer's MAC via the ARP resolver service and record
-        it for the ETH stage — the nsClient edge of Figure 6 in action."""
+        """Resolve the next hop's MAC via the ARP resolver service and
+        record it for the ETH stage — the nsClient edge of Figure 6 in
+        action.  For an off-net peer behind a configured gateway the
+        frozen MAC is the gateway's, not the peer's."""
         router: IpRouter = self.router  # type: ignore[assignment]
-        if self.remote_ip is not None and self.exit_service is not None:
+        if self.next_hop_ip is not None and self.exit_service is not None:
             # Only a path that actually continues to a link layer needs the
-            # peer's MAC; a path truncated at IP (off-net peer) does not.
-            attrs[PA_ETH_DST] = router.resolve(self.remote_ip)
+            # next hop's MAC; a path truncated at IP (off-net peer with no
+            # gateway) does not.
+            attrs[PA_ETH_DST] = router.resolve(self.next_hop_ip)
         attrs[PA_ETHERTYPE] = ETHERTYPE_IP
 
     # -- send: header push + fragmentation ---------------------------------------
@@ -121,19 +150,34 @@ class IpStage(Stage):
             self.note_drop(msg, "IP path has no remote participant",
                            "misaddressed")
             return None
-        payload_mtu = router.frame_payload_mtu() - IpHeader.SIZE
+        # The learned path MTU (when PMTUD has shrunk it) bounds every
+        # datagram to *dst*, so steady-state traffic is sized so that no
+        # downstream hop has to fragment it.
+        payload_mtu = router.payload_capacity(dst)
+        df_flag = IP_FLAG_DONT_FRAGMENT if router.pmtud_enabled else 0
         if len(msg) <= payload_mtu:
             header = IpHeader(IpHeader.SIZE + len(msg), _next_ident16(),
-                              proto, router.addr, dst)
+                              proto, router.addr, dst, flags=df_flag)
             msg.push(header.pack())
             return forward(iface, msg, direction, **kwargs)
         return self._send_fragments(iface, msg, direction, payload_mtu,
-                                    dst=dst, proto=proto, **kwargs)
+                                    dst=dst, proto=proto, df_flag=df_flag,
+                                    **kwargs)
 
     def _send_fragments(self, iface, msg: Msg, direction: int,
-                        payload_mtu: int, dst: IpAddr, proto: int, **kwargs):
+                        payload_mtu: int, dst: IpAddr, proto: int,
+                        df_flag: int = 0, **kwargs):
         router: IpRouter = self.router  # type: ignore[assignment]
         chunk = payload_mtu - (payload_mtu % 8)  # offsets are 8-byte units
+        if chunk <= 0:
+            # A sub-8-byte payload budget cannot carry a single fragment
+            # octet group: without this guard ``msg.split(0)`` never
+            # drains the message and the loop below spins forever.
+            self.note_drop(
+                msg, f"payload MTU {payload_mtu} too small to fragment",
+                "mtu_too_small")
+            router.mtu_too_small_drops += 1
+            return None
         ident = _next_ident16()
         offset = 0
         result = None
@@ -144,7 +188,7 @@ class IpStage(Stage):
             header = IpHeader(
                 IpHeader.SIZE + take, ident, proto,
                 router.addr, dst,
-                flags=IP_FLAG_MORE_FRAGMENTS if more else 0,
+                flags=(IP_FLAG_MORE_FRAGMENTS if more else 0) | df_flag,
                 frag_offset=offset // 8)
             piece.push(header.pack())
             charge(piece, params.IP_FRAG_PER_FRAG_US)
@@ -225,13 +269,15 @@ class IpStage(Stage):
     def _receive_fragment(self, iface, header: IpHeader, msg: Msg,
                           direction: int, **kwargs):
         router: IpRouter = self.router  # type: ignore[assignment]
-        key = (header.src, header.ident)
+        # RFC 791 reassembly id: fragment trains from one peer to
+        # different destinations or protocols with colliding 16-bit
+        # idents must land in distinct buffers.
+        key = (header.src, header.dst, header.proto, header.ident)
         buffer = self._buffers.get(key)
         if buffer is None:
             if len(self._buffers) >= self.MAX_REASSEMBLY:
                 oldest = next(iter(self._buffers))
-                self._free_buffer(oldest)
-                router.reassembly_evictions += 1
+                self._evict_buffer(oldest)
             buffer = self._buffers[key] = _ReassemblyBuffer()
             if router.engine is not None:
                 # The real RFC reassembly timeout: an engine-scheduled
@@ -239,12 +285,18 @@ class IpStage(Stage):
                 # LRU eviction above remains only as a memory backstop.
                 buffer.expiry = router.engine.schedule(
                     self.REASSEMBLY_TIMEOUT_US, self._expire_buffer, key)
-        buffer.add(header.frag_offset * 8, msg.to_bytes(),
-                   header.more_fragments)
+        if not buffer.add(header.frag_offset * 8, msg.to_bytes(),
+                          header.more_fragments):
+            self.note_drop(msg, "conflicting final fragment for "
+                                f"datagram {header.ident}", "malformed")
+            router.rx_dropped += 1
+            return None
         if not buffer.complete():
             return None  # absorbed: most fragments produce no output
         self._free_buffer(key)
         self.datagrams_reassembled += 1
+        # The assembly copy costs time proportional to the datagram.
+        charge(msg, buffer.total_end * params.REASSEMBLY_US_PER_BYTE)
         whole = Msg(buffer.assemble(), meta=msg.meta)
         rebuilt = IpHeader(IpHeader.SIZE + len(whole), header.ident,
                            header.proto, header.src, header.dst)
@@ -262,6 +314,21 @@ class IpStage(Stage):
             buffer.expiry.cancel()
             buffer.expiry = None
 
+    def _evict_buffer(self, key) -> None:
+        """LRU memory backstop: free the oldest partial datagram and
+        ledger the loss, so eviction accounting reconciles exactly the
+        way timeout accounting does."""
+        router: IpRouter = self.router  # type: ignore[assignment]
+        self._free_buffer(key)
+        router.reassembly_evictions += 1
+        if self.path is not None:
+            placeholder = Msg(b"", meta={})
+            self.path.note_drop(
+                placeholder,
+                f"reassembly buffer evicted for datagram {key[3]} "
+                f"from {key[0]}",
+                "reassembly_eviction")
+
     def _expire_buffer(self, key) -> None:
         """Engine callback: the reassembly window for *key* elapsed without
         the datagram completing; free the partial state and account the
@@ -276,7 +343,7 @@ class IpStage(Stage):
             placeholder = Msg(b"", meta={})
             self.path.note_drop(
                 placeholder,
-                f"reassembly timeout for datagram {key[1]} from {key[0]}",
+                f"reassembly timeout for datagram {key[3]} from {key[0]}",
                 "reassembly_timeout")
 
     def destroy(self) -> None:
@@ -348,12 +415,24 @@ class IpRouter(Router):
         #: Simulation engine for reassembly-timeout scheduling; ``None``
         #: (the default) means no timers and eviction-only cleanup.
         self.engine = None
+        #: Default gateway for off-net destinations.  ``None`` keeps the
+        #: strict local-knowledge rule (paths to off-net peers truncate
+        #: at IP); a configured gateway re-freezes the routing decision:
+        #: there is exactly one way out, via this router.
+        self.gateway: Optional[IpAddr] = None
+        #: Learned path MTU per destination (total IP packet bytes), fed
+        #: by ICMP Fragmentation Needed messages (RFC 1191).
+        self.pmtu: Dict[IpAddr, int] = {}
+        #: When True, sends carry DF and are sized to the learned PMTU.
+        self.pmtud_enabled = False
         # statistics
         self.rx_dropped = 0
         #: Datagrams that took the flow-validated fast receive (DESIGN.md §13).
         self.rx_validated = 0
         self.reassembly_evictions = 0
         self.reassembly_timeouts = 0
+        self.pmtu_updates = 0
+        self.mtu_too_small_drops = 0
 
     def use_engine(self, engine) -> None:
         """Attach a virtual-time engine so reassembly buffers expire on the
@@ -386,6 +465,51 @@ class IpRouter(Router):
         eth_router, _service = down.peer_of(self.service("down"))
         return eth_router.payload_mtu()
 
+    # -- gateway + path-MTU discovery ------------------------------------------------
+
+    def set_gateway(self, ip) -> None:
+        """Route off-net destinations via *ip* (which must be on-net)."""
+        gateway = IpAddr(ip)
+        if not self.addr.same_network(gateway, self.prefix_len):
+            raise ValueError(f"gateway {gateway} is not on "
+                             f"{self.addr}/{self.prefix_len}")
+        self.gateway = gateway
+
+    def enable_pmtud(self, enabled: bool = True) -> None:
+        """Turn on sender-side path-MTU discovery: outgoing datagrams
+        carry DF and are sized to the learned per-destination PMTU."""
+        self.pmtud_enabled = enabled
+
+    def note_frag_needed(self, dst, mtu: int) -> None:
+        """Absorb an ICMP Fragmentation Needed report for *dst*.
+
+        The learned PMTU only ever shrinks (a grown link is rediscovered
+        by timeout/probing policies above us, never by believing a larger
+        report), and never below the RFC 791 minimum.
+        """
+        dst = IpAddr(dst)
+        mtu = max(int(mtu), params.IP_MIN_MTU)
+        current = self.pmtu.get(dst)
+        if current is None or mtu < current:
+            self.pmtu[dst] = mtu
+            self.pmtu_updates += 1
+
+    def path_mtu(self, dst) -> int:
+        """Largest IP packet (header + payload) sendable toward *dst*:
+        the first-hop link MTU clamped by any learned PMTU."""
+        mtu = self.frame_payload_mtu()
+        learned = self.pmtu.get(IpAddr(dst))
+        if learned is not None:
+            mtu = min(mtu, learned)
+        return mtu
+
+    def payload_capacity(self, dst=None) -> int:
+        """Bytes of transport payload one unfragmented datagram to *dst*
+        can carry (``None``: first-hop capacity, no PMTU clamp)."""
+        if dst is None:
+            return self.frame_payload_mtu() - IpHeader.SIZE
+        return self.path_mtu(dst) - IpHeader.SIZE
+
     # -- path creation ------------------------------------------------------------------
 
     def create_stage(self, enter_service: int, attrs: Attrs
@@ -406,12 +530,20 @@ class IpRouter(Router):
         if len(down.links) != 1:
             stage = IpStage(self, enter, None, proto, remote_ip, catchall)
             return stage, None  # can't pick among ATM/FDDI/...: path ends
+        next_hop_ip = remote_ip
         if remote_ip is not None and not self.addr.same_network(
                 remote_ip, self.prefix_len):
-            stage = IpStage(self, enter, None, proto, remote_ip, catchall)
-            return stage, None  # routed via a gateway: decision not frozen
+            if self.gateway is None:
+                stage = IpStage(self, enter, None, proto, remote_ip,
+                                catchall)
+                return stage, None  # unknown gateway: decision not frozen
+            # A configured default gateway restores local knowledge: the
+            # only way off this net is via the gateway, so the path can
+            # freeze that next hop and continue down to the link layer.
+            next_hop_ip = self.gateway
         peer_router, peer_service = down.links[0].peer_of(down)
-        stage = IpStage(self, enter, down, proto, remote_ip, catchall)
+        stage = IpStage(self, enter, down, proto, remote_ip, catchall,
+                        next_hop_ip=next_hop_ip)
         return stage, NextHop(peer_router, peer_service, attrs)
 
     # -- classification -------------------------------------------------------------------

@@ -16,6 +16,7 @@ from .headers import (
     ETHERTYPE_IP,
     EthHeader,
     IcmpHeader,
+    IP_FLAG_DONT_FRAGMENT,
     IpHeader,
     IPPROTO_ICMP,
     IPPROTO_TCP,
@@ -31,11 +32,14 @@ def _next_ident(counter=itertools.count(1)) -> int:
 
 def build_udp_frame(src_mac: EthAddr, dst_mac: EthAddr,
                     src_ip: IpAddr, dst_ip: IpAddr,
-                    sport: int, dport: int, payload: bytes) -> bytes:
+                    sport: int, dport: int, payload: bytes,
+                    ttl: int = 64, df: bool = False) -> bytes:
     """Build a complete ETH/IP/UDP frame."""
     udp = UdpHeader(sport, dport, UdpHeader.SIZE + len(payload)).pack()
     total = IpHeader.SIZE + len(udp) + len(payload)
-    ip = IpHeader(total, _next_ident(), IPPROTO_UDP, src_ip, dst_ip).pack()
+    ip = IpHeader(total, _next_ident(), IPPROTO_UDP, src_ip, dst_ip,
+                  ttl=ttl,
+                  flags=IP_FLAG_DONT_FRAGMENT if df else 0).pack()
     eth = EthHeader(dst_mac, src_mac, ETHERTYPE_IP).pack()
     return eth + ip + udp + payload
 
@@ -68,12 +72,19 @@ def build_tcp_frame(src_mac: EthAddr, dst_mac: EthAddr,
 def build_icmp_echo(src_mac: EthAddr, dst_mac: EthAddr,
                     src_ip: IpAddr, dst_ip: IpAddr,
                     ident: int, seq: int,
-                    reply: bool = False, payload: bytes = b"") -> bytes:
-    """Build an ICMP echo request (or reply) frame."""
+                    reply: bool = False, payload: bytes = b"",
+                    ttl: int = 64, df: bool = False) -> bytes:
+    """Build an ICMP echo request (or reply) frame.
+
+    ``df=True`` builds the PMTUD probe variant: an oversized DF echo
+    that a small-MTU hop must refuse with Fragmentation Needed.
+    """
     icmp_type = IcmpHeader.ECHO_REPLY if reply else IcmpHeader.ECHO_REQUEST
     icmp = IcmpHeader(icmp_type, ident, seq).pack() + payload
     total = IpHeader.SIZE + len(icmp)
-    ip = IpHeader(total, _next_ident(), IPPROTO_ICMP, src_ip, dst_ip).pack()
+    ip = IpHeader(total, _next_ident(), IPPROTO_ICMP, src_ip, dst_ip,
+                  ttl=ttl,
+                  flags=IP_FLAG_DONT_FRAGMENT if df else 0).pack()
     eth = EthHeader(dst_mac, src_mac, ETHERTYPE_IP).pack()
     return eth + ip + icmp
 

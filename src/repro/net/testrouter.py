@@ -37,6 +37,7 @@ class TestStage(Stage):
         router: TestRouter = self.router  # type: ignore[assignment]
         charge(msg, 1.0)
         router.received.append(msg)
+        router.bytes_received += len(msg)
         if not self.path.output_queue(direction).try_enqueue(msg):
             router.sink_overflows += 1
         return None
@@ -51,6 +52,7 @@ class TestStage(Stage):
         for msg in msgs:
             charge(msg, 1.0)
             received.append(msg)
+            router.bytes_received += len(msg)
             if not outq.try_enqueue(msg):
                 router.sink_overflows += 1
         return []
@@ -83,6 +85,7 @@ def _specialize_test_sink(stage: TestStage, iface, fn, fn_batch,
         enq = ctx.bind(outq.try_enqueue, "enqueue")
         return ["meta['cost_us'] = c",
                 "%s.received.append(m)" % tr,
+                "%s.bytes_received += len(m)" % tr,
                 "if not %s(m):" % enq,
                 "    %s.sink_overflows += 1" % tr]
 
@@ -104,6 +107,7 @@ class TestRouter(Router):
     def __init__(self, name: str):
         super().__init__(name)
         self.received: List[Msg] = []
+        self.bytes_received = 0
         self.sink_overflows = 0
 
     def create_stage(self, enter_service: int, attrs: Attrs

@@ -116,6 +116,24 @@ REMOTE_HOST_SERVICE_US = 30.0
 #: at least 100 packets per second).
 PING_FLOOD_FALLBACK_US = 10_000.0
 
+#: Per-packet forwarding cost at a router hop (TTL decrement, route
+#: lookup, header rewrite) — the data-path budget of a software router.
+FWD_PROC_US = 6.0
+#: Extra cost per fragment a forwarding hop emits when it must split a
+#: too-big datagram for a smaller egress MTU.
+FWD_FRAG_PER_FRAG_US = 4.0
+#: Cost of composing an ICMP error (Fragmentation Needed, Time Exceeded)
+#: at a forwarding hop.
+FWD_ICMP_ERROR_US = 5.0
+
+#: Smallest MTU PMTUD will believe from a Fragmentation Needed message
+#: (RFC 791's minimum datagram size every host must accept).
+IP_MIN_MTU = 68
+
+#: Reassembly also pays a copy per byte when the datagram completes —
+#: the memcpy that builds the contiguous datagram from its pieces.
+REASSEMBLY_US_PER_BYTE = 0.008
+
 # --------------------------------------------------------------------------
 # Robustness: timeouts, retries, watchdog (virtual-time budgets)
 # --------------------------------------------------------------------------

@@ -53,6 +53,21 @@ class SimWorld:
     def now(self) -> float:
         return self.engine.now
 
+    def new_segment(self, bandwidth_mbps: Optional[float] = None,
+                    latency_us: Optional[float] = None, **kwargs):
+        """Create an :class:`~repro.net.segment.EtherSegment` on this
+        world's engine (multi-hop topologies make one per link)."""
+        from ..net.segment import EtherSegment
+        from .. import params
+
+        return EtherSegment(
+            self.engine,
+            bandwidth_mbps=bandwidth_mbps if bandwidth_mbps is not None
+            else params.ETH_BANDWIDTH_MBPS,
+            latency_us=latency_us if latency_us is not None
+            else params.ETH_LINK_LATENCY_US,
+            rng=self.rng, **kwargs)
+
     def spawn(self, body, name: str = "", policy: str = POLICY_RR,
               priority: int = 0, path=None):
         """Spawn a thread on this world's scheduler."""

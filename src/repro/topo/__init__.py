@@ -1,0 +1,26 @@
+"""The discovery control plane: probe the simulated network, build a
+device/link inventory, and declaratively provision end-to-end paths.
+
+``repro.topo`` is the scout-client idiom on top of the forwarding tier:
+a :class:`Topology` owns the sim world's segments, end hosts
+(:class:`HostNode`) and router appliances
+(:class:`~repro.kernel.router.RouterKernel`); :meth:`Topology.discover`
+walks the wires into an :class:`Inventory`; and
+:meth:`Topology.provision` computes the hop chain between two hosts,
+installs the forward and reverse routes plus gateways, optionally runs
+the active path-MTU probe, and hands back a ready-to-send
+:class:`ProvisionedPath`.
+"""
+
+from .controller import ProvisionedPath, Topology
+from .host import HostNode
+from .inventory import DeviceRecord, Inventory, LinkRecord
+
+__all__ = [
+    "Topology",
+    "ProvisionedPath",
+    "HostNode",
+    "Inventory",
+    "DeviceRecord",
+    "LinkRecord",
+]

@@ -1,0 +1,329 @@
+"""The topology controller: declare, discover, provision.
+
+:class:`Topology` is the control plane over one sim world.  Segments,
+hosts and routers are declared by name; :meth:`Topology.discover` probes
+the wires into an :class:`~repro.topo.inventory.Inventory`; and
+:meth:`Topology.provision` turns a (src, dst) intent into a working
+end-to-end path — it computes the hop chain, installs the forward and
+reverse host routes plus default gateways on the end stations, refreshes
+every hop's neighbour tables (routers boot before hosts exist, so ARP
+must be re-learned at provision time), brings up the sender and sink
+transport paths, and optionally runs the active DF-probe loop until the
+sender's path-MTU estimate converges on the chain's minimum link MTU.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from .. import params
+from ..core.path import Path
+from ..net.addresses import IpAddr
+from ..net.headers import IcmpHeader, IpHeader
+from ..net.packets import build_icmp_echo
+from ..net.segment import EtherSegment, HostAgent
+from ..kernel.router import RouterKernel
+from ..sim.world import SimWorld
+from .host import HostNode
+from .inventory import DeviceRecord, Inventory, LinkRecord
+
+#: Ident space for the controller's DF probes, distinct per probe run.
+_probe_idents = itertools.count(0x7000)
+
+
+class ProvisionedPath:
+    """A live end-to-end path handed back by :meth:`Topology.provision`."""
+
+    def __init__(self, src: HostNode, dst: HostNode, chain: List[str],
+                 path: Path, sink_path: Path, sport: int, dport: int,
+                 pmtu: Optional[int]):
+        self.src = src
+        self.dst = dst
+        self.chain = chain        # node names, src..dst
+        self.path = path          # sender-side TEST path
+        self.sink_path = sink_path  # receiver-side TEST path
+        self.sport = sport
+        self.dport = dport
+        self.pmtu = pmtu          # converged estimate, None if not probed
+
+    @property
+    def dst_ip(self) -> IpAddr:
+        return self.dst.ip.addr
+
+    def send(self, payload: bytes) -> None:
+        self.src.send(self.path, payload)
+
+    def send_stream(self, data: bytes, mss: Optional[int] = None) -> int:
+        return self.src.send_stream(self.path, data, mss=mss)
+
+    def mss(self) -> int:
+        return self.src.mss(self.dst_ip)
+
+    def received_payloads(self) -> List[bytes]:
+        return self.dst.received_payloads()
+
+    def received_bytes(self) -> bytes:
+        return b"".join(self.received_payloads())
+
+    def __repr__(self) -> str:
+        return (f"<ProvisionedPath {'->'.join(self.chain)} "
+                f"pmtu={self.pmtu}>")
+
+
+class Topology:
+    """Declarative builder + discovery control plane for one sim world."""
+
+    def __init__(self, world: SimWorld):
+        self.world = world
+        self.segments: Dict[str, EtherSegment] = {}
+        self.segment_mtus: Dict[str, int] = {}
+        self.hosts: Dict[str, HostNode] = {}
+        self.routers: Dict[str, RouterKernel] = {}
+        #: node name -> {segment name -> node's IP on that segment}
+        self._attachments: Dict[str, Dict[str, IpAddr]] = {}
+
+    # -- declaration -------------------------------------------------------
+
+    def segment(self, name: str, mtu: int = params.ETH_MTU,
+                bandwidth_mbps: Optional[float] = None,
+                latency_us: Optional[float] = None,
+                **seg_kwargs) -> EtherSegment:
+        if name in self.segments:
+            raise ValueError(f"duplicate segment {name!r}")
+        seg = self.world.new_segment(bandwidth_mbps=bandwidth_mbps,
+                                     latency_us=latency_us, **seg_kwargs)
+        self.segments[name] = seg
+        self.segment_mtus[name] = mtu
+        return seg
+
+    def host(self, name: str, segment_name: str, ip,
+             **host_kwargs) -> HostNode:
+        if name in self.hosts or name in self.routers:
+            raise ValueError(f"duplicate node {name!r}")
+        seg = self.segments[segment_name]
+        host_kwargs.setdefault("mtu", self.segment_mtus[segment_name])
+        node = HostNode(self.world, seg, name, ip, **host_kwargs)
+        self.hosts[name] = node
+        self._attachments[name] = {segment_name: IpAddr(ip)}
+        return node
+
+    def router(self, name: str,
+               ports: Dict[str, Tuple[str, str]],
+               inq_len: int = 64) -> RouterKernel:
+        """Declare a router: *ports* maps port name -> (segment, ip)."""
+        if name in self.hosts or name in self.routers:
+            raise ValueError(f"duplicate node {name!r}")
+        kernel = RouterKernel(self.world, name=name, inq_len=inq_len)
+        attach: Dict[str, IpAddr] = {}
+        for port_name, (segment_name, ip) in ports.items():
+            kernel.add_port(port_name, self.segments[segment_name], ip,
+                            mtu=self.segment_mtus[segment_name])
+            attach[segment_name] = IpAddr(ip)
+        kernel.boot()
+        self.routers[name] = kernel
+        self._attachments[name] = attach
+        return kernel
+
+    # -- discovery ---------------------------------------------------------
+
+    def discover(self) -> Inventory:
+        """Probe every wire into a device/link inventory."""
+        devices: List[DeviceRecord] = []
+        links: List[LinkRecord] = []
+        for seg_name, seg in self.segments.items():
+            attached: List[str] = []
+            for endpoint in seg.endpoints():
+                record = self._identify(endpoint, seg_name)
+                devices.append(record)
+                if record.node not in attached:
+                    attached.append(record.node)
+            links.append(LinkRecord(seg_name, self.segment_mtus[seg_name],
+                                    seg.bandwidth_mbps, seg.latency_us,
+                                    attached))
+        return Inventory(devices, links)
+
+    def _identify(self, endpoint, seg_name: str) -> DeviceRecord:
+        mac = str(endpoint.mac)
+        ip = getattr(endpoint, "ip", None)
+        for name, host in self.hosts.items():
+            if endpoint is host.device:
+                return DeviceRecord(name, "host", mac, str(ip), seg_name,
+                                    host.eth.mtu)
+        for name, kernel in self.routers.items():
+            for port in kernel.ports.values():
+                if endpoint is port.device:
+                    return DeviceRecord(name, "router", mac, str(ip),
+                                        seg_name, port.mtu)
+        kind = "agent" if isinstance(endpoint, HostAgent) else "device"
+        return DeviceRecord(mac, kind, mac,
+                            str(ip) if ip is not None else None,
+                            seg_name, None)
+
+    # -- provisioning ------------------------------------------------------
+
+    def hop_chain(self, src_name: str, dst_name: str) -> List[str]:
+        """BFS the node<->segment graph for the shortest node chain."""
+        if src_name not in self._attachments:
+            raise KeyError(src_name)
+        if dst_name not in self._attachments:
+            raise KeyError(dst_name)
+        # segment -> nodes attached to it
+        on_segment: Dict[str, List[str]] = {}
+        for node, segs in self._attachments.items():
+            for seg_name in segs:
+                on_segment.setdefault(seg_name, []).append(node)
+        frontier = [src_name]
+        parent: Dict[str, Optional[str]] = {src_name: None}
+        while frontier:
+            nxt: List[str] = []
+            for node in frontier:
+                for seg_name in self._attachments[node]:
+                    for neighbor in on_segment.get(seg_name, ()):
+                        if neighbor not in parent:
+                            parent[neighbor] = node
+                            nxt.append(neighbor)
+            if dst_name in parent:
+                break
+            frontier = nxt
+        if dst_name not in parent:
+            raise ValueError(f"no wire chain {src_name} -> {dst_name}")
+        chain = [dst_name]
+        while parent[chain[-1]] is not None:
+            chain.append(parent[chain[-1]])
+        chain.reverse()
+        return chain
+
+    def _shared_segment(self, a: str, b: str) -> str:
+        for seg_name in self._attachments[a]:
+            if seg_name in self._attachments[b]:
+                return seg_name
+        raise ValueError(f"{a} and {b} share no segment")
+
+    def _install_route(self, router_name: str, target_ip: IpAddr,
+                       next_node: str) -> None:
+        """Install a /32 on *router_name* toward *target_ip* via the port
+        facing *next_node* (gateway when the next node is a router)."""
+        kernel = self.routers[router_name]
+        seg_name = self._shared_segment(router_name, next_node)
+        port_name = None
+        for pname, port in kernel.ports.items():
+            if port.segment is self.segments[seg_name]:
+                port_name = pname
+                break
+        if port_name is None:
+            raise ValueError(f"{router_name} has no port on {seg_name}")
+        gateway = None
+        if next_node in self.routers:
+            gateway = self._attachments[next_node][seg_name]
+        kernel.add_route(target_ip, 32, port_name, gateway=gateway)
+
+    def provision(self, src_name: str, dst_name: str,
+                  remote_port: int = 7000,
+                  local_port: Optional[int] = None,
+                  inq_len: int = 32,
+                  pmtud: bool = True,
+                  probe_rounds: int = 12,
+                  probe_wait_us: float = 50_000.0) -> ProvisionedPath:
+        """Provision a working end-to-end transport path src -> dst."""
+        src = self.hosts[src_name]
+        dst = self.hosts[dst_name]
+        chain = self.hop_chain(src_name, dst_name)
+        dst_ip = dst.ip.addr
+        src_ip = src.ip.addr
+
+        # Routes: every router on the chain learns /32s toward both ends
+        # (the reverse route also carries ICMP errors and echo replies).
+        for i, node in enumerate(chain):
+            if node in self.routers:
+                self._install_route(node, dst_ip, chain[i + 1])
+                self._install_route(node, src_ip, chain[i - 1])
+
+        # Default gateways on the end stations, when routers sit between.
+        if len(chain) > 2:
+            first_seg = self._shared_segment(src_name, chain[1])
+            last_seg = self._shared_segment(chain[-2], dst_name)
+            src.set_gateway(self._attachments[chain[1]][first_seg])
+            dst.set_gateway(self._attachments[chain[-2]][last_seg])
+
+        # Neighbour tables: hosts and router ports may have attached in
+        # any order, so re-learn everything on the chain now.
+        src.refresh_arp()
+        dst.refresh_arp()
+        for node in chain:
+            if node in self.routers:
+                kernel = self.routers[node]
+                for port in kernel.ports.values():
+                    kernel.fwd.learn_arp(port.name, port.segment)
+
+        # Transport: sink first so arriving datagrams always classify.
+        sport = src.udp.allocate_port(local_port)
+        sink_path = dst.open(str(src_ip), sport, local_port=remote_port,
+                             inq_len=inq_len)
+        path = src.open(str(dst_ip), remote_port, local_port=sport,
+                        inq_len=inq_len)
+
+        pmtu = None
+        if pmtud:
+            src.enable_pmtud()
+            pmtu = self.probe_path_mtu(src_name, dst_name,
+                                       rounds=probe_rounds,
+                                       wait_us=probe_wait_us)
+        return ProvisionedPath(src, dst, chain, path, sink_path,
+                               sport, remote_port, pmtu)
+
+    # -- active path-MTU discovery ----------------------------------------
+
+    def probe_path_mtu(self, src_name: str, dst_name: str,
+                       rounds: int = 12,
+                       wait_us: float = 50_000.0) -> Optional[int]:
+        """Run the DF-probe loop from *src* toward *dst*.
+
+        Each round sends one Don't-Fragment echo sized to the current
+        estimate.  A Fragmentation Needed error from a constricting hop
+        shrinks the estimate (via the host's ICMP router); an echo reply
+        means the probe fit end-to-end and the estimate has converged.
+        Returns the converged path MTU (IP packet size), or ``None`` if
+        no probe was ever answered within the round budget.
+        """
+        src = self.hosts[src_name]
+        dst = self.hosts[dst_name]
+        chain = self.hop_chain(src_name, dst_name)
+        dst_ip = dst.ip.addr
+        next_hop_mac = self._next_hop_mac(chain)
+        ident = next(_probe_idents) & 0xFFFF
+        for seq in range(rounds):
+            estimate = src.ip.path_mtu(dst_ip)
+            payload_len = estimate - IpHeader.SIZE - IcmpHeader.SIZE
+            if payload_len < 0:
+                return None
+            frame = build_icmp_echo(
+                src.device.mac, next_hop_mac, src.ip.addr, dst_ip,
+                ident, seq, payload=b"\x00" * payload_len, df=True)
+            # Inject at the adapter: the probe is control-plane traffic,
+            # not a path's — the reply still rides the echo path.
+            src.device.send(frame)
+            self.world.run_for(wait_us)
+            if (ident, seq) in src.icmp.replies_seen:
+                return estimate
+            if src.ip.path_mtu(dst_ip) < estimate:
+                continue  # shrunk by Fragmentation Needed: retry smaller
+            # No reply and no shrink: probe or reply lost; retry as-is.
+        return None
+
+    def _next_hop_mac(self, chain: List[str]):
+        """MAC of the first hop on *chain* as seen from the source."""
+        src_name, next_node = chain[0], chain[1]
+        seg_name = self._shared_segment(src_name, next_node)
+        if next_node in self.routers:
+            kernel = self.routers[next_node]
+            for port in kernel.ports.values():
+                if port.segment is self.segments[seg_name]:
+                    return port.device.mac
+        elif next_node in self.hosts:
+            return self.hosts[next_node].device.mac
+        raise ValueError(f"cannot resolve first hop {next_node}")
+
+    def __repr__(self) -> str:
+        return (f"<Topology segments={len(self.segments)} "
+                f"hosts={len(self.hosts)} routers={len(self.routers)}>")

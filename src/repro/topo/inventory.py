@@ -1,0 +1,110 @@
+"""The discovered device/link inventory.
+
+:meth:`Topology.discover` walks every registered segment's endpoints and
+renders what it finds into plain records — the control plane's map of
+the data plane, from which provisioning computes hop chains.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class DeviceRecord:
+    """One attachment point: a NIC (host or router port) or host agent."""
+
+    __slots__ = ("node", "kind", "mac", "ip", "segment", "mtu")
+
+    def __init__(self, node: str, kind: str, mac: str, ip: Optional[str],
+                 segment: str, mtu: Optional[int]):
+        self.node = node      # owning node name ("sender", "r1", ...)
+        self.kind = kind      # "host" | "router" | "agent" | "device"
+        self.mac = mac
+        self.ip = ip
+        self.segment = segment
+        self.mtu = mtu
+
+    def __repr__(self) -> str:
+        return (f"DeviceRecord({self.node} {self.kind} {self.ip} "
+                f"on {self.segment} mtu={self.mtu})")
+
+
+class LinkRecord:
+    """One wire: a segment plus its physical properties."""
+
+    __slots__ = ("name", "mtu", "bandwidth_mbps", "latency_us",
+                 "attached")
+
+    def __init__(self, name: str, mtu: int, bandwidth_mbps: float,
+                 latency_us: float, attached: List[str]):
+        self.name = name
+        self.mtu = mtu
+        self.bandwidth_mbps = bandwidth_mbps
+        self.latency_us = latency_us
+        self.attached = attached  # node names on this wire
+
+    def __repr__(self) -> str:
+        return (f"LinkRecord({self.name} mtu={self.mtu} "
+                f"{self.bandwidth_mbps}Mbps nodes={self.attached})")
+
+
+class Inventory:
+    """The control plane's picture of the network."""
+
+    def __init__(self, devices: List[DeviceRecord],
+                 links: List[LinkRecord]):
+        self.devices = devices
+        self.links = links
+
+    def link(self, name: str) -> LinkRecord:
+        for link in self.links:
+            if link.name == name:
+                return link
+        raise KeyError(name)
+
+    def nodes_on(self, segment: str) -> List[str]:
+        return list(self.link(segment).attached)
+
+    def segments_of(self, node: str) -> List[str]:
+        return [d.segment for d in self.devices if d.node == node]
+
+    def adjacency(self) -> Dict[str, List[str]]:
+        """node -> neighbouring nodes (sharing at least one wire)."""
+        result: Dict[str, List[str]] = {}
+        for link in self.links:
+            for node in link.attached:
+                for other in link.attached:
+                    if other != node and \
+                            other not in result.setdefault(node, []):
+                        result[node].append(other)
+        return result
+
+    def min_mtu(self, nodes: List[str]) -> int:
+        """Smallest link MTU along a node chain (the PMTUD ground truth
+        the differential tests compare the learned estimate against)."""
+        mtus = []
+        for a, b in zip(nodes, nodes[1:]):
+            for link in self.links:
+                if a in link.attached and b in link.attached:
+                    mtus.append(link.mtu)
+                    break
+        if not mtus:
+            raise ValueError(f"no wire chain through {nodes}")
+        return min(mtus)
+
+    def render(self) -> str:
+        lines = ["links:"]
+        for link in self.links:
+            lines.append(f"  {link.name}: mtu={link.mtu} "
+                         f"bw={link.bandwidth_mbps}Mbps "
+                         f"lat={link.latency_us}us "
+                         f"nodes={','.join(link.attached)}")
+        lines.append("devices:")
+        for dev in self.devices:
+            lines.append(f"  {dev.node} ({dev.kind}) ip={dev.ip} "
+                         f"mac={dev.mac} on {dev.segment}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<Inventory devices={len(self.devices)} "
+                f"links={len(self.links)}>")

@@ -1,0 +1,170 @@
+"""Regression pins for the fragmentation correctness sweep.
+
+Three historical defects, each pinned by a test that fails on the
+pre-sweep code:
+
+* reassembly was keyed by ``(src, ident)`` instead of the RFC 791
+  ``(src, dst, proto, ident)``, so concurrent trains from one peer with
+  colliding idents corrupted each other;
+* a link MTU too small to carry one 8-byte fragment group sent
+  ``_send_fragments`` into ``msg.split(0)`` forever;
+* a duplicate fragment blindly overwrote its buffered twin, letting a
+  shorter retransmission punch a hole in assembled coverage, and a
+  second MF=0 piece could silently move the datagram's end.
+"""
+
+from repro.core import Attrs, BWD, FWD, Msg, path_create
+from repro.net import PA_IP_CATCHALL, build_udp_frame, parse_frame
+from repro.net.headers import IP_FLAG_MORE_FRAGMENTS, IpHeader
+from .conftest import Stack
+
+
+def frag_frame(stack, ident, proto, offset, body, more):
+    """A hand-built inbound IP fragment addressed to the stack."""
+    header = IpHeader(IpHeader.SIZE + len(body), ident, proto,
+                      stack.remote.ip, stack.ip.addr,
+                      flags=IP_FLAG_MORE_FRAGMENTS if more else 0,
+                      frag_offset=offset // 8)
+    return (stack.device.mac.to_bytes() + stack.remote.mac.to_bytes()
+            + b"\x08\x00" + header.pack() + body)
+
+
+def make_catchall(stack):
+    handed = []
+    path = path_create(stack.ip, Attrs({PA_IP_CATCHALL: True}))
+    stack.ip.frag_path = path
+    stack.ip.reclassify_hook = lambda msg, hdr: handed.append(
+        (hdr.proto, hdr.ident, msg.to_bytes()))
+    return path, handed
+
+
+def split_train(payload, pieces=2):
+    """Cut *payload* into MF-flagged (offset, body, more) fragments."""
+    chunk = len(payload) // pieces
+    chunk -= chunk % 8
+    out = []
+    offset = 0
+    while offset < len(payload):
+        body = payload[offset:offset + chunk] if offset + chunk < len(payload) \
+            else payload[offset:]
+        more = offset + len(body) < len(payload)
+        out.append((offset, body, more))
+        offset += len(body)
+    return out
+
+
+class TestReassemblyKey:
+    """RFC 791: the reassembly id is (src, dst, proto, ident)."""
+
+    def test_same_ident_different_proto_do_not_corrupt(self, stack):
+        path, handed = make_catchall(stack)
+        payload_a = bytes(i % 251 for i in range(1024))
+        payload_b = bytes((i * 7 + 3) % 251 for i in range(1024))
+        train_a = split_train(payload_a)
+        train_b = split_train(payload_b)
+        # Interleave two trains from the same peer with the SAME 16-bit
+        # ident but different protocols: A1 B1 A2 B2.
+        for (oa, ba, ma), (ob, bb, mb) in zip(train_a, train_b):
+            path.deliver(Msg(frag_frame(stack, 500, 17, oa, ba, ma)), BWD)
+            path.deliver(Msg(frag_frame(stack, 500, 253, ob, bb, mb)), BWD)
+        assert sorted(handed) == sorted([
+            (17, 500, payload_a), (253, 500, payload_b)])
+        assert stack.ip.rx_dropped == 0
+
+    def test_buffers_keyed_distinctly(self, stack):
+        path, _handed = make_catchall(stack)
+        stage = path.stage_of("IP")
+        # Two incomplete trains, colliding ident, different proto: they
+        # must occupy two distinct buffers, not share (and corrupt) one.
+        path.deliver(Msg(frag_frame(stack, 77, 17, 0, b"a" * 16, True)),
+                     BWD)
+        path.deliver(Msg(frag_frame(stack, 77, 253, 0, b"b" * 16, True)),
+                     BWD)
+        assert len(stage._buffers) == 2
+
+
+class TestTinyMtu:
+    """A sub-fragment MTU must drop with a ledger entry, not spin."""
+
+    def test_unfragmentable_datagram_is_dropped_not_looped(self, stack):
+        path = stack.make_test_path()
+        # 24-byte link MTU leaves 4 bytes of IP payload — less than one
+        # 8-byte fragment group, so nothing can be fragmented onto it.
+        stack.eth.mtu = 24
+        path.deliver(Msg(b"x" * 64), FWD)
+        stack.run()
+        assert stack.ip.mtu_too_small_drops == 1
+        assert path.stats.drop_reasons.get("mtu_too_small") == 1
+        assert stack.remote.frames == []
+
+    def test_exactly_one_fragment_group_still_goes_out(self, stack):
+        path = stack.make_test_path()
+        # 36-byte MTU -> 16 payload bytes -> chunk 16: legal, tiny frames.
+        stack.eth.mtu = 36
+        path.deliver(Msg(b"y" * 24), FWD)
+        stack.run()
+        assert stack.ip.mtu_too_small_drops == 0
+        assert len(stack.remote.frames) == 2
+        for frame in stack.remote.frames:
+            assert len(frame) <= 14 + 36
+
+
+class TestDuplicateFragments:
+    """Duplicates never shrink coverage; a conflicting end is rejected."""
+
+    def test_shorter_duplicate_does_not_punch_a_hole(self, stack):
+        path, handed = make_catchall(stack)
+        payload = bytes(i % 256 for i in range(1024))
+        (o1, b1, m1), (o2, b2, m2) = split_train(payload)
+        path.deliver(Msg(frag_frame(stack, 9, 17, o1, b1, m1)), BWD)
+        # A shorter retransmission of the first piece (stale content):
+        # keeping it would leave a gap where the longer original reached.
+        path.deliver(Msg(frag_frame(stack, 9, 17, o1, b"\xee" * 64, True)),
+                     BWD)
+        path.deliver(Msg(frag_frame(stack, 9, 17, o2, b2, m2)), BWD)
+        assert handed == [(17, 9, payload)]
+
+    def test_conflicting_final_fragment_rejected(self, stack):
+        path, handed = make_catchall(stack)
+        payload = bytes((i * 3) % 256 for i in range(612))
+        # Genuine final piece: bytes 512..612, MF=0 -> end fixed at 612.
+        path.deliver(Msg(frag_frame(stack, 11, 17, 512, payload[512:],
+                                    False)), BWD)
+        # Forged/corrupt second final claiming a different end (562).
+        path.deliver(Msg(frag_frame(stack, 11, 17, 512, payload[512:562],
+                                    False)), BWD)
+        assert stack.ip.rx_dropped == 1
+        assert path.stats.drop_reasons.get("malformed") == 1
+        # The train still completes at the original end, uncorrupted.
+        path.deliver(Msg(frag_frame(stack, 11, 17, 0, payload[:512],
+                                    True)), BWD)
+        assert handed == [(17, 11, payload)]
+
+    def test_identical_duplicate_is_harmless(self, stack):
+        path, handed = make_catchall(stack)
+        payload = bytes(i % 256 for i in range(512))
+        (o1, b1, m1), (o2, b2, m2) = split_train(payload)
+        for _ in range(2):
+            path.deliver(Msg(frag_frame(stack, 4, 17, o1, b1, m1)), BWD)
+        path.deliver(Msg(frag_frame(stack, 4, 17, o2, b2, m2)), BWD)
+        assert handed == [(17, 4, payload)]
+        assert stack.ip.rx_dropped == 0
+
+
+class TestDontFragmentBit:
+    """The DF bit survives the header round trip (PMTUD depends on it)."""
+
+    def test_df_flag_round_trips(self, stack):
+        frame = build_udp_frame(stack.remote.mac, stack.device.mac,
+                                stack.remote.ip, stack.ip.addr,
+                                7000, 6100, b"probe", df=True)
+        parsed = parse_frame(frame)
+        assert parsed.ip.dont_fragment
+        assert not parsed.ip.more_fragments
+
+    def test_pmtud_sender_stamps_df(self, stack):
+        stack.ip.enable_pmtud()
+        path = stack.make_test_path()
+        path.deliver(Msg(b"hello"), FWD)
+        stack.run()
+        assert parse_frame(stack.remote.frames[0]).ip.dont_fragment

@@ -38,13 +38,19 @@ class TestClassification:
         msg = Msg(echo_request(stack))
         assert stack.classify(msg) is path
 
-    def test_echo_reply_is_dropped(self, icmp_stack):
-        stack, _path = icmp_stack
+    def test_echo_reply_classifies_and_is_recorded(self, icmp_stack):
+        """Replies ride the echo path too (the PMTUD prober polls the
+        router's reply table to learn that a DF probe got through)."""
+        stack, path = icmp_stack
         frame = build_icmp_echo(stack.remote.mac, stack.device.mac,
                                 stack.remote.ip, stack.ip.addr,
-                                1, 1, reply=True)
+                                5, 2, reply=True, payload=b"x" * 11)
         msg = Msg(frame)
-        assert stack.classify(msg) is None
+        classified = stack.classify(msg)
+        assert classified is path
+        classified.deliver(msg, BWD)
+        assert stack.icmp.echo_replies_received == 1
+        assert stack.icmp.replies_seen[(5, 2)] == 11
 
     def test_no_path_bound_drops(self):
         stack = Stack(with_icmp=True)
@@ -87,11 +93,22 @@ class TestEchoReply:
 
     def test_non_echo_type_absorbed(self, icmp_stack):
         stack, path = icmp_stack
-        # type 3 = destination unreachable; our ICMP ignores it
+        # type 13 = timestamp request; our ICMP ignores it
+        frame = bytearray(echo_request(stack))
+        frame[34] = 13
+        msg = Msg(bytes(frame))
+        path.deliver(msg, BWD)
+        stack.run()
+        assert stack.remote.frames == []
+        assert "unhandled ICMP type" in msg.meta["drop_reason"]
+
+    def test_plain_unreachable_absorbed_and_counted(self, icmp_stack):
+        stack, path = icmp_stack
+        # type 3 code 0 = net unreachable: counted, no reply generated
         frame = bytearray(echo_request(stack))
         frame[34] = 3
         msg = Msg(bytes(frame))
         path.deliver(msg, BWD)
         stack.run()
         assert stack.remote.frames == []
-        assert "unhandled ICMP type" in msg.meta["drop_reason"]
+        assert stack.icmp.unreachable_received == 1

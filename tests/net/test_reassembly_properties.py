@@ -1,0 +1,138 @@
+"""Property suite for IP reassembly under adversarial arrival orders.
+
+Two invariants the fragmentation sweep must hold:
+
+* **Byte identity** — any admissible interleaving of fragment trains
+  (reordering, duplication, concurrent datagrams with colliding idents)
+  reassembles every datagram byte-identically, exactly once.
+* **Accounting reconciliation** — every incomplete datagram is accounted
+  exactly once, as either an LRU eviction or an RFC timeout, and the
+  router counters, the path drop ledger and the metrics registry agree
+  on the split.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import params
+from repro.core import Attrs, BWD, Msg, PA_TRACE, path_create
+from repro.net import PA_IP_CATCHALL
+from repro.net.headers import IP_FLAG_MORE_FRAGMENTS, IpHeader
+from repro.net.ip import IpStage
+from repro.observe import Observatory
+from .conftest import Stack
+
+
+def frag_frame(stack, ident, proto, offset, body, more):
+    header = IpHeader(IpHeader.SIZE + len(body), ident, proto,
+                      stack.remote.ip, stack.ip.addr,
+                      flags=IP_FLAG_MORE_FRAGMENTS if more else 0,
+                      frag_offset=offset // 8)
+    return (stack.device.mac.to_bytes() + stack.remote.mac.to_bytes()
+            + b"\x08\x00" + header.pack() + body)
+
+
+def split_train(payload, chunk):
+    chunk -= chunk % 8
+    out, offset = [], 0
+    while offset < len(payload):
+        body = payload[offset:offset + chunk]
+        more = offset + len(body) < len(payload)
+        out.append((offset, body, more))
+        offset += len(body)
+    return out
+
+
+# Concurrent datagrams: ident deliberately drawn from a tiny pool so
+# collisions are common; (proto, ident) pairs are deduplicated below so
+# each datagram has a distinct RFC 791 reassembly id.
+datagram_strategy = st.fixed_dictionaries({
+    "proto": st.sampled_from([17, 6, 253]),
+    "ident": st.integers(min_value=1, max_value=3),
+    "size": st.integers(min_value=9, max_value=2000),
+    "chunk": st.integers(min_value=8, max_value=512),
+    "seed": st.integers(min_value=0, max_value=255),
+})
+
+
+@settings(max_examples=30, deadline=None)
+@given(specs=st.lists(datagram_strategy, min_size=1, max_size=4,
+                      unique_by=lambda s: (s["proto"], s["ident"])),
+       order_seed=st.randoms(use_true_random=False),
+       duplicate_every=st.integers(min_value=0, max_value=3))
+def test_interleavings_reassemble_byte_identically(specs, order_seed,
+                                                   duplicate_every):
+    """Shuffled, duplicated, concurrent fragment trains -> exact bytes."""
+    stack = Stack()
+    handed = []
+    path = path_create(stack.ip, Attrs({PA_IP_CATCHALL: True}))
+    stack.ip.frag_path = path
+    stack.ip.reclassify_hook = lambda msg, hdr: handed.append(
+        ((hdr.proto, hdr.ident), msg.to_bytes()))
+
+    expected = {}
+    deliveries = []
+    for spec in specs:
+        payload = bytes((i * spec["seed"] + i) % 256
+                        for i in range(spec["size"]))
+        expected[(spec["proto"], spec["ident"])] = payload
+        # Clamp the chunk so every train has at least two fragments (a
+        # single MF=0 piece at offset 0 is a whole datagram, not a train).
+        chunk = max(8, min(spec["chunk"] - spec["chunk"] % 8,
+                           ((spec["size"] - 1) // 8) * 8))
+        for offset, body, more in split_train(payload, chunk):
+            deliveries.append(frag_frame(stack, spec["ident"],
+                                         spec["proto"], offset, body,
+                                         more))
+    if duplicate_every:
+        deliveries += deliveries[::duplicate_every + 1]
+    order_seed.shuffle(deliveries)
+
+    for frame in deliveries:
+        path.deliver(Msg(frame), BWD)
+
+    # Every datagram arrives exactly once, byte-identical; duplicates of
+    # already-completed trains may start fresh buffers but never deliver.
+    assert dict(handed) == expected
+    once = [key for key, _ in handed]
+    assert sorted(once) == sorted(expected)
+
+
+@settings(max_examples=20, deadline=None)
+@given(incomplete=st.integers(min_value=1, max_value=48))
+def test_timeout_and_eviction_accounting_reconciles(incomplete):
+    """Incomplete datagrams split exactly into evictions + timeouts, and
+    the router counters, path ledger and metrics registry agree."""
+    stack = Stack()
+    observatory = Observatory(stack.engine)
+    path = path_create(stack.ip, Attrs({PA_IP_CATCHALL: True,
+                                        PA_TRACE: observatory}))
+    stack.ip.frag_path = path
+    stage = path.stage_of("IP")
+
+    for ident in range(incomplete):
+        path.deliver(Msg(frag_frame(stack, ident + 1, 17, 0,
+                                    b"\xab" * 16, True)), BWD)
+
+    expected_evictions = max(0, incomplete - IpStage.MAX_REASSEMBLY)
+    assert stack.ip.reassembly_evictions == expected_evictions
+    assert len(stage._buffers) == min(incomplete, IpStage.MAX_REASSEMBLY)
+
+    stack.engine.run_until(stack.engine.now
+                           + params.IP_REASSEMBLY_TIMEOUT_US + 1_000.0)
+    expected_timeouts = min(incomplete, IpStage.MAX_REASSEMBLY)
+    assert stack.ip.reassembly_timeouts == expected_timeouts
+    assert stage._buffers == {}
+
+    # Three-way reconciliation: router counters == path ledger == metrics.
+    ledger = path.stats.drop_reasons
+    assert ledger.get("reassembly_eviction", 0) == expected_evictions
+    assert ledger.get("reassembly_timeout", 0) == expected_timeouts
+    alias = observatory.recorder.alias_for(path)
+    assert observatory.metrics.total(
+        "path_drops_total", path=alias,
+        category="reassembly_eviction") == expected_evictions
+    assert observatory.metrics.total(
+        "path_drops_total", path=alias,
+        category="reassembly_timeout") == expected_timeouts
+    # Nothing unaccounted: every incomplete datagram died exactly once.
+    assert expected_evictions + expected_timeouts == incomplete
