@@ -25,6 +25,8 @@ ADVERSARY_RESULTS = RESULTS_DIR / "BENCH_adversary.json"
 
 MULTIHOP_RESULTS = RESULTS_DIR / "BENCH_multihop.json"
 
+SHARD_RESULTS = RESULTS_DIR / "BENCH_shard.json"
+
 
 def _merge_section(target: pathlib.Path, section: str, payload: dict,
                    tag: str) -> None:
@@ -112,5 +114,18 @@ def record_multihop():
 
     def record(section: str, payload: dict) -> None:
         _merge_section(MULTIHOP_RESULTS, section, payload, "BENCH_multihop")
+
+    return record
+
+
+@pytest.fixture
+def record_shard():
+    """Merge one named section into the machine-readable shard-fabric
+    results file (``benchmarks/results/BENCH_shard.json``) — the
+    scaling sweep and the reconciliation gate accumulate into a single
+    artifact for CI to upload."""
+
+    def record(section: str, payload: dict) -> None:
+        _merge_section(SHARD_RESULTS, section, payload, "BENCH_shard")
 
     return record

@@ -54,6 +54,8 @@ from .core import (
     ClassifierStats,
     ClassifyResult,
     FlowCache,
+    flow_key,
+    flow_key_frame,
     Msg,
     MsgBatch,
     Path,
@@ -90,6 +92,7 @@ from .http import HttpRouter
 from .kernel import LinuxKernel, RouterKernel, ScoutKernel
 from .mpeg import CANYON, FLOWER, NEPTUNE, PAPER_CLIPS, synthesize_clip
 from .multipath import PathGroup, PathPool
+from .shard import FabricBooks, ShardBooks, ShardedKernel
 from .net import (
     IPPROTO_TCP,
     IPPROTO_UDP,
@@ -237,7 +240,21 @@ class Scout:
     def __init__(self, seed: int = 0,
                  bandwidth_mbps: float = params.ETH_BANDWIDTH_MBPS,
                  latency_us: float = params.ETH_LINK_LATENCY_US,
+                 shards: Optional[int] = None,
                  **kernel_kwargs: Any):
+        if shards is not None and shards > 1:
+            # Sharded machine: N kernels behind one flow-hash RX
+            # boundary (DESIGN.md §17).  Keyword arguments flow to
+            # :class:`~repro.shard.ShardedKernel` (mode=, ports=,
+            # batch=, ...); drive it with :meth:`offer` and close with
+            # :meth:`merged_books`.
+            self.fabric: Optional[Any] = ShardedKernel(
+                shards=shards, seed=seed, **kernel_kwargs)
+            self.world = None
+            self.segment = None
+            self.kernel = None
+            return
+        self.fabric = None
         self.world = SimWorld(seed=seed)
         self.segment = EtherSegment(self.world.engine,
                                     bandwidth_mbps=bandwidth_mbps,
@@ -248,22 +265,50 @@ class Scout:
     @property
     def now(self) -> float:
         """Current virtual time in microseconds."""
+        self._require_single_kernel("now")
         return self.world.now
 
     def run(self, seconds: float) -> None:
         """Advance virtual time by *seconds*."""
+        self._require_single_kernel("run")
         self.world.run_for(seconds * 1_000_000.0)
+
+    def _require_single_kernel(self, what: str) -> None:
+        if self.fabric is not None:
+            raise RuntimeError(
+                f"Scout(shards=N) is a fabric: {what} belongs to the "
+                f"single-kernel form; use offer()/merged_books() or the "
+                f"fabric attribute")
+
+    # -- sharded form ----------------------------------------------------------
+
+    def offer(self, frames, metas=None):
+        """Feed one frame run through the shard fabric's RX boundary."""
+        if self.fabric is None:
+            raise RuntimeError("offer() needs Scout(shards=N)")
+        return self.fabric.offer(frames, metas)
+
+    def merged_books(self):
+        """Stop the fabric's workers and return the reconciled
+        :class:`~repro.shard.FabricBooks`."""
+        if self.fabric is None:
+            raise RuntimeError("merged_books() needs Scout(shards=N)")
+        return self.fabric.finish()
 
     def path(self, router: Any) -> PathBuilder:
         """A :class:`PathBuilder` rooted at *router*, pre-wired with the
         kernel's transformation rules and admission hook."""
+        self._require_single_kernel("path")
         return PathBuilder(router, transforms=self.kernel.transforms,
                            admission=self.kernel.admission)
 
     def stats(self) -> dict:
+        self._require_single_kernel("stats")
         return self.kernel.stats()
 
     def __repr__(self) -> str:
+        if self.fabric is not None:
+            return f"<Scout fabric {self.fabric!r}>"
         return f"<Scout {self.kernel.ip.addr} t={self.world.now:.0f}us>"
 
 
@@ -284,6 +329,9 @@ __all__ = [
     "SOURCE_DEMUX", "SOURCE_CACHE", "SOURCE_GROUP",
     # multipath
     "PathGroup", "PathPool",
+    # shard fabric
+    "ShardedKernel", "FabricBooks", "ShardBooks", "flow_key",
+    "flow_key_frame",
     # attributes
     "PA_NET_PARTICIPANTS", "PA_LOCAL_PORT", "PA_PATHNAME", "PA_FRAME_RATE",
     "PA_SCHED_POLICY", "PA_SCHED_PRIORITY", "PA_INQ_LEN", "PA_OUTQ_LEN",

@@ -52,7 +52,7 @@ _IPPROTO_UDP = 17
 VALIDATED_STAMPS = ("eth_validated", "ip_validated", "udp_validated")
 
 
-def flow_key_ipv4_udp(msg: Any) -> Optional[bytes]:
+def flow_key(msg: Any) -> Optional[bytes]:
     """Exact-match flow key for non-fragmented IPv4/UDP frames.
 
     The key covers every header byte the demux chain's routing decision
@@ -62,6 +62,12 @@ def flow_key_ipv4_udp(msg: Any) -> Optional[bytes]:
     else (ARP, ICMP, TCP, fragments, IP options) returns ``None`` and
     takes the full refinement chain, so correctness never depends on the
     cache understanding a protocol.
+
+    This is the single source of truth for "what is a flow": the
+    :class:`FlowCache` keys its entries on it, and the shard fabric's
+    dispatcher (:mod:`repro.shard.dispatch`) hashes exactly the same
+    bytes to pin a flow to a shard — so a flow-cache entry and a shard
+    pinning can never disagree about flow identity.
     """
     if len(msg) < _FLOW_KEY_BYTES:
         return None
@@ -77,6 +83,31 @@ def flow_key_ipv4_udp(msg: Any) -> Optional[bytes]:
     return head[0:6] + head[23:24] + head[26:38]
 
 
+def flow_key_frame(frame: bytes) -> Optional[bytes]:
+    """:func:`flow_key` over raw wire bytes (no :class:`Msg` wrapper).
+
+    The shard dispatcher classifies at the RX boundary, before any
+    ``Msg`` exists; slicing the frame directly keeps that peek free of
+    per-frame object construction.  Returns exactly what
+    :func:`flow_key` would return for ``Msg(frame)``.
+    """
+    if len(frame) < _FLOW_KEY_BYTES:
+        return None
+    if frame[12:14] != _ETHERTYPE_IPV4:
+        return None
+    if frame[14] != 0x45:
+        return None
+    if frame[23] != _IPPROTO_UDP:
+        return None
+    if (frame[20] & 0x3F) or frame[21]:
+        return None
+    return frame[0:6] + frame[23:24] + frame[26:38]
+
+
+#: Historical name for :func:`flow_key`, kept for existing callers.
+flow_key_ipv4_udp = flow_key
+
+
 class FlowCache:
     """Bounded LRU map from flow keys to established paths.
 
@@ -88,7 +119,7 @@ class FlowCache:
     key_of:
         ``key_of(msg) -> Optional[bytes]``; ``None`` marks the message
         ineligible (the lookup is a miss and the classification result is
-        not inserted).  Defaults to :func:`flow_key_ipv4_udp`.
+        not inserted).  Defaults to :func:`flow_key`.
     annotate:
         Optional ``annotate(msg, key)`` run on every hit to reproduce the
         ``msg.meta`` annotations the skipped demux chain would have made.
@@ -100,7 +131,7 @@ class FlowCache:
         if capacity < 1:
             raise ValueError("flow cache capacity must be positive")
         self.capacity = capacity
-        self.key_of = key_of if key_of is not None else flow_key_ipv4_udp
+        self.key_of = key_of if key_of is not None else flow_key
         self.annotate = annotate
         self._entries: "OrderedDict[bytes, Path]" = OrderedDict()
         self._keys_of_path: Dict[int, Set[bytes]] = {}
@@ -225,6 +256,22 @@ class FlowCache:
         if removed and self._metric_invalidations is not None:
             self._metric_invalidations.inc(removed)
         return removed
+
+    def invalidate_key(self, key: bytes) -> bool:
+        """Remove the single entry for *key*, if present.
+
+        The shard fabric's ``rebalance`` protocol uses this: migrating a
+        flow's pinning must unpin exactly that flow on the old shard so
+        its next packet re-walks the refinement chain there, without
+        disturbing other flows that happen to share the same path.
+        """
+        if key not in self._entries:
+            return False
+        self._discard_key(key)
+        self.invalidations += 1
+        if self._metric_invalidations is not None:
+            self._metric_invalidations.inc()
+        return True
 
     def invalidate_group(self, gid: int) -> int:
         """Bulk-drop every entry pinned to a member of path group *gid*.

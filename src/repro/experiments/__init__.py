@@ -66,6 +66,7 @@ from .queue_sizing import (
     measure_point,
     run_queue_sizing,
 )
+from .shard_exp import ShardRun, format_shard, run_shard
 from .table1 import PAPER_TABLE1, Table1Row, format_table1, measure_max_rate, run_table1
 from .trace_exp import TraceReport, format_trace, run_trace
 from .table2 import PAPER_TABLE2, Table2Row, format_table2, measure_under_load, run_table2
@@ -95,6 +96,7 @@ __all__ = [
     "run_multipath", "run_pool_churn", "format_multipath",
     "MultipathPoint", "PoolChurnResult",
     "run_multihop", "run_loss_amplification", "format_multihop",
+    "run_shard", "format_shard", "ShardRun",
     "build_three_hop", "MultihopRun", "LossGoodput",
     "run_adversary", "run_adversary_matrix", "format_adversary",
     "AdversaryRunResult",

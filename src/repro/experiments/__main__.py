@@ -11,7 +11,8 @@ sizing), e6 (admission), e7 (early discard), e8 (ablations), trace
 (per-path observability: hottest spans + metrics for a traced playback),
 multipath (path groups + warm pools; an extension beyond the paper),
 adversary (worst-case traffic vs stability verdicts), multihop (3-hop
-heterogeneous-MTU forwarding with path-MTU discovery).
+heterogeneous-MTU forwarding with path-MTU discovery), shard (N-kernel
+fabric: dispatch balance + merged-book exactness).
 """
 
 from __future__ import annotations
@@ -29,6 +30,7 @@ from . import (
     format_micro,
     format_multihop,
     format_multipath,
+    format_shard,
     format_queue_sizing,
     format_segregation,
     format_table1,
@@ -45,6 +47,7 @@ from . import (
     run_queue_sizing,
     run_queue_sweep,
     run_segregation_sweep,
+    run_shard,
     run_table1,
     run_table2,
     run_trace,
@@ -104,6 +107,10 @@ def _multihop() -> str:
     return format_multihop(run_multihop(), run_loss_amplification())
 
 
+def _shard() -> str:
+    return format_shard(run_shard())
+
+
 EXPERIMENTS = {
     "table1": _table1,
     "table2": _table2,
@@ -117,6 +124,7 @@ EXPERIMENTS = {
     "multipath": _multipath,
     "adversary": _adversary,
     "multihop": _multihop,
+    "shard": _shard,
 }
 
 

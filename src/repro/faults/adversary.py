@@ -413,15 +413,17 @@ class DropLedger:
     """
 
     def __init__(self) -> None:
-        self._state: Dict[int, Optional[str]] = {}
-        self.double_counted: List[Tuple[int, str, str]] = []
+        # Serials are opaque hashables: plain ints for a single kernel,
+        # ``(shard_id, serial)`` tuples in a merged fabric ledger.
+        self._state: Dict[Any, Optional[str]] = {}
+        self.double_counted: List[Tuple[Any, str, str]] = []
 
-    def inject(self, serial: int) -> None:
+    def inject(self, serial) -> None:
         if serial in self._state:
             raise ValueError(f"serial {serial} injected twice")
         self._state[serial] = None
 
-    def account(self, serial: int, category: str) -> None:
+    def account(self, serial, category: str) -> None:
         previous = self._state.get(serial)
         if previous is not None:
             self.double_counted.append((serial, previous, category))
@@ -447,6 +449,31 @@ class DropLedger:
 
     def count(self, category: str) -> int:
         return self.counts().get(category, 0)
+
+    def fates(self) -> Dict[Any, Optional[str]]:
+        """Snapshot of every serial's terminal state (``None`` = open)."""
+        return dict(self._state)
+
+    @classmethod
+    def merge(cls, ledgers: Dict[Any, "DropLedger"]) -> "DropLedger":
+        """Merge per-shard ledgers into one fabric-level ledger.
+
+        Every serial is namespaced as ``(shard_id, serial)`` — two
+        shards may both have a serial 7 and the merged ledger can never
+        alias them into one another, so cross-shard reconciliation keeps
+        the exactly-once guarantee the per-shard ledgers provide
+        (DESIGN.md §17).  Leaks and double counts survive the merge under
+        their namespaced serials; injected totals add exactly.
+        """
+        merged = cls()
+        for shard_id in sorted(ledgers):
+            ledger = ledgers[shard_id]
+            for serial, category in ledger._state.items():
+                merged._state[(shard_id, serial)] = category
+            for serial, previous, category in ledger.double_counted:
+                merged.double_counted.append(
+                    ((shard_id, serial), previous, category))
+        return merged
 
 
 class StabilityVerdict(NamedTuple):

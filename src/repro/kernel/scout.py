@@ -148,7 +148,9 @@ class ScoutKernel:
                  inline_icmp: bool = False,
                  vsync_hz: float = params.VSYNC_HZ,
                  flow_cache_capacity: int = 128,
-                 specialize: Optional[bool] = None):
+                 specialize: Optional[bool] = None,
+                 udp_sink: bool = False,
+                 display: bool = True):
         self.world = world
         #: Kernel-wide default for the specialized execution tier
         #: (DESIGN.md §15), handed to every path_create below; a
@@ -192,6 +194,15 @@ class ScoutKernel:
         self.graph.connect("MPEG.down", "MFLOW.up")
         self.graph.connect("DISPLAY.down", "MPEG.up")
         self.graph.connect("SHELL.down", "UDP.up")
+        #: Optional TEST sink atop UDP: a port-bound message sink whose
+        #: paths the shard fabric (and tests) use as generic UDP flow
+        #: endpoints.  Off by default so the graph stays the exact
+        #: Figure 9 configuration the golden tests pin.
+        self.test = None
+        if udp_sink:
+            from ..net.testrouter import TestRouter
+            self.test = self.graph.add(TestRouter("TEST"))
+            self.graph.connect("TEST.down", "UDP.up")
         self.eth.attach_device(self.device)
         self.display.attach_framebuffer(self.framebuffer)
         self.arp.learn_from_segment(segment)
@@ -212,6 +223,14 @@ class ScoutKernel:
         self.flow_cache.bind_metrics(self.observatory.metrics)
         self.sessions: List[VideoSession] = []
         self.shell_path: Optional[Path] = None
+        #: port -> established sink path (see :meth:`start_udp_sink`).
+        self.sink_paths: Dict[int, Path] = {}
+        #: Optional per-message discard observer ``fn(msg, category)``,
+        #: invoked at every admission-time drop site (unclassified, early
+        #: discard, input-queue overflow).  The shard fabric's workers use
+        #: it to close each handed-off serial under an exact category;
+        #: ``None`` (the default) costs nothing.
+        self.drop_hook = None
         #: path pid -> keep-every-Nth modulus for adapter-level early drop.
         self._skip_filters: Dict[int, int] = {}
         self.early_drops = 0
@@ -220,7 +239,14 @@ class ScoutKernel:
         self.icmp_inline_served = 0
 
         self.device.rx_handler = self._rx
-        self.framebuffer.start()
+        #: With ``display=False`` the framebuffer exists but its vsync
+        #: interrupt never starts: the engine can then go fully idle
+        #: between bursts, which is what lets a shard worker run its
+        #: world with ``run_until_idle`` instead of timed slices.  Video
+        #: sessions need the vsync loop, so they require ``display=True``.
+        self.display_active = display
+        if display:
+            self.framebuffer.start()
 
         # -- boot-time paths -------------------------------------------------
         self.icmp_path = self._make_service_path(
@@ -252,7 +278,7 @@ class ScoutKernel:
         self.world.cpu.extend_interrupt(hops * params.CLASSIFY_PER_HOP_US)
         self._admit(path, msg)
 
-    def rx_burst(self, frames) -> int:
+    def rx_burst(self, frames, metas=None) -> int:
         """Interrupt-time receive for a burst of frames (DESIGN.md §13).
 
         Classification runs through
@@ -265,9 +291,18 @@ class ScoutKernel:
         frame, per-hop cost for chain walks — charged in one
         ``extend_interrupt`` call.  Returns how many frames were
         deposited on a path input queue.
+
+        *metas*, when given, is a per-frame sequence of extra ``meta``
+        entries stamped onto each message before classification — the
+        shard fabric's handoff serials ride in through here so every
+        frame's fate can be accounted to the ledger that injected it.
         """
         now = self.world.now
         msgs = [Msg(frame, meta={"rx_time": now}) for frame in frames]
+        if metas is not None:
+            for msg, extra in zip(msgs, metas):
+                if extra:
+                    msg.meta.update(extra)
         refinements_before = self.classifier_stats.refinements
         results = classify_batch(self.eth, msgs, stats=self.classifier_stats,
                                  cache=self.flow_cache)
@@ -290,12 +325,16 @@ class ScoutKernel:
             if self.observatory.armed:
                 self.observatory.metrics.counter(
                     "kernel_unclassified_drops").inc()
+            if self.drop_hook is not None:
+                self.drop_hook(msg, "unclassified")
             self.world.cpu.extend_interrupt(params.EARLY_DROP_US)
             return False
         if self._should_early_drop(path, msg):
             self.early_drops += 1
             path.note_drop(msg, "early discard of skipped frame",
                            "early_discard")
+            if self.drop_hook is not None:
+                self.drop_hook(msg, "early_discard")
             self.world.cpu.extend_interrupt(params.EARLY_DROP_US)
             return False
         self._note_arrival(path)
@@ -310,6 +349,8 @@ class ScoutKernel:
         if not queue.try_enqueue(msg):
             self.inq_overflow_drops += 1
             path.note_drop(msg, "path input queue full", "inq_overflow")
+            if self.drop_hook is not None:
+                self.drop_hook(msg, "inq_overflow")
             self.world.cpu.extend_interrupt(params.EARLY_DROP_US)
             return False
         path.stats.charge_memory(msg.footprint())
@@ -668,6 +709,88 @@ class ScoutKernel:
         release = getattr(self.admission, "release", None)
         if release is not None:
             release(session.path)  # return the memory grant to the pool
+
+    # ------------------------------------------------------------------
+    # UDP sink paths (the shard fabric's flow endpoints)
+    # ------------------------------------------------------------------
+
+    def start_udp_sink(self, local_port: int,
+                       remote: Tuple[str, int] = ("10.0.0.2", 7000),
+                       batch: int = 1,
+                       inq_len: int = 64,
+                       outq_len: int = 64,
+                       policy: str = POLICY_RR,
+                       priority: int = 0,
+                       specialize: Optional[bool] = None) -> Path:
+        """Create a port-bound TEST sink path plus its service thread.
+
+        Requires the kernel to have been built with ``udp_sink=True``
+        (which adds the TEST router atop UDP).  The returned path is a
+        generic UDP flow endpoint: arriving frames for *local_port*
+        classify to it (flow cache, validated fast receive, and the
+        specialized tier all engage exactly as for video paths), traverse
+        ETH/IP/UDP, and land in the TEST router's ``received`` list plus
+        the path's output queue.  The shard fabric gives every flow one
+        of these per shard; ``benchmarks/bench_shard.py`` drives them as
+        the warm batched UDP workload.
+        """
+        if self.test is None:
+            raise RuntimeError(
+                "this kernel was built without udp_sink=True")
+        if local_port in self.sink_paths:
+            raise ValueError(f"port {local_port} already has a sink path")
+        attrs = Attrs({
+            PA_NET_PARTICIPANTS: remote,
+            PA_LOCAL_PORT: self.udp.allocate_port(local_port),
+            PA_PATHNAME: "UDPSINK",
+            PA_SCHED_POLICY: policy,
+            PA_SCHED_PRIORITY: priority,
+            PA_INQ_LEN: inq_len,
+            PA_OUTQ_LEN: outq_len,
+            PA_BATCH: batch,
+        })
+        if specialize is not None:
+            attrs[PA_SPECIALIZE] = specialize
+        path = path_create(self.test, attrs, transforms=self.transforms,
+                           admission=self.admission,
+                           specialize=self.specialize)
+        body = (self._sink_thread_body_batched(path, batch) if batch > 1
+                else self._service_thread_body(path))
+        self.world.spawn(body, name=f"sink-path{path.pid}",
+                         policy=policy, priority=priority, path=path)
+        self.sink_paths[local_port] = path
+        return path
+
+    def _sink_thread_body_batched(self, path: Path, batch_limit: int):
+        """Service thread draining up to *batch_limit* messages per
+        dispatch — the :meth:`_service_thread_body` analogue of the
+        batched video body.  No output-queue reservation: the TEST sink
+        deposits into the output queue itself and accounts any overflow
+        as ``sink_overflows``, so the thread never blocks on a consumer
+        that drains out of band."""
+        inq = path.input_queue(BWD)
+        while path.state != DELETED:
+            msgs = yield DequeueBatch(inq, batch_limit)
+            self._traverse_batch(path, msgs)
+            cost = 0.0
+            for msg in msgs:
+                cost += take_cost(msg)
+                path.stats.release_memory(msg.footprint())
+            if cost > 0:
+                yield Compute(cost)
+            yield YIELD
+
+    def stop_udp_sink(self, local_port: int) -> None:
+        """Tear down the sink path bound to *local_port* (flow-cache
+        purge, port unbind and queue drains ride the delete hooks)."""
+        path = self.sink_paths.pop(local_port, None)
+        if path is None:
+            return
+        self.flow_cache.invalidate_path(path)
+        path.delete()
+        release = getattr(self.admission, "release", None)
+        if release is not None:
+            release(path)
 
     # ------------------------------------------------------------------
     # SHELL

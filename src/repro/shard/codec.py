@@ -1,0 +1,212 @@
+"""Compact wire codec for handing frame batches across shard rings.
+
+The dispatcher keeps whole :class:`~repro.core.Msg` runs together when
+it forwards them to a shard worker, but a multiprocessing ring cannot
+carry live ``Msg`` objects without paying generic pickling for every
+frame.  This codec flattens a batch — raw frame bytes plus an
+allowlisted scalar ``meta`` dict per frame — into one contiguous byte
+string, and the ack direction does the same for per-serial fates.  One
+``put`` per batch, zero per-frame object graphs on the wire.
+
+Only scalar meta values survive the crossing (``None``, ``bool``,
+``int``, ``float``, ``str``, ``bytes``): the fabric-side metadata a
+frame needs (``shard_serial``, ``flow``) is exactly that shape, and
+refusing richer values here keeps the codec's framing trivially
+auditable.  Anything else raises :class:`CodecError` at encode time —
+at the sender, where the stack trace names the culprit — rather than
+producing a blob the far side cannot parse.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CodecError", "encode_batch", "decode_batch",
+    "encode_fates", "decode_fates",
+]
+
+
+class CodecError(ValueError):
+    """A value the shard ring codec refuses to carry, or a torn blob."""
+
+
+#: Format/version magic; bump on any framing change so a stale worker
+#: fails loudly instead of misparsing.
+_MAGIC = b"SH1\n"
+
+# value type tags
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3
+_T_FLOAT = 4
+_T_STR = 5
+_T_BYTES = 6
+
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+
+
+def _encode_value(out: List[bytes], value: Any) -> None:
+    if value is None:
+        out.append(bytes([_T_NONE]))
+    elif value is True:
+        out.append(bytes([_T_TRUE]))
+    elif value is False:
+        out.append(bytes([_T_FALSE]))
+    elif isinstance(value, int):
+        out.append(bytes([_T_INT]))
+        out.append(_I64.pack(value))
+    elif isinstance(value, float):
+        out.append(bytes([_T_FLOAT]))
+        out.append(_F64.pack(value))
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(bytes([_T_STR]))
+        out.append(_U32.pack(len(data)))
+        out.append(data)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        out.append(bytes([_T_BYTES]))
+        out.append(_U32.pack(len(data)))
+        out.append(data)
+    else:
+        raise CodecError(
+            f"shard ring meta values must be scalars, not "
+            f"{type(value).__name__}: {value!r}")
+
+
+class _Reader:
+    """Cursor over an encoded blob; every read is bounds-checked."""
+
+    __slots__ = ("blob", "pos")
+
+    def __init__(self, blob: bytes):
+        self.blob = blob
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.blob):
+            raise CodecError("torn shard ring blob (short read)")
+        piece = self.blob[self.pos:end]
+        self.pos = end
+        return piece
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def value(self) -> Any:
+        tag = self.take(1)[0]
+        if tag == _T_NONE:
+            return None
+        if tag == _T_TRUE:
+            return True
+        if tag == _T_FALSE:
+            return False
+        if tag == _T_INT:
+            return _I64.unpack(self.take(8))[0]
+        if tag == _T_FLOAT:
+            return _F64.unpack(self.take(8))[0]
+        if tag == _T_STR:
+            return self.take(self.u32()).decode("utf-8")
+        if tag == _T_BYTES:
+            return self.take(self.u32())
+        raise CodecError(f"unknown shard ring value tag {tag}")
+
+
+def _encode_meta(out: List[bytes], meta: Optional[Dict[str, Any]]) -> None:
+    if not meta:
+        out.append(_U32.pack(0))
+        return
+    out.append(_U32.pack(len(meta)))
+    for key, value in meta.items():
+        data = key.encode("utf-8")
+        out.append(_U32.pack(len(data)))
+        out.append(data)
+        _encode_value(out, value)
+
+
+def _decode_meta(reader: _Reader) -> Dict[str, Any]:
+    meta: Dict[str, Any] = {}
+    for _ in range(reader.u32()):
+        key = reader.take(reader.u32()).decode("utf-8")
+        meta[key] = reader.value()
+    return meta
+
+
+def encode_batch(frames: Sequence[bytes],
+                 metas: Optional[Sequence[Optional[Dict[str, Any]]]] = None,
+                 ) -> bytes:
+    """Flatten a frame run (plus per-frame meta) into one blob."""
+    if metas is not None and len(metas) != len(frames):
+        raise CodecError(f"{len(frames)} frames but {len(metas)} metas")
+    out: List[bytes] = [_MAGIC, _U32.pack(len(frames))]
+    for index, frame in enumerate(frames):
+        data = bytes(frame)
+        out.append(_U32.pack(len(data)))
+        out.append(data)
+        _encode_meta(out, metas[index] if metas is not None else None)
+    return b"".join(out)
+
+
+def decode_batch(blob: bytes) -> Tuple[List[bytes], List[Dict[str, Any]]]:
+    """Inverse of :func:`encode_batch`."""
+    reader = _Reader(blob)
+    if reader.take(4) != _MAGIC:
+        raise CodecError("shard ring blob has wrong magic")
+    frames: List[bytes] = []
+    metas: List[Dict[str, Any]] = []
+    for _ in range(reader.u32()):
+        frames.append(reader.take(reader.u32()))
+        metas.append(_decode_meta(reader))
+    if reader.pos != len(blob):
+        raise CodecError("trailing bytes after shard ring batch")
+    return frames, metas
+
+
+def encode_fates(fates: Sequence[Tuple[int, str, Optional[bytes]]]) -> bytes:
+    """Flatten per-serial fates for the ack direction of the ring.
+
+    Each fate is ``(serial, category, payload)`` where *payload* is the
+    delivered byte stream (``None`` for drops) — the fabric needs it to
+    keep per-flow delivery streams comparable across modes.
+    """
+    out: List[bytes] = [_MAGIC, _U32.pack(len(fates))]
+    for serial, category, payload in fates:
+        out.append(_I64.pack(serial))
+        data = category.encode("utf-8")
+        out.append(_U32.pack(len(data)))
+        out.append(data)
+        if payload is None:
+            out.append(bytes([_T_NONE]))
+        else:
+            out.append(bytes([_T_BYTES]))
+            out.append(_U32.pack(len(payload)))
+            out.append(bytes(payload))
+    return b"".join(out)
+
+
+def decode_fates(blob: bytes) -> List[Tuple[int, str, Optional[bytes]]]:
+    """Inverse of :func:`encode_fates`."""
+    reader = _Reader(blob)
+    if reader.take(4) != _MAGIC:
+        raise CodecError("shard ring blob has wrong magic")
+    fates: List[Tuple[int, str, Optional[bytes]]] = []
+    for _ in range(reader.u32()):
+        serial = _I64.unpack(reader.take(8))[0]
+        category = reader.take(reader.u32()).decode("utf-8")
+        tag = reader.take(1)[0]
+        if tag == _T_NONE:
+            payload: Optional[bytes] = None
+        elif tag == _T_BYTES:
+            payload = reader.take(reader.u32())
+        else:
+            raise CodecError(f"unexpected fate payload tag {tag}")
+        fates.append((serial, category, payload))
+    if reader.pos != len(blob):
+        raise CodecError("trailing bytes after shard ring fates")
+    return fates

@@ -1,0 +1,77 @@
+"""The shard ring codec: exact round trips, loud refusals."""
+
+import pytest
+
+from repro.shard.codec import (
+    CodecError,
+    decode_batch,
+    decode_fates,
+    encode_batch,
+    encode_fates,
+)
+
+from .conftest import udp_frame
+
+
+class TestBatchRoundTrip:
+    def test_frames_and_metas_survive(self):
+        frames = [udp_frame(f, s) for f in range(3) for s in range(4)]
+        metas = [{"shard_serial": i, "flow": b"\x01" * 19, "note": "x",
+                  "ratio": 0.5, "flag": True, "nothing": None}
+                 for i in range(len(frames))]
+        out_frames, out_metas = decode_batch(encode_batch(frames, metas))
+        assert out_frames == frames
+        assert out_metas == metas
+
+    def test_empty_batch(self):
+        assert decode_batch(encode_batch([], [])) == ([], [])
+
+    def test_missing_metas_decode_empty(self):
+        frames = [udp_frame(0, 0)]
+        _, metas = decode_batch(encode_batch(frames))
+        assert metas == [{}]
+
+    def test_negative_and_large_ints(self):
+        _, metas = decode_batch(encode_batch(
+            [b"f"], [{"a": -1, "b": 2**62}]))
+        assert metas == [{"a": -1, "b": 2**62}]
+
+
+class TestRefusals:
+    def test_non_scalar_meta_raises_at_encode(self):
+        with pytest.raises(CodecError, match="scalars"):
+            encode_batch([b"f"], [{"bad": [1, 2]}])
+
+    def test_meta_count_mismatch(self):
+        with pytest.raises(CodecError):
+            encode_batch([b"a", b"b"], [{}])
+
+    def test_wrong_magic(self):
+        with pytest.raises(CodecError, match="magic"):
+            decode_batch(b"XXXX" + encode_batch([b"f"])[4:])
+
+    def test_torn_blob(self):
+        blob = encode_batch([udp_frame(0, 0)])
+        with pytest.raises(CodecError, match="short read"):
+            decode_batch(blob[:-3])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(CodecError, match="trailing"):
+            decode_batch(encode_batch([b"f"]) + b"!")
+
+
+class TestFatesRoundTrip:
+    def test_delivered_and_dropped(self):
+        fates = [(0, "delivered", b"payload"),
+                 (1, "inq_overflow", None),
+                 (2, "shard_failover", None),
+                 (3, "delivered", b"")]
+        assert decode_fates(encode_fates(fates)) == fates
+
+    def test_empty(self):
+        assert decode_fates(encode_fates([])) == []
+
+    def test_torn_fates(self):
+        blob = encode_fates([(7, "delivered", b"x" * 50)])
+        with pytest.raises(CodecError):
+            decode_fates(blob[:-10])

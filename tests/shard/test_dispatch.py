@@ -1,0 +1,112 @@
+"""Flow-hash dispatch: stable placement, pins, dead-shard failover."""
+
+import zlib
+
+import pytest
+
+from repro.core import flow_key_frame
+from repro.shard.dispatch import FlowDispatcher, shard_of
+
+from .conftest import interleaved_workload, udp_frame
+
+
+class TestPlacement:
+    def test_stable_hash(self):
+        key = flow_key_frame(udp_frame(0, 0))
+        assert shard_of(key, 4) == zlib.crc32(key) % 4
+
+    def test_same_flow_same_shard_always(self):
+        dispatcher = FlowDispatcher(4)
+        targets = set()
+        for sequence in range(20):
+            runs = dispatcher.dispatch([udp_frame(9, sequence)])
+            targets.update(runs)
+        assert len(targets) == 1
+
+    def test_one_shard_gets_everything(self):
+        dispatcher = FlowDispatcher(1)
+        runs = dispatcher.dispatch(interleaved_workload(8, 3))
+        assert list(runs) == [0]
+        assert len(runs[0][0]) == 24
+
+    def test_order_preserved_within_shard(self):
+        dispatcher = FlowDispatcher(4)
+        frames = interleaved_workload(8, 5)
+        runs = dispatcher.dispatch(frames)
+        for shard_frames, _ in runs.values():
+            positions = [frames.index(f) for f in shard_frames]
+            assert positions == sorted(positions)
+
+    def test_metas_travel_with_their_frames(self):
+        dispatcher = FlowDispatcher(4)
+        frames = interleaved_workload(6, 2)
+        metas = [{"i": i} for i in range(len(frames))]
+        runs = dispatcher.dispatch(frames, metas)
+        for shard_frames, shard_metas in runs.values():
+            for frame, meta in zip(shard_frames, shard_metas):
+                assert frames[meta["i"]] == frame
+
+    def test_non_flow_goes_to_lowest_live_shard(self):
+        dispatcher = FlowDispatcher(4)
+        arp = bytearray(udp_frame(0, 0))
+        arp[12:14] = b"\x08\x06"
+        runs = dispatcher.dispatch([bytes(arp)])
+        assert list(runs) == [0]
+        assert dispatcher.non_flow_frames == 1
+        dispatcher.mark_dead(0)
+        runs = dispatcher.dispatch([bytes(arp)])
+        assert list(runs) == [1]
+
+
+class TestPinsAndFailover:
+    def test_pin_wins_over_hash(self):
+        dispatcher = FlowDispatcher(4)
+        key = flow_key_frame(udp_frame(2, 0))
+        home = shard_of(key, 4)
+        target = (home + 1) % 4
+        dispatcher.repin(key, target)
+        runs = dispatcher.dispatch([udp_frame(2, 1)])
+        assert list(runs) == [target]
+
+    def test_cannot_pin_to_dead_shard(self):
+        dispatcher = FlowDispatcher(4)
+        dispatcher.mark_dead(2)
+        with pytest.raises(ValueError):
+            dispatcher.repin(flow_key_frame(udp_frame(0, 0)), 2)
+
+    def test_dead_shard_reroutes_to_live_and_pins(self):
+        dispatcher = FlowDispatcher(4)
+        frames = interleaved_workload(16, 1)
+        first = dispatcher.dispatch(frames)
+        victim = max(first, key=lambda s: len(first[s][0]))
+        orphans = dispatcher.mark_dead(victim)
+        assert orphans == {flow_key_frame(f) for f in first[victim][0]}
+        second = dispatcher.dispatch(frames)
+        assert victim not in second
+        # every orphaned flow now has a durable pin on a live shard
+        for key in orphans:
+            assert dispatcher.pins[key] not in dispatcher.dead
+
+    def test_failover_mapping_stable_as_live_set_shrinks(self):
+        dispatcher = FlowDispatcher(4)
+        frames = interleaved_workload(16, 1)
+        dispatcher.dispatch(frames)
+        dispatcher.mark_dead(1)
+        after_first = {k: dispatcher.shard_for_key(k)
+                       for k in map(flow_key_frame, frames)}
+        dispatcher.mark_dead(2)
+        for key, shard in after_first.items():
+            if shard != 2:
+                # flows that were NOT on the newly-dead shard stay put
+                assert dispatcher.shard_for_key(key) == shard
+
+    def test_all_dead_raises(self):
+        dispatcher = FlowDispatcher(2)
+        dispatcher.mark_dead(0)
+        dispatcher.mark_dead(1)
+        with pytest.raises(RuntimeError, match="all shards are dead"):
+            dispatcher.dispatch([udp_frame(0, 0)])
+
+    def test_mark_unknown_shard_raises(self):
+        with pytest.raises(ValueError):
+            FlowDispatcher(2).mark_dead(5)
