@@ -27,6 +27,8 @@ MULTIHOP_RESULTS = RESULTS_DIR / "BENCH_multihop.json"
 
 SHARD_RESULTS = RESULTS_DIR / "BENCH_shard.json"
 
+WALLCLOCK_RESULTS = RESULTS_DIR / "BENCH_wallclock.json"
+
 
 def _merge_section(target: pathlib.Path, section: str, payload: dict,
                    tag: str) -> None:
@@ -127,5 +129,18 @@ def record_shard():
 
     def record(section: str, payload: dict) -> None:
         _merge_section(SHARD_RESULTS, section, payload, "BENCH_shard")
+
+    return record
+
+
+@pytest.fixture
+def record_wallclock():
+    """Merge one named section into the machine-readable wall-clock
+    results file (``benchmarks/results/BENCH_wallclock.json``) — the
+    asyncio-executor throughput and socket-loopback benchmarks
+    accumulate into a single artifact for CI to upload."""
+
+    def record(section: str, payload: dict) -> None:
+        _merge_section(WALLCLOCK_RESULTS, section, payload, "BENCH_wallclock")
 
     return record

@@ -18,6 +18,7 @@ from repro.api import (
     PA_LOCAL_PORT,
     PA_NET_PARTICIPANTS,
     PathBuilder,
+    Scout,
     build_graph,
     build_udp_frame,
     classify,
@@ -96,6 +97,21 @@ def main() -> None:
     found.deliver(msg, BWD)
     received = graph.router("TEST").received[0]
     print(f"TEST sink received: {received.to_bytes()!r}")
+
+    # -----------------------------------------------------------------------
+    # 5. The same flow, kernel-hosted.  Scout() boots the full machine on
+    #    a virtual-time world; the context manager is the supported
+    #    lifecycle (construction opens it, leaving the block closes it).
+    #    Swapping backend="socket", executor="asyncio" here would serve
+    #    real UDP loopback traffic instead — see wallclock_socket.py.
+    # -----------------------------------------------------------------------
+    with Scout(seed=7, udp_sink=True, display=False) as scout:
+        scout.add_peer("10.0.0.2", "02:00:00:00:00:02")
+        scout.kernel.start_udp_sink(6100, ("10.0.0.2", 7000))
+        scout.kernel.rx_burst([frame])
+        scout.world.run_until_idle()
+        delivered = scout.kernel.test.received[0]
+        print(f"kernel-hosted sink delivered: {delivered.to_bytes()!r}")
 
 
 if __name__ == "__main__":

@@ -17,8 +17,9 @@ points them at the supported name.
 
 from __future__ import annotations
 
+import asyncio
 import warnings
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping, Optional, Tuple
 
 from . import params
 from .admission import (
@@ -115,8 +116,11 @@ from .net import (
     parse_frame,
 )
 from .topo import HostNode, Inventory, ProvisionedPath, Topology
+from .net.sockdev import SocketNetDevice
 from .observe import Observatory, StarvationDetector
+from .observe.wallclock import WallClockBridge
 from .sim import SimWorld
+from .sim.aio import AioExecutor, AioWorld
 from .sim.world import POLICY_EDF, POLICY_RR
 
 #: Result-returning classification is the facade's canonical spelling:
@@ -219,48 +223,159 @@ class PathBuilder:
                 f"attrs={len(self._attrs)}>")
 
 
+#: Backend / executor choices the facade resolves (DESIGN.md §18).
+BACKENDS = ("sim", "socket")
+EXECUTORS = ("sim", "asyncio")
+
+#: Resolved construction modes.
+_MODE_FABRIC = "fabric"
+_MODE_SIM = "sim"
+_MODE_AIO = "aio"
+_MODE_SOCKET = "socket"
+
+
+def _resolve_backend(backend: str, executor: str,
+                     shards: Optional[int]) -> str:
+    """The one decision point for every Scout construction shape.
+
+    Validates the ``backend`` × ``executor`` × ``shards`` combination
+    and returns the construction mode; every rejection is a
+    :class:`ScoutError` that names the offending knob and the supported
+    values, replacing the ad-hoc ``RuntimeError`` guards this facade
+    used to scatter.
+    """
+    if backend not in BACKENDS:
+        raise ScoutError(
+            f"unknown backend {backend!r}: choose 'sim' (simulated "
+            f"device, the tier-1 default) or 'socket' (real UDP "
+            f"loopback sockets)")
+    if executor not in EXECUTORS:
+        raise ScoutError(
+            f"unknown executor {executor!r}: choose 'sim' "
+            f"(deterministic virtual-time scheduler, the tier-1 "
+            f"default) or 'asyncio' (wall-clock task executor)")
+    if shards is not None and shards < 1:
+        raise ScoutError(f"shards must be >= 1, got {shards}")
+    if shards is not None and shards > 1:
+        if backend != "sim" or executor != "sim":
+            raise ScoutError(
+                f"Scout(shards={shards}) is the deterministic fabric: "
+                f"it requires backend='sim' and executor='sim' (got "
+                f"backend={backend!r}, executor={executor!r}); run one "
+                f"wall-clock kernel per process instead")
+        return _MODE_FABRIC
+    if backend == "socket":
+        if executor != "asyncio":
+            raise ScoutError(
+                "backend='socket' requires executor='asyncio': real "
+                "arrivals cannot be replayed by the deterministic "
+                "virtual-time scheduler; pass executor='asyncio' (and "
+                "drive it with 'async with Scout(...) as s: await "
+                "s.serve()')")
+        return _MODE_SOCKET
+    if executor == "asyncio":
+        return _MODE_AIO
+    return _MODE_SIM
+
+
 class Scout:
-    """One booted Scout machine on its own virtual-time world.
+    """One booted Scout machine, on virtual or wall-clock time.
 
     The three-line entry point the facade promises::
 
-        scout = Scout(seed=7)
-        session = scout.kernel.start_video(NEPTUNE, ("10.0.0.2", 7000))
-        scout.run(5.0)
+        with Scout(seed=7) as scout:
+            scout.kernel.start_video(NEPTUNE, ("10.0.0.2", 7000))
+            scout.run(5.0)
 
-    Wraps a :class:`~repro.sim.SimWorld`, an
+    By default this wraps a :class:`~repro.sim.SimWorld`, an
     :class:`~repro.net.EtherSegment` and a
-    :class:`~repro.kernel.ScoutKernel`; keyword arguments flow through to
-    the kernel (admission hooks, flow-cache capacity, display mode, ...).
-    For multi-host scenarios — remote video sources, ping flooders,
-    command clients — use :class:`Testbed`, which manages addressing for
-    a whole neighbourhood of hosts.
+    :class:`~repro.kernel.ScoutKernel` — the deterministic tier-1
+    configuration.  Two orthogonal knobs select the wall-clock edge
+    (DESIGN.md §18):
+
+    ``executor='asyncio'``
+        The same kernel and thread bodies, driven by
+        :class:`~repro.sim.aio.AioExecutor` as asyncio tasks; queue
+        blocking awaits real arrivals, cycle accounting still fills the
+        virtual books (read them against real time via
+        :meth:`wallclock`).
+
+    ``backend='socket'``
+        Frames arrive from a real UDP socket
+        (:class:`~repro.net.sockdev.SocketNetDevice`) instead of the
+        simulated segment; requires ``executor='asyncio'``::
+
+            async with Scout(backend="socket", executor="asyncio") as s:
+                s.kernel.start_udp_sink(6100, ("10.0.0.2", 7000))
+                s.add_peer("10.0.0.2", "02:00:00:00:00:02", sender_addr)
+                await s.serve(seconds=1.0)
+
+    ``shards=N`` (N > 1) selects the deterministic fabric of
+    DESIGN.md §17; it composes with neither wall-clock knob.  All
+    combinations resolve through :func:`_resolve_backend`, which rejects
+    unsupported shapes with a :class:`ScoutError` naming the fix.
+    Keyword arguments flow through to the kernel (admission hooks,
+    flow-cache capacity, display mode, ...).  For multi-host simulated
+    scenarios use :class:`Testbed`.
     """
 
     def __init__(self, seed: int = 0,
                  bandwidth_mbps: float = params.ETH_BANDWIDTH_MBPS,
                  latency_us: float = params.ETH_LINK_LATENCY_US,
                  shards: Optional[int] = None,
+                 backend: str = "sim",
+                 executor: str = "sim",
+                 host: str = "127.0.0.1",
+                 port: int = 0,
+                 rx_ring: int = 512,
+                 pace: float = 0.0,
                  **kernel_kwargs: Any):
-        if shards is not None and shards > 1:
+        mode = _resolve_backend(backend, executor, shards)
+        self.backend = backend
+        self.executor = executor
+        self.fabric: Optional[Any] = None
+        self.world = None
+        self.segment = None
+        self.kernel = None
+        self.device: Optional[SocketNetDevice] = None
+        self.bridge: Optional[WallClockBridge] = None
+        self._books = None
+        self._closed = False
+        if mode == _MODE_FABRIC:
             # Sharded machine: N kernels behind one flow-hash RX
             # boundary (DESIGN.md §17).  Keyword arguments flow to
             # :class:`~repro.shard.ShardedKernel` (mode=, ports=,
             # batch=, ...); drive it with :meth:`offer` and close with
             # :meth:`merged_books`.
-            self.fabric: Optional[Any] = ShardedKernel(
-                shards=shards, seed=seed, **kernel_kwargs)
-            self.world = None
-            self.segment = None
-            self.kernel = None
+            self.fabric = ShardedKernel(shards=shards, seed=seed,
+                                        **kernel_kwargs)
             return
-        self.fabric = None
-        self.world = SimWorld(seed=seed)
-        self.segment = EtherSegment(self.world.engine,
-                                    bandwidth_mbps=bandwidth_mbps,
-                                    latency_us=latency_us,
-                                    rng=self.world.rng)
-        self.kernel = ScoutKernel(self.world, self.segment, **kernel_kwargs)
+        if mode in (_MODE_AIO, _MODE_SOCKET):
+            self.world = AioWorld(seed=seed, pace=pace)
+            # The vsync loop needs a pumped virtual engine, which the
+            # asyncio executor does not provide; wall-clock kernels run
+            # headless unless the caller insists.
+            kernel_kwargs.setdefault("display", False)
+        else:
+            self.world = SimWorld(seed=seed)
+        if mode == _MODE_SOCKET:
+            mac = kernel_kwargs.get("local_mac", "02:00:00:00:00:01")
+            self.device = SocketNetDevice(mac, host=host, port=port,
+                                          rx_ring=rx_ring)
+            kernel_kwargs.setdefault("udp_sink", True)
+            self.kernel = ScoutKernel(self.world, None, device=self.device,
+                                      **kernel_kwargs)
+            self.device.bind_metrics(self.kernel.observatory.metrics)
+        else:
+            self.segment = EtherSegment(self.world.engine,
+                                        bandwidth_mbps=bandwidth_mbps,
+                                        latency_us=latency_us,
+                                        rng=self.world.rng)
+            self.kernel = ScoutKernel(self.world, self.segment,
+                                      **kernel_kwargs)
+        if mode in (_MODE_AIO, _MODE_SOCKET):
+            self.bridge = WallClockBridge(self.world.cpu)
+            self.bridge.bind_metrics(self.kernel.observatory.metrics)
 
     @property
     def now(self) -> float:
@@ -269,35 +384,165 @@ class Scout:
         return self.world.now
 
     def run(self, seconds: float) -> None:
-        """Advance virtual time by *seconds*."""
+        """Advance virtual time by *seconds* (deterministic executor)."""
         self._require_single_kernel("run")
+        if self.executor != "sim":
+            raise ScoutError(
+                "run() advances virtual time, which the asyncio "
+                "executor does not replay: use 'await serve(...)' / "
+                "'await settle()' inside 'async with Scout(...)'")
         self.world.run_for(seconds * 1_000_000.0)
 
     def _require_single_kernel(self, what: str) -> None:
         if self.fabric is not None:
-            raise RuntimeError(
+            raise ScoutError(
                 f"Scout(shards=N) is a fabric: {what} belongs to the "
                 f"single-kernel form; use offer()/merged_books() or the "
                 f"fabric attribute")
+
+    def _require_aio(self, what: str) -> None:
+        self._require_single_kernel(what)
+        if self.executor != "asyncio":
+            raise ScoutError(
+                f"{what} needs executor='asyncio': the deterministic "
+                f"executor is driven synchronously via run()")
+
+    # -- wall-clock lifecycle ---------------------------------------------------
+
+    async def start(self) -> None:
+        """Open the backend and start the asyncio executor (idempotent)."""
+        self._require_aio("start")
+        if self.device is not None:
+            await self.device.open()
+        if self.bridge is not None and not self.bridge.running():
+            self.bridge.start()
+        await self.world.executor.start()
+
+    async def serve(self, seconds: Optional[float] = None,
+                    batch: int = 64) -> None:
+        """Pump the backend until *seconds* elapse (or, with ``None``,
+        until the device is closed), then drain the kernel.
+
+        Socket backend: awaits bursts from the device's receive ring
+        and hands them to ``kernel.rx_burst`` — the same interrupt-time
+        classify/admit boundary the simulated device feeds.  Simulated
+        backend: equivalent to :meth:`settle`.
+        """
+        self._require_aio("serve")
+        await self.start()
+        if self.device is None:
+            await self.world.executor.drain()
+            return
+        loop = asyncio.get_running_loop()
+        deadline = None if seconds is None else loop.time() + seconds
+        while self.device.is_open or self.device.pending():
+            if deadline is not None:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                timeout: Optional[float] = remaining
+            else:
+                timeout = None
+            frames = await self.device.next_burst(limit=batch,
+                                                  timeout=timeout)
+            if frames:
+                self.kernel.rx_burst(frames)
+                await asyncio.sleep(0)
+        await self.world.executor.drain()
+
+    async def settle(self) -> None:
+        """Run the asyncio executor until every path thread is parked."""
+        self._require_aio("settle")
+        await self.world.executor.drain()
+
+    async def aclose(self) -> None:
+        """Close the device and cancel the executor's tasks."""
+        self._require_aio("aclose")
+        if self._closed:
+            return
+        self._closed = True
+        if self.device is not None:
+            self.device.close()
+        await self.world.executor.close()
+
+    async def __aenter__(self) -> "Scout":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+    # -- sync lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release whatever this Scout holds (idempotent).
+
+        Fabric form: stops the workers and caches the reconciled books
+        for :meth:`merged_books`.  Simulated single-kernel form: a
+        definite end for ``with Scout(...)`` scripts.  The asyncio
+        forms close via :meth:`aclose` (``async with``).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.fabric is not None:
+            self._books = self.fabric.finish()
+        if self.device is not None:
+            self.device.close()
+
+    def __enter__(self) -> "Scout":
+        if self.executor == "asyncio":
+            raise ScoutError(
+                "executor='asyncio' has an async lifecycle: use "
+                "'async with Scout(...) as s'")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- wall-clock bookkeeping -------------------------------------------------
+
+    def wallclock(self) -> dict:
+        """One :class:`~repro.observe.wallclock.WallClockBridge`
+        snapshot: real seconds vs virtual CPU seconds charged."""
+        self._require_aio("wallclock")
+        return self.bridge.snapshot()
+
+    def add_peer(self, ip: Any, mac: Any,
+                 address: Optional[Tuple[str, int]] = None) -> None:
+        """Teach the kernel a neighbour: ARP entry (IP -> MAC) plus,
+        on the socket backend, the MAC -> UDP address mapping."""
+        self._require_single_kernel("add_peer")
+        self.kernel.arp.add_entry(IpAddr(ip), EthAddr(mac))
+        if address is not None:
+            if self.device is None:
+                raise ScoutError(
+                    "add_peer(address=...) maps a MAC to a UDP "
+                    "address, which only backend='socket' uses")
+            self.device.add_peer(mac, address)
 
     # -- sharded form ----------------------------------------------------------
 
     def offer(self, frames, metas=None):
         """Feed one frame run through the shard fabric's RX boundary."""
         if self.fabric is None:
-            raise RuntimeError("offer() needs Scout(shards=N)")
+            raise ScoutError("offer() needs Scout(shards=N)")
         return self.fabric.offer(frames, metas)
 
     def merged_books(self):
         """Stop the fabric's workers and return the reconciled
         :class:`~repro.shard.FabricBooks`."""
         if self.fabric is None:
-            raise RuntimeError("merged_books() needs Scout(shards=N)")
-        return self.fabric.finish()
+            raise ScoutError("merged_books() needs Scout(shards=N)")
+        if self._books is None:
+            self._closed = True
+            self._books = self.fabric.finish()
+        return self._books
 
     def path(self, router: Any) -> PathBuilder:
         """A :class:`PathBuilder` rooted at *router*, pre-wired with the
-        kernel's transformation rules and admission hook."""
+        kernel's transformation rules and admission hook.  Works under
+        either executor: path creation is synchronous in both."""
         self._require_single_kernel("path")
         return PathBuilder(router, transforms=self.kernel.transforms,
                            admission=self.kernel.admission)
@@ -309,13 +554,20 @@ class Scout:
     def __repr__(self) -> str:
         if self.fabric is not None:
             return f"<Scout fabric {self.fabric!r}>"
-        return f"<Scout {self.kernel.ip.addr} t={self.world.now:.0f}us>"
+        tag = f"backend={self.backend} executor={self.executor}"
+        if self.executor == "sim":
+            return (f"<Scout {self.kernel.ip.addr} {tag} "
+                    f"t={self.world.now:.0f}us>")
+        return f"<Scout {self.kernel.ip.addr} {tag}>"
 
 
 __all__ = [
     # entry points
     "Scout", "PathBuilder", "Testbed", "ScoutKernel", "LinuxKernel",
     "SimWorld", "EtherSegment", "Observatory",
+    # wall-clock edge (backend/executor selection, DESIGN.md §18)
+    "BACKENDS", "EXECUTORS", "AioWorld", "AioExecutor",
+    "SocketNetDevice", "WallClockBridge",
     # multi-hop forwarding & the discovery control plane
     "Topology", "ProvisionedPath", "HostNode", "Inventory",
     "RouterKernel", "ForwardRouter", "Route", "RouteTable",
@@ -363,18 +615,38 @@ __all__ = [
 ]
 
 
+#: Facade names renamed during the backend/executor redesign: the old
+#: spelling resolves through :func:`__getattr__` with a deprecation
+#: warning naming the supported one.
+_RENAMED = {
+    "AsyncExecutor": "AioExecutor",
+    "AsyncWorld": "AioWorld",
+    "SocketDevice": "SocketNetDevice",
+    "WallclockBridge": "WallClockBridge",
+}
+
+
 def __getattr__(name: str) -> Any:
     """Deprecation shim: resolve legacy names from the deep layers.
 
     Anything public that the facade does not re-export — older scripts
     reached through ``repro.api`` for names like ``MflowRouter`` during
     the facade's introduction — still resolves, with a
-    :class:`DeprecationWarning` naming the supported import.
+    :class:`DeprecationWarning` naming the supported import.  Facade
+    names renamed by the wall-clock redesign (``_RENAMED``) shim the
+    same way.
     """
     if name.startswith("_"):
         # Never shim private/dunder probes (the import machinery asks for
         # ``__path__``; copy/pickle ask for ``__reduce__`` and friends).
         raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+
+    if name in _RENAMED:
+        supported = _RENAMED[name]
+        warnings.warn(
+            f"repro.api.{name} was renamed: use repro.api.{supported}",
+            DeprecationWarning, stacklevel=2)
+        return globals()[supported]
 
     from . import core, display, fs, http, kernel, mpeg, multipath, net, sim
 

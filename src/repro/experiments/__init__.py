@@ -67,6 +67,13 @@ from .queue_sizing import (
     run_queue_sizing,
 )
 from .shard_exp import ShardRun, format_shard, run_shard
+from .wallclock_exp import (
+    LoopbackRun,
+    WallclockRun,
+    format_wallclock,
+    run_loopback,
+    run_wallclock,
+)
 from .table1 import PAPER_TABLE1, Table1Row, format_table1, measure_max_rate, run_table1
 from .trace_exp import TraceReport, format_trace, run_trace
 from .table2 import PAPER_TABLE2, Table2Row, format_table2, measure_under_load, run_table2
@@ -97,6 +104,8 @@ __all__ = [
     "MultipathPoint", "PoolChurnResult",
     "run_multihop", "run_loss_amplification", "format_multihop",
     "run_shard", "format_shard", "ShardRun",
+    "run_wallclock", "run_loopback", "format_wallclock",
+    "WallclockRun", "LoopbackRun",
     "build_three_hop", "MultihopRun", "LossGoodput",
     "run_adversary", "run_adversary_matrix", "format_adversary",
     "AdversaryRunResult",

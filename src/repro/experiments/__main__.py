@@ -12,7 +12,8 @@ sizing), e6 (admission), e7 (early discard), e8 (ablations), trace
 multipath (path groups + warm pools; an extension beyond the paper),
 adversary (worst-case traffic vs stability verdicts), multihop (3-hop
 heterogeneous-MTU forwarding with path-MTU discovery), shard (N-kernel
-fabric: dispatch balance + merged-book exactness).
+fabric: dispatch balance + merged-book exactness), wallclock (asyncio
+executor parity + socket-loopback reconciliation).
 """
 
 from __future__ import annotations
@@ -31,6 +32,7 @@ from . import (
     format_multihop,
     format_multipath,
     format_shard,
+    format_wallclock,
     format_queue_sizing,
     format_segregation,
     format_table1,
@@ -47,8 +49,10 @@ from . import (
     run_queue_sizing,
     run_queue_sweep,
     run_segregation_sweep,
+    run_loopback,
     run_shard,
     run_table1,
+    run_wallclock,
     run_table2,
     run_trace,
 )
@@ -111,6 +115,10 @@ def _shard() -> str:
     return format_shard(run_shard())
 
 
+def _wallclock() -> str:
+    return format_wallclock(run_wallclock(), run_loopback())
+
+
 EXPERIMENTS = {
     "table1": _table1,
     "table2": _table2,
@@ -125,6 +133,7 @@ EXPERIMENTS = {
     "adversary": _adversary,
     "multihop": _multihop,
     "shard": _shard,
+    "wallclock": _wallclock,
 }
 
 

@@ -1,0 +1,209 @@
+"""Wall-clock experiment: executor parity and the virtual/real bridge.
+
+The table-producing companion to ``benchmarks/bench_wallclock.py``:
+drive the same warm multi-flow UDP workload through the deterministic
+scheduler and the asyncio executor (DESIGN.md §18) and report, per
+burst size, whether delivery and the drop books stayed byte-identical,
+how much virtual CPU the load charged, and how that charge relates to
+the real seconds the asyncio executor took.  When loopback sockets are
+available a final row drives the socket backend end-to-end and shows
+its exact reconciliation (accepted = delivered + dropped).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from typing import TYPE_CHECKING, List, NamedTuple, Optional
+
+from ..net.addresses import EthAddr, IpAddr
+from ..net.packets import build_udp_frame
+
+if TYPE_CHECKING:  # repro.api imports this package: resolve Scout lazily
+    from ..api import Scout
+
+FLOWS = 4
+SINK_PORT = 6100
+BURST_SIZES = (64, 192, 384)
+BATCH = 16
+
+LOCAL_MAC = EthAddr("02:00:00:00:00:01")
+LOCAL_IP = IpAddr("10.0.0.1")
+REMOTE_MAC = EthAddr("02:00:00:00:00:02")
+REMOTE_IP = IpAddr("10.0.0.2")
+
+
+class WallclockRun(NamedTuple):
+    frames: int
+    delivered: int
+    drops: int
+    byte_identical: bool
+    virtual_cpu_us: float
+    aio_wall_s: float
+    sim_wall_s: float
+
+
+class LoopbackRun(NamedTuple):
+    sent: int
+    device_rx: int
+    delivered: int
+    dropped: int
+    reconciled: bool
+    wall_s: float
+
+
+def _scout(**kwargs) -> "Scout":
+    from ..api import Scout
+    return Scout(**kwargs)
+
+
+def _workload(total: int) -> List[bytes]:
+    frames = []
+    for seq in range(total):
+        flow = seq % FLOWS
+        frames.append(build_udp_frame(
+            REMOTE_MAC, LOCAL_MAC, REMOTE_IP, LOCAL_IP,
+            7000 + flow, SINK_PORT + flow,
+            b"wc%02d-%06d" % (flow, seq)))
+    return frames
+
+
+def _setup(scout: "Scout", drops: List[str]) -> None:
+    scout.kernel.drop_hook = lambda msg, category: drops.append(category)
+    scout.add_peer(REMOTE_IP, REMOTE_MAC)
+    for flow in range(FLOWS):
+        scout.kernel.start_udp_sink(SINK_PORT + flow,
+                                    (str(REMOTE_IP), 7000 + flow),
+                                    batch=BATCH, inq_len=256)
+
+
+def _books(scout: "Scout", drops: List[str]) -> dict:
+    streams: dict = {}
+    for msg in scout.kernel.test.received:
+        payload = msg.to_bytes()
+        streams.setdefault(payload[:4], []).append(payload)
+    return {"streams": streams, "drops": sorted(drops),
+            "bytes": scout.kernel.test.bytes_received}
+
+
+def run_wallclock(burst_sizes=BURST_SIZES) -> List[WallclockRun]:
+    runs = []
+    for total in burst_sizes:
+        frames = _workload(total)
+
+        sim_drops: List[str] = []
+        sim_started = time.perf_counter()
+        with _scout(seed=9, udp_sink=True, display=False) as scout:
+            _setup(scout, sim_drops)
+            scout.kernel.rx_burst(frames)
+            scout.world.run_until_idle()
+            sim_books = _books(scout, sim_drops)
+        sim_wall = time.perf_counter() - sim_started
+
+        async def drive():
+            drops: List[str] = []
+            started = time.perf_counter()
+            async with _scout(seed=9, executor="asyncio",
+                              udp_sink=True) as scout:
+                _setup(scout, drops)
+                scout.kernel.rx_burst(frames)
+                await scout.settle()
+                snap = scout.wallclock()
+                return (_books(scout, drops),
+                        time.perf_counter() - started, snap)
+
+        aio_books, aio_wall, snap = asyncio.run(drive())
+        delivered = sum(map(len, aio_books["streams"].values()))
+        runs.append(WallclockRun(
+            frames=total,
+            delivered=delivered,
+            drops=len(aio_books["drops"]),
+            byte_identical=aio_books == sim_books,
+            virtual_cpu_us=snap["virtual_cpu_s"] * 1e6,
+            aio_wall_s=aio_wall,
+            sim_wall_s=sim_wall))
+    return runs
+
+
+def run_loopback(sent: int = 120) -> Optional[LoopbackRun]:
+    """Socket-backend reconciliation row; ``None`` if no loopback."""
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        probe.bind(("127.0.0.1", 0))
+        probe.close()
+    except OSError:
+        return None
+
+    async def drive():
+        async with _scout(seed=9, backend="socket",
+                          executor="asyncio") as scout:
+            drops: List[str] = []
+            scout.kernel.drop_hook = \
+                lambda msg, category: drops.append(category)
+            sender = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            sender.bind(("127.0.0.1", 0))
+            scout.add_peer(REMOTE_IP, REMOTE_MAC, sender.getsockname())
+            scout.kernel.start_udp_sink(SINK_PORT, (str(REMOTE_IP), 7000),
+                                        batch=BATCH, inq_len=256)
+            started = time.perf_counter()
+            for seq in range(sent):
+                sender.sendto(build_udp_frame(
+                    REMOTE_MAC, LOCAL_MAC, REMOTE_IP, LOCAL_IP,
+                    7000, SINK_PORT, b"loop-%06d" % seq),
+                    scout.device.address)
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + 10.0
+            device = scout.device
+            while (device.rx_frames + sum(device.drop_ledger().values())
+                   < sent or device.pending()
+                   or len(scout.kernel.test.received) + len(drops)
+                   < device.rx_frames):
+                if loop.time() >= deadline:
+                    break
+                await scout.serve(seconds=0.05)
+            wall = time.perf_counter() - started
+            sender.close()
+            delivered = len(scout.kernel.test.received)
+            return LoopbackRun(
+                sent=sent,
+                device_rx=device.rx_frames,
+                delivered=delivered,
+                dropped=len(drops) + sum(device.drop_ledger().values()),
+                reconciled=(device.rx_frames == delivered + len(drops)),
+                wall_s=wall)
+
+    return asyncio.run(drive())
+
+
+def format_wallclock(runs: List[WallclockRun],
+                     loopback: Optional[LoopbackRun]) -> str:
+    lines = [
+        "Wall-clock edge: asyncio executor vs deterministic scheduler",
+        "(same kernel, same bodies; DESIGN.md §18)",
+        "",
+        f"{'frames':>7} {'delivered':>10} {'drops':>6} {'identical':>10} "
+        f"{'virt cpu us':>12} {'aio wall s':>11} {'sim wall s':>11}",
+    ]
+    for run in runs:
+        lines.append(
+            f"{run.frames:>7} {run.delivered:>10} {run.drops:>6} "
+            f"{'yes' if run.byte_identical else 'NO':>10} "
+            f"{run.virtual_cpu_us:>12.0f} {run.aio_wall_s:>11.4f} "
+            f"{run.sim_wall_s:>11.4f}")
+    lines.append("")
+    if loopback is None:
+        lines.append("socket loopback: skipped (no loopback sockets)")
+    else:
+        lines.append(
+            f"socket loopback: sent={loopback.sent} "
+            f"device_rx={loopback.device_rx} "
+            f"delivered={loopback.delivered} dropped={loopback.dropped} "
+            f"reconciled={'yes' if loopback.reconciled else 'NO'} "
+            f"wall={loopback.wall_s:.3f}s")
+    lines.append("")
+    lines.append("identical = delivered streams and drop books are "
+                 "byte-identical across executors; reconciled = every "
+                 "frame the socket device accepted is delivered or in "
+                 "a drop ledger.")
+    return "\n".join(lines)

@@ -138,7 +138,7 @@ class VideoSessionGroup:
 class ScoutKernel:
     """A booted Scout system on the virtual machine."""
 
-    def __init__(self, world: SimWorld, segment: EtherSegment,
+    def __init__(self, world: SimWorld, segment: Optional[EtherSegment],
                  local_mac: str = "02:00:00:00:00:01",
                  local_ip: str = "10.0.0.1",
                  rate_limited_display: bool = True,
@@ -150,7 +150,8 @@ class ScoutKernel:
                  flow_cache_capacity: int = 128,
                  specialize: Optional[bool] = None,
                  udp_sink: bool = False,
-                 display: bool = True):
+                 display: bool = True,
+                 device=None):
         self.world = world
         #: Kernel-wide default for the specialized execution tier
         #: (DESIGN.md §15), handed to every path_create below; a
@@ -168,8 +169,20 @@ class ScoutKernel:
         self.observatory = Observatory(world.engine)
 
         # -- devices ------------------------------------------------------
-        self.device = NetDevice(local_mac, world.cpu, name="eth0")
-        segment.attach(self.device)
+        # The kernel is device-agnostic: by default it builds a
+        # simulated NIC on *segment*, but a caller may hand in any
+        # object with ``.mac`` and ``.send(frame)`` (the socket backend
+        # passes a ``repro.net.sockdev.SocketNetDevice``) and drive
+        # :meth:`rx_burst` itself.
+        if device is not None:
+            self.device = device
+        else:
+            if segment is None:
+                raise ValueError(
+                    "ScoutKernel needs either a segment (simulated "
+                    "device) or an explicit device=")
+            self.device = NetDevice(local_mac, world.cpu, name="eth0")
+            segment.attach(self.device)
         self.framebuffer = Framebuffer(world.engine, world.cpu,
                                        vsync_hz=vsync_hz,
                                        rate_limited=rate_limited_display)
@@ -205,7 +218,8 @@ class ScoutKernel:
             self.graph.connect("TEST.down", "UDP.up")
         self.eth.attach_device(self.device)
         self.display.attach_framebuffer(self.framebuffer)
-        self.arp.learn_from_segment(segment)
+        if segment is not None:
+            self.arp.learn_from_segment(segment)
         self.graph.boot()
         # Timer-driven protocol machinery (IP reassembly expiry, ARP
         # request retries) runs on the world's virtual-time engine.

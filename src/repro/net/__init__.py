@@ -41,6 +41,7 @@ from .packets import (
     parse_frame,
 )
 from .segment import Endpoint, EtherSegment, HostAgent, NetDevice
+from .sockdev import SocketNetDevice
 from .tcp import TcpRouter, TcpStage
 from .testrouter import TestRouter, TestStage
 from .udp import UdpRouter, UdpStage
@@ -53,6 +54,7 @@ __all__ = [
     "ETHERTYPE_IP", "ETHERTYPE_ARP",
     "IPPROTO_ICMP", "IPPROTO_TCP", "IPPROTO_UDP",
     "EtherSegment", "Endpoint", "NetDevice", "HostAgent",
+    "SocketNetDevice",
     "EthRouter", "EthStage", "ArpRouter", "IpRouter", "IpStage",
     "UdpRouter", "UdpStage", "IcmpRouter", "TcpRouter", "TcpStage",
     "MflowRouter", "MflowStage", "TestRouter", "TestStage",

@@ -21,6 +21,7 @@ from .metrics import (
 )
 from .probe import Observatory, PathObserver
 from .starvation import StarvationDetector
+from .wallclock import WallClockBridge
 from .trace import (
     DEMUX,
     DROP,
@@ -37,4 +38,5 @@ __all__ = [
     "STAGE", "TRAVERSAL", "QUEUE_WAIT", "DEMUX", "DROP", "INCIDENT",
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "DEFAULT_BOUNDS",
     "Observatory", "PathObserver", "StarvationDetector",
+    "WallClockBridge",
 ]

@@ -22,6 +22,12 @@ class TestExamples:
         out = run_example("quickstart.py")
         assert "TEST -> UDP -> IP -> ETH" in out
         assert "TEST sink received: b'welcome back'" in out
+        assert "kernel-hosted sink delivered: b'welcome back'" in out
+
+    def test_wallclock_socket(self):
+        out = run_example("wallclock_socket.py")
+        assert ("books reconcile" in out
+                or "loopback sockets unavailable" in out)
 
     def test_mpeg_player(self):
         out = run_example("mpeg_player.py")

@@ -166,3 +166,136 @@ class TestDeprecationShims:
                                 IpAddr("10.0.0.2"), IpAddr("10.0.0.1"),
                                 7000, 6100, b"ping")
         assert core_classify(graph.router("ETH"), api.Msg(frame)) is path
+
+
+class TestBackendResolution:
+    """Every backend x executor x shards combination resolves through
+    _resolve_backend: accepted shapes construct, rejected shapes raise
+    ScoutError with a message naming the offending knob."""
+
+    ACCEPTED = [
+        dict(),
+        dict(backend="sim"),
+        dict(executor="sim"),
+        dict(backend="sim", executor="sim"),
+        dict(backend="sim", executor="sim", shards=1),
+        dict(executor="asyncio"),
+        dict(backend="sim", executor="asyncio"),
+        dict(backend="socket", executor="asyncio"),
+        dict(backend="sim", executor="sim", shards=4),
+    ]
+
+    REJECTED = [
+        (dict(backend="hardware"), "unknown backend"),
+        (dict(executor="threads"), "unknown executor"),
+        (dict(shards=0), "shards must be >= 1"),
+        (dict(shards=-2), "shards must be >= 1"),
+        (dict(backend="socket"), "requires executor='asyncio'"),
+        (dict(backend="socket", executor="sim"),
+         "requires executor='asyncio'"),
+        (dict(shards=2, executor="asyncio"),
+         "requires backend='sim' and executor='sim'"),
+        (dict(shards=2, backend="socket", executor="asyncio"),
+         "requires backend='sim' and executor='sim'"),
+        (dict(shards=3, backend="socket"),
+         "requires backend='sim' and executor='sim'"),
+    ]
+
+    @pytest.mark.parametrize("kwargs", ACCEPTED)
+    def test_accepted_combinations_resolve(self, kwargs):
+        api._resolve_backend(kwargs.get("backend", "sim"),
+                             kwargs.get("executor", "sim"),
+                             kwargs.get("shards"))
+
+    @pytest.mark.parametrize("kwargs,message", REJECTED)
+    def test_rejected_combinations_name_the_fix(self, kwargs, message):
+        with pytest.raises(api.ScoutError, match=message):
+            Scout(**kwargs)
+
+    def test_fabric_guard_is_scout_error(self):
+        scout = Scout(seed=0, shards=2, ports=[6100])
+        try:
+            with pytest.raises(api.ScoutError, match="fabric"):
+                scout.run(0.1)
+            with pytest.raises(api.ScoutError, match="fabric"):
+                scout.path(None)
+        finally:
+            scout.close()
+
+    def test_single_kernel_guard_is_scout_error(self):
+        with Scout(seed=0) as scout:
+            with pytest.raises(api.ScoutError, match="offer"):
+                scout.offer([])
+            with pytest.raises(api.ScoutError, match="merged_books"):
+                scout.merged_books()
+
+    def test_old_call_shape_unchanged(self):
+        # The pre-redesign single-kernel spelling still boots the
+        # deterministic configuration with no new arguments.
+        scout = Scout(seed=5)
+        assert scout.backend == "sim"
+        assert scout.executor == "sim"
+        assert scout.kernel is not None and scout.fabric is None
+        scout.run(0.01)
+        scout.close()
+
+
+class TestScoutLifecycle:
+    def test_sync_with_closes(self):
+        with Scout(seed=2) as scout:
+            assert not scout._closed
+        assert scout._closed
+        scout.close()  # idempotent
+
+    def test_fabric_close_caches_books(self):
+        scout = Scout(seed=0, shards=2, ports=[6100, 6101])
+        scout.close()
+        books = scout.merged_books()
+        assert books is scout.merged_books()
+
+    def test_asyncio_scout_rejects_sync_with(self):
+        scout = Scout(seed=2, executor="asyncio")
+        with pytest.raises(api.ScoutError, match="async with"):
+            scout.__enter__()
+
+    def test_asyncio_scout_rejects_run(self):
+        scout = Scout(seed=2, executor="asyncio")
+        with pytest.raises(api.ScoutError, match="virtual time"):
+            scout.run(0.1)
+
+    def test_sim_scout_rejects_async_surface(self):
+        with Scout(seed=2) as scout:
+            with pytest.raises(api.ScoutError, match="asyncio"):
+                scout.wallclock()
+
+    def test_async_lifecycle_serves_and_closes(self):
+        import asyncio
+
+        async def main():
+            async with Scout(seed=2, executor="asyncio",
+                             udp_sink=True) as scout:
+                builder = scout.path(scout.kernel.test)
+                assert builder._transforms is scout.kernel.transforms
+                await scout.settle()
+                snap = scout.wallclock()
+                assert snap["wall_s"] >= 0.0
+            assert scout._closed
+
+        asyncio.run(main())
+
+
+class TestRenamedFacadeNames:
+    @pytest.mark.parametrize("legacy,supported", [
+        ("AsyncExecutor", "AioExecutor"),
+        ("AsyncWorld", "AioWorld"),
+        ("SocketDevice", "SocketNetDevice"),
+        ("WallclockBridge", "WallClockBridge"),
+    ])
+    def test_renamed_name_resolves_with_warning(self, legacy, supported):
+        with pytest.warns(DeprecationWarning, match=supported):
+            assert getattr(api, legacy) is getattr(api, supported)
+
+    def test_wallclock_names_are_exported(self):
+        for name in ("AioWorld", "AioExecutor", "SocketNetDevice",
+                     "WallClockBridge", "BACKENDS", "EXECUTORS"):
+            assert name in api.__all__
